@@ -1,0 +1,384 @@
+//! Parametric FPGA area and power model, calibrated to Table II.
+//!
+//! The single published synthesis point (Transformer-base, `s = 64`,
+//! VU13P, Vivado 2018.2) pins the per-primitive constants; the model
+//! then regenerates Table II exactly and extrapolates to other
+//! configurations (experiment E11).
+//!
+//! Calibration notes:
+//!
+//! * **SA** — 420,867 LUT / 173,110 FF over 4,096 PEs → 102.75 LUT and
+//!   42.26 FF per INT8 MAC PE (LUT-fabric multipliers, zero DSPs — as
+//!   Table II shows, the paper maps the PEs to LUTs).
+//! * **Softmax** — 21,190 LUT / 32,623 FF over `s = 64` row lanes →
+//!   331.1 LUT, 509.7 FF per lane (the FF-heavy score buffering).
+//! * **LayerNorm** — 164.9 LUT, 83.2 FF per lane; DSPs are exactly
+//!   `2s + 1` (two multipliers per lane for `(G−E)·r` and `·γ`, one
+//!   shared); BRAM is the γ/β store + rsqrt ROM + a `d_model × 16s`-bit
+//!   G buffer, scaled by a 27.5/16 calibration factor to the published
+//!   27.5.
+//! * **Weight memory** — 456 BRAM36 falls out *structurally*: a
+//!   double-buffered store of the four `d_model²` INT8 attention weight
+//!   matrices behind a 512-bit read port
+//!   (`2 · 4 · 512² bytes` at width 512 → 8 columns × 57 rows = 456).
+//! * **Misc** (control, data-memory addressing, bias adders) — the Top
+//!   residual: 243.4 LUT, 105.0 FF, 0.227 BRAM per array row.
+
+use hwsim::memory::MemorySpec;
+use hwsim::resources::{Device, Resources};
+use serde::Serialize;
+
+use crate::config::AccelConfig;
+
+/// LUTs per INT8 MAC processing element.
+pub const LUT_PER_PE: f64 = 420_867.0 / 4096.0;
+/// Flip-flops per PE.
+pub const FF_PER_PE: f64 = 173_110.0 / 4096.0;
+/// LUTs per softmax row lane.
+pub const LUT_PER_SOFTMAX_LANE: f64 = 21_190.0 / 64.0;
+/// Flip-flops per softmax row lane.
+pub const FF_PER_SOFTMAX_LANE: f64 = 32_623.0 / 64.0;
+/// LUTs per LayerNorm row lane.
+pub const LUT_PER_LN_LANE: f64 = 10_551.0 / 64.0;
+/// Flip-flops per LayerNorm row lane.
+pub const FF_PER_LN_LANE: f64 = 5_325.0 / 64.0;
+/// BRAM calibration factor of the LayerNorm buffers (see module docs).
+pub const LN_BRAM_CALIBRATION: f64 = 27.5 / 16.0;
+/// LUTs of weight-memory addressing per BRAM block.
+pub const LUT_PER_WEIGHT_BRAM: f64 = 3_379.0 / 456.0;
+/// Control/misc LUTs per array row (Top residual at the base point).
+pub const MISC_LUT_PER_ROW: f64 = 15_576.0 / 64.0;
+/// Control/misc FFs per array row.
+pub const MISC_FF_PER_ROW: f64 = 6_721.0 / 64.0;
+/// Control/misc BRAM per array row.
+pub const MISC_BRAM_PER_ROW: f64 = 14.5 / 64.0;
+
+/// How the PE multipliers are mapped (an ablation the paper resolves
+/// in favour of LUTs — Table II shows 0 DSPs in the SA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeImpl {
+    /// INT8 multiply-add in LUT fabric (the paper's choice): ~103 LUTs
+    /// and ~42 FFs per PE, zero DSPs.
+    LutFabric,
+    /// One DSP48E2 per PE (plus a small LUT shim for operand routing):
+    /// trades 4,096 DSPs — a full third of the VU13P's 12,288 — for
+    /// most of the SA's LUTs.
+    Dsp,
+}
+
+/// LUT shim per DSP-mapped PE (operand mux + valid chaining).
+pub const LUT_PER_DSP_PE: f64 = 12.0;
+/// FFs per DSP-mapped PE (pipeline registers outside the DSP).
+pub const FF_PER_DSP_PE: f64 = 10.0;
+
+/// One row of the utilization report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModuleArea {
+    /// Module name (Table II row label).
+    pub name: String,
+    /// Estimated resources.
+    pub resources: Resources,
+}
+
+/// The calibrated area model for a configuration.
+#[derive(Debug, Clone)]
+pub struct AreaModel {
+    cfg: AccelConfig,
+}
+
+impl AreaModel {
+    /// Creates the model.
+    pub fn new(cfg: AccelConfig) -> Self {
+        cfg.validate();
+        Self { cfg }
+    }
+
+    /// The `s × 64` systolic array (the paper's LUT-fabric PEs).
+    pub fn systolic_array(&self) -> Resources {
+        self.systolic_array_with(PeImpl::LutFabric)
+    }
+
+    /// The systolic array under a chosen PE mapping — the LUT-vs-DSP
+    /// ablation. At the paper's design point the DSP mapping would
+    /// consume 4,096 DSPs (33% of the device) to save ~372k LUTs;
+    /// the paper's LUT choice keeps the DSP column free (129 total)
+    /// and the LUT utilization at a routable 27%.
+    pub fn systolic_array_with(&self, pe: PeImpl) -> Resources {
+        let pes = (self.cfg.s * crate::partition::PANEL_COLS) as f64;
+        match pe {
+            PeImpl::LutFabric => Resources::new(LUT_PER_PE * pes, FF_PER_PE * pes, 0.0, 0.0),
+            PeImpl::Dsp => Resources::new(LUT_PER_DSP_PE * pes, FF_PER_DSP_PE * pes, 0.0, pes),
+        }
+    }
+
+    /// The softmax module (`s` lanes).
+    pub fn softmax(&self) -> Resources {
+        let s = self.cfg.s as f64;
+        Resources::new(LUT_PER_SOFTMAX_LANE * s, FF_PER_SOFTMAX_LANE * s, 0.0, 0.0)
+    }
+
+    /// The LayerNorm module (`s` lanes, `2s + 1` DSP multipliers, γ/β +
+    /// rsqrt + G-buffer BRAM).
+    pub fn layernorm(&self) -> Resources {
+        let s = self.cfg.s as f64;
+        let d_model = self.cfg.model.d_model as u64;
+        // rsqrt ROM (192 x 16b) + gamma/beta store + 16-bit G buffer
+        let rsqrt = MemorySpec::new(fixedmath::rsqrt::LUT_ENTRIES as u64, 16).bram36_blocks();
+        let gamma_beta = MemorySpec::new(2 * d_model, 16).bram36_blocks();
+        let g_buffer = MemorySpec::new(d_model, 16 * self.cfg.s as u64).bram36_blocks();
+        let bram = (rsqrt + gamma_beta + g_buffer) * LN_BRAM_CALIBRATION;
+        Resources::new(LUT_PER_LN_LANE * s, FF_PER_LN_LANE * s, bram, 2.0 * s + 1.0)
+    }
+
+    /// The weight memory: double-buffered MHA weight store behind a
+    /// 512-bit read port (64 INT8 weights per cycle for the array).
+    pub fn weight_memory(&self) -> Resources {
+        let d_model = self.cfg.model.d_model as u64;
+        let bytes = 2 * 4 * d_model * d_model; // double-buffered W_Q/K/V/G
+        let port_width = 8 * crate::partition::PANEL_COLS as u64; // 512 bits
+        let spec = MemorySpec::new(bytes * 8 / port_width, port_width);
+        let blocks = spec.bram36_blocks();
+        Resources::new(LUT_PER_WEIGHT_BRAM * blocks, 80.0, blocks, 0.0)
+    }
+
+    /// Control logic, data-memory addressing and the two banks of `s`
+    /// bias/residual adders (the Top-row residual).
+    pub fn misc(&self) -> Resources {
+        let s = self.cfg.s as f64;
+        Resources::new(
+            MISC_LUT_PER_ROW * s,
+            MISC_FF_PER_ROW * s,
+            MISC_BRAM_PER_ROW * s,
+            0.0,
+        )
+    }
+
+    /// Top-level total.
+    pub fn top(&self) -> Resources {
+        self.systolic_array()
+            + self.softmax()
+            + self.layernorm()
+            + self.weight_memory()
+            + self.misc()
+    }
+
+    /// The full Table-II report: Available, Top and the per-module rows.
+    pub fn table2(&self) -> Vec<ModuleArea> {
+        let device = Device::vu13p();
+        let sa_name = format!("{}x{} SA", self.cfg.s, crate::partition::PANEL_COLS);
+        vec![
+            ModuleArea {
+                name: "Available".into(),
+                resources: device.available,
+            },
+            ModuleArea {
+                name: "Top".into(),
+                resources: self.top(),
+            },
+            ModuleArea {
+                name: sa_name,
+                resources: self.systolic_array(),
+            },
+            ModuleArea {
+                name: "Softmax".into(),
+                resources: self.softmax(),
+            },
+            ModuleArea {
+                name: "LayerNorm".into(),
+                resources: self.layernorm(),
+            },
+            ModuleArea {
+                name: "Weight Memory".into(),
+                resources: self.weight_memory(),
+            },
+        ]
+    }
+
+    /// Whether the configuration fits the paper's VU13P.
+    pub fn fits_vu13p(&self) -> bool {
+        Device::vu13p().fits(&self.top())
+    }
+}
+
+/// Power estimate at an operating point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PowerEstimate {
+    /// Device static power (W) — the paper reports 3.4 W.
+    pub static_w: f64,
+    /// Dynamic power (W), modelled as proportional to active LUTs ×
+    /// clock (calibrated to the paper's 13.3 W at 200 MHz).
+    pub dynamic_w: f64,
+}
+
+impl PowerEstimate {
+    /// Total on-chip power.
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.dynamic_w
+    }
+}
+
+/// Dynamic-power coefficient, calibrated so that the base design at
+/// 200 MHz dissipates the published 13.3 W.
+pub const DYNAMIC_W_PER_LUT_MHZ: f64 = 13.3 / (471_563.0 * 200.0);
+
+/// Published VU13P static power at the paper's operating point.
+pub const STATIC_W: f64 = 3.4;
+
+/// Energy of one operation lasting `latency_us` at `power_w` total
+/// on-chip power, in microjoules. With the paper's 16.7 W and the MHA
+/// ResBlock's 105 µs this is ~1.75 mJ — against a 250 W-class V100
+/// spending 1,558 µs (~390 mJ), a >200x energy advantage, the metric
+/// embedded-deployment papers ultimately care about.
+pub fn energy_uj(power_w: f64, latency_us: f64) -> f64 {
+    power_w * latency_us
+}
+
+/// Typical board power of the paper's GPU baseline (V100 TDP, W) —
+/// used only for the energy comparison; the paper reports latency, not
+/// GPU power.
+pub const V100_TDP_W: f64 = 250.0;
+
+/// Estimates on-chip power for a configuration at its clock.
+pub fn estimate_power(model: &AreaModel, cfg: &AccelConfig) -> PowerEstimate {
+    PowerEstimate {
+        static_w: STATIC_W,
+        dynamic_w: DYNAMIC_W_PER_LUT_MHZ * model.top().lut * cfg.clock.as_mhz(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> AreaModel {
+        AreaModel::new(AccelConfig::paper_default())
+    }
+
+    #[test]
+    fn sa_matches_table2_exactly() {
+        let r = base().systolic_array();
+        assert!((r.lut - 420_867.0).abs() < 1.0);
+        assert!((r.ff - 173_110.0).abs() < 1.0);
+        assert_eq!(r.bram, 0.0);
+        assert_eq!(r.dsp, 0.0);
+    }
+
+    #[test]
+    fn softmax_matches_table2_exactly() {
+        let r = base().softmax();
+        assert!((r.lut - 21_190.0).abs() < 1.0);
+        assert!((r.ff - 32_623.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn layernorm_matches_table2() {
+        let r = base().layernorm();
+        assert!((r.lut - 10_551.0).abs() < 1.0);
+        assert!((r.ff - 5_325.0).abs() < 1.0);
+        assert_eq!(r.dsp, 129.0);
+        assert!((r.bram - 27.5).abs() < 0.6, "bram {}", r.bram);
+    }
+
+    #[test]
+    fn weight_memory_is_structurally_456_blocks() {
+        let r = base().weight_memory();
+        assert_eq!(r.bram, 456.0, "double-buffered MHA store at width 512");
+        assert!((r.lut - 3_379.0).abs() < 1.0);
+        assert_eq!(r.ff, 80.0);
+    }
+
+    #[test]
+    fn top_matches_table2_within_tolerance() {
+        let r = base().top();
+        assert!(
+            (r.lut - 471_563.0).abs() / 471_563.0 < 0.005,
+            "lut {}",
+            r.lut
+        );
+        assert!((r.ff - 217_859.0).abs() / 217_859.0 < 0.005, "ff {}", r.ff);
+        assert!((r.bram - 498.0).abs() / 498.0 < 0.01, "bram {}", r.bram);
+        assert_eq!(r.dsp, 129.0);
+        assert!(base().fits_vu13p());
+    }
+
+    #[test]
+    fn table2_has_six_rows_in_paper_order() {
+        let t = base().table2();
+        let names: Vec<&str> = t.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Available",
+                "Top",
+                "64x64 SA",
+                "Softmax",
+                "LayerNorm",
+                "Weight Memory"
+            ]
+        );
+    }
+
+    #[test]
+    fn power_matches_published_point() {
+        let cfg = AccelConfig::paper_default();
+        let p = estimate_power(&base(), &cfg);
+        assert!((p.static_w - 3.4).abs() < 1e-9);
+        assert!((p.dynamic_w - 13.3).abs() / 13.3 < 0.005, "{}", p.dynamic_w);
+        assert!((p.total_w() - 16.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn dsp_mapping_trades_luts_for_a_third_of_the_dsps() {
+        let m = base();
+        let lut_based = m.systolic_array_with(PeImpl::LutFabric);
+        let dsp_based = m.systolic_array_with(PeImpl::Dsp);
+        assert_eq!(dsp_based.dsp, 4096.0);
+        assert!(dsp_based.lut < lut_based.lut / 5.0);
+        // both fit the device in isolation; the DSP variant eats 33%
+        // of the DSP column
+        let device = hwsim::resources::Device::vu13p();
+        assert!(device.fits(&dsp_based));
+        assert!((dsp_based.dsp / device.available.dsp - 1.0 / 3.0).abs() < 0.01);
+        // default matches the paper's published SA row
+        assert_eq!(m.systolic_array(), lut_based);
+    }
+
+    #[test]
+    fn energy_advantage_is_two_orders_of_magnitude() {
+        // FPGA: 16.7 W x 105 us; GPU: 250 W x 1557.8 us
+        let fpga = energy_uj(16.7, 105.0);
+        let gpu = energy_uj(V100_TDP_W, 1557.8);
+        assert!((fpga - 1753.5).abs() < 1.0);
+        let advantage = gpu / fpga;
+        assert!(advantage > 200.0, "advantage {advantage}");
+    }
+
+    #[test]
+    fn bigger_models_need_more_weight_memory() {
+        let mut cfg = AccelConfig::paper_default();
+        cfg.model = transformer::config::ModelConfig::transformer_big();
+        let big = AreaModel::new(cfg);
+        assert!(big.weight_memory().bram > 4.0 * 456.0 - 64.0);
+    }
+
+    #[test]
+    fn longer_arrays_scale_sa_linearly() {
+        let mut cfg = AccelConfig::paper_default();
+        cfg.s = 128;
+        let m = AreaModel::new(cfg);
+        let r = m.systolic_array();
+        assert!((r.lut - 2.0 * 420_867.0).abs() < 2.0);
+        // a 128-row array still fits the VU13P in LUTs? 841k + ... < 1.7M
+        assert!(m.fits_vu13p(), "128-row design should still fit");
+    }
+
+    #[test]
+    fn transformer_big_fits_or_reports_honestly() {
+        let mut cfg = AccelConfig::paper_default();
+        cfg.model = transformer::config::ModelConfig::transformer_big();
+        let m = AreaModel::new(cfg);
+        // 2x weight memory (~1.8k blocks) + misc stays under 2,688 BRAMs
+        let top = m.top();
+        assert!(top.bram < 2_688.0, "bram {}", top.bram);
+    }
+}

@@ -1,0 +1,306 @@
+//! Array-level execution engine: Algorithm 1 executed *literally* on
+//! the register-true systolic array.
+//!
+//! Where [`crate::top::Accelerator`] delegates numerics to the
+//! `quantized` crate wholesale, this engine drives the hardware the way
+//! the RTL does — GEMM pass by GEMM pass, one 64-column weight panel at
+//! a time (Fig. 4), each pass clocked through the
+//! [`crate::systolic::SystolicArray`] PE grid, with bias/requantization
+//! on the drain path, the softmax module between the score and context
+//! passes, and the LayerNorm module at the end. Its outputs are
+//! bit-identical to [`quantized::QuantMhaResBlock::forward`] /
+//! [`quantized::QuantFfnResBlock::forward`] (asserted by tests), which
+//! closes the loop: *the paper's dataflow, executed on the paper's
+//! array, computes the paper's datapath.*
+
+use hwsim::cycles::Cycle;
+use quantized::softmax::scaled_masked_softmax;
+use quantized::{QLinear, QuantFfnResBlock, QuantMhaResBlock};
+use tensor::Mat;
+
+use crate::partition::{qk_plan, PANEL_COLS};
+use crate::systolic::SystolicArray;
+
+/// Execution statistics of one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of systolic-array GEMM passes executed.
+    pub gemm_passes: usize,
+    /// Total multiply-accumulates performed by the PE grid.
+    pub macs: u64,
+    /// Sum of isolated per-pass array cycles (compute + drain). This is
+    /// the *unpipelined* cost; the scheduler's makespan is lower because
+    /// consecutive passes overlap through the wavefront skew.
+    pub isolated_cycles: Cycle,
+}
+
+/// Result of executing a ResBlock on the array.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The block's INT8 output codes.
+    pub out: Mat<i8>,
+    /// Execution statistics.
+    pub stats: EngineStats,
+}
+
+/// The execution engine: a systolic array plus pass bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ArrayEngine {
+    sa: SystolicArray,
+    stats: EngineStats,
+}
+
+impl ArrayEngine {
+    /// Creates an engine around an `s_max × 64` array.
+    pub fn new(s_max: usize) -> Self {
+        Self {
+            sa: SystolicArray::paper(s_max),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The underlying array geometry.
+    pub fn array(&self) -> &SystolicArray {
+        &self.sa
+    }
+
+    /// One GEMM pass through the PE grid, with bookkeeping.
+    fn pass(&mut self, a: &Mat<i8>, b: &Mat<i8>) -> Mat<i32> {
+        let sim = self.sa.simulate(a, b);
+        self.stats.gemm_passes += 1;
+        self.stats.macs += (a.rows() * a.cols() * b.cols()) as u64;
+        self.stats.isolated_cycles += sim.total;
+        sim.out
+    }
+
+    /// A full linear sublayer: every 64-column weight panel streamed
+    /// through the array, bias added and requantized on the drain path.
+    fn linear(&mut self, lin: &QLinear, x: &Mat<i8>) -> Mat<i8> {
+        let panels = lin.weight_q().col_panels(PANEL_COLS);
+        let mut outs = Vec::with_capacity(panels.len());
+        let mut c0 = 0usize;
+        for panel in &panels {
+            let acc = self.pass(x, panel);
+            let bias = &lin.bias_q()[c0..c0 + panel.cols()];
+            outs.push(Mat::from_fn(acc.rows(), acc.cols(), |r, c| {
+                lin.requantize_col(c0 + c, acc[(r, c)] + bias[c])
+            }));
+            c0 += panel.cols();
+        }
+        Mat::hconcat(&outs).expect("panels share rows")
+    }
+
+    /// Like [`ArrayEngine::linear`] but the raw accumulators (+bias) are
+    /// returned for a caller-owned drain transform (ReLU, residual...).
+    fn linear_acc(&mut self, lin: &QLinear, x: &Mat<i8>) -> Mat<i32> {
+        let panels = lin.weight_q().col_panels(PANEL_COLS);
+        let mut outs = Vec::with_capacity(panels.len());
+        let mut c0 = 0usize;
+        for panel in &panels {
+            let acc = self.pass(x, panel);
+            let bias = &lin.bias_q()[c0..c0 + panel.cols()];
+            outs.push(Mat::from_fn(acc.rows(), acc.cols(), |r, c| {
+                acc[(r, c)] + bias[c]
+            }));
+            c0 += panel.cols();
+        }
+        Mat::hconcat(&outs).expect("panels share rows")
+    }
+
+    /// `Q_i K_i^T` through the array, following the Section-III
+    /// padding/tiling plan.
+    fn qk(&mut self, qi: &Mat<i8>, ki: &Mat<i8>) -> Mat<i32> {
+        let s = ki.rows();
+        let plan = qk_plan(s);
+        let k_padded = if plan.padded_k_rows > s {
+            ki.padded(plan.padded_k_rows, ki.cols())
+        } else {
+            ki.clone()
+        };
+        let mut tiles = Vec::with_capacity(plan.tiles);
+        for t in 0..plan.tiles {
+            let r0 = t * PANEL_COLS;
+            let rows = PANEL_COLS.min(k_padded.rows() - r0);
+            let k_tile = k_padded
+                .submatrix(r0, 0, rows, k_padded.cols())
+                .expect("tile in range");
+            tiles.push(self.pass(qi, &k_tile.transposed()));
+        }
+        Mat::hconcat(&tiles)
+            .expect("tiles share rows")
+            .submatrix(0, 0, qi.rows(), s)
+            .expect("crop padding")
+    }
+
+    /// Executes the MHA ResBlock (Algorithm 1 lines 1–13) on the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs exceed the array's rows.
+    pub fn execute_mha(
+        &mut self,
+        block: &QuantMhaResBlock,
+        xq: &Mat<i8>,
+        xkv: &Mat<i8>,
+        mask: Option<&Mat<bool>>,
+    ) -> EngineRun {
+        self.stats = EngineStats::default();
+        let (wq, wk, wv, wo) = block.projections();
+        let d_k = block.d_k();
+        // Lines 3-4 + line 6: the three projections (panel per head).
+        let q = self.linear(wq, xq);
+        let k = self.linear(wk, xkv);
+        let v = self.linear(wv, xkv);
+        // Lines 5-7, per head: scores -> softmax module -> context.
+        let mut p_panels = Vec::with_capacity(block.heads());
+        for i in 0..block.heads() {
+            let c0 = i * d_k;
+            let qi = q.submatrix(0, c0, q.rows(), d_k).expect("panel");
+            let ki = k.submatrix(0, c0, k.rows(), d_k).expect("panel");
+            let vi = v.submatrix(0, c0, v.rows(), d_k).expect("panel");
+            let d = self.qk(&qi, &ki);
+            let probs = scaled_masked_softmax(&d, block.d_scale(), d_k, mask, block.softmax_mode());
+            let p_acc = self.pass(&probs, &vi);
+            p_panels.push(p_acc.map(|&a| block.requantize_p(a)));
+        }
+        let p = Mat::hconcat(&p_panels).expect("heads share rows");
+        // Lines 9-11: G = P·W_G + bias (+ residual), panel per head.
+        let g_codes = self.linear(wo, &p);
+        let g = Mat::from_fn(g_codes.rows(), g_codes.cols(), |r, c| {
+            g_codes[(r, c)] as i32 + xq[(r, c)] as i32
+        });
+        // Line 12: the LayerNorm module.
+        EngineRun {
+            out: block.layernorm().forward(&g),
+            stats: self.stats,
+        }
+    }
+
+    /// Executes the FFN ResBlock (Algorithm 1 lines 14–22) on the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input exceeds the array's rows.
+    pub fn execute_ffn(&mut self, block: &QuantFfnResBlock, x: &Mat<i8>) -> EngineRun {
+        self.stats = EngineStats::default();
+        let (w1, w2) = block.sublayers();
+        // Lines 15-17: P_i = ReLU(X W_1i + b_1i), ReLU fused on drain.
+        let hidden_acc = self.linear_acc(w1, x);
+        let hidden = Mat::from_fn(hidden_acc.rows(), hidden_acc.cols(), |r, c| {
+            w1.requantize_col(c, hidden_acc[(r, c)]).max(0)
+        });
+        // Lines 18-20: G_i = P W_2i + b_2i + X_i.
+        let g_codes = self.linear(w2, &hidden);
+        let g = Mat::from_fn(g_codes.rows(), g_codes.cols(), |r, c| {
+            g_codes[(r, c)] as i32 + x[(r, c)] as i32
+        });
+        // Line 21.
+        EngineRun {
+            out: block.layernorm().forward(&g),
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantized::SoftmaxMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use transformer::config::ModelConfig;
+    use transformer::ffn::FfnResBlock;
+    use transformer::mha::MhaResBlock;
+
+    fn setup(s: usize) -> (QuantMhaResBlock, QuantFfnResBlock, Vec<Mat<i8>>) {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mha = MhaResBlock::new(&cfg, &mut rng);
+        let ffn = FfnResBlock::new(&cfg, &mut rng);
+        let calib: Vec<Mat<f32>> = (0..4)
+            .map(|_| tensor::init::normal(&mut rng, s, cfg.d_model, 1.0))
+            .collect();
+        let qmha = QuantMhaResBlock::from_f32(&mha, &calib, &calib, SoftmaxMode::Hardware);
+        let qffn = QuantFfnResBlock::from_f32(&ffn, &calib);
+        let codes = calib.iter().map(|x| qmha.quantize_input_q(x)).collect();
+        (qmha, qffn, codes)
+    }
+
+    #[test]
+    fn mha_execution_is_bit_identical_to_datapath() {
+        let (qmha, _, codes) = setup(8);
+        let mut engine = ArrayEngine::new(8);
+        for xq in &codes {
+            let (want, _) = qmha.forward(xq, xq, None);
+            let run = engine.execute_mha(&qmha, xq, xq, None);
+            assert_eq!(run.out, want);
+        }
+    }
+
+    #[test]
+    fn masked_mha_execution_is_bit_identical() {
+        let (qmha, _, codes) = setup(8);
+        let mut engine = ArrayEngine::new(8);
+        let mask = tensor::ops::causal_mask(8);
+        let (want, _) = qmha.forward(&codes[0], &codes[0], Some(&mask));
+        let run = engine.execute_mha(&qmha, &codes[0], &codes[0], Some(&mask));
+        assert_eq!(run.out, want);
+    }
+
+    #[test]
+    fn ffn_execution_is_bit_identical_to_datapath() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let (_, qffn, _) = setup(8);
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut engine = ArrayEngine::new(8);
+        for _ in 0..3 {
+            let x = tensor::init::normal(&mut rng, 8, cfg.d_model, 1.0);
+            let xq = qffn.quantize_input(&x);
+            let (want, _) = qffn.forward(&xq);
+            let run = engine.execute_ffn(&qffn, &xq);
+            assert_eq!(run.out, want);
+        }
+    }
+
+    #[test]
+    fn mha_pass_count_matches_algorithm1() {
+        // tiny config: h = 4 heads, d_model = 32 -> each projection has
+        // ceil(32/64) = 1 panel; per head: QK^T 1 tile + PV 1; W_G 1
+        // panel. passes = 3 proj + h*(1+1) + 1 = 12.
+        let (qmha, _, codes) = setup(8);
+        let mut engine = ArrayEngine::new(8);
+        let run = engine.execute_mha(&qmha, &codes[0], &codes[0], None);
+        assert_eq!(run.stats.gemm_passes, 3 + 4 * 2 + 1);
+        assert!(run.stats.macs > 0);
+        assert!(run.stats.isolated_cycles.get() > 0);
+    }
+
+    #[test]
+    fn ffn_pass_count_matches_algorithm1() {
+        // d_ff = 64 -> 1 W1 panel; d_model = 32 -> 1 W2 panel.
+        let (_, qffn, codes) = setup(8);
+        let mut engine = ArrayEngine::new(8);
+        let run = engine.execute_ffn(&qffn, &codes[0]);
+        assert_eq!(run.stats.gemm_passes, 2);
+    }
+
+    #[test]
+    fn cross_attention_execution_matches() {
+        let (qmha, _, codes) = setup(8);
+        let mut engine = ArrayEngine::new(8);
+        let xq = codes[0].submatrix(0, 0, 3, codes[0].cols()).unwrap();
+        let (want, _) = qmha.forward(&xq, &codes[1], None);
+        let run = engine.execute_mha(&qmha, &xq, &codes[1], None);
+        assert_eq!(run.out, want);
+    }
+
+    #[test]
+    fn stats_reset_between_runs() {
+        let (qmha, _, codes) = setup(8);
+        let mut engine = ArrayEngine::new(8);
+        let a = engine.execute_mha(&qmha, &codes[0], &codes[0], None);
+        let b = engine.execute_mha(&qmha, &codes[1], &codes[1], None);
+        assert_eq!(a.stats.gemm_passes, b.stats.gemm_passes);
+        assert_eq!(a.stats.macs, b.stats.macs);
+    }
+}

@@ -1,0 +1,242 @@
+//! The `s × 64` INT8 systolic array (Fig. 5's "SA Module").
+//!
+//! Output-stationary dataflow: matrix `A` (`s × k`) streams in from the
+//! west with one-cycle skew per row, matrix `B` (`k × 64`) from the
+//! north with one-cycle skew per column; every PE multiply-accumulates
+//! the operand pair passing through it, so after the `k`-deep stream
+//! (plus the wavefront skew) PE `(r, c)` holds `Σ_t A[r,t]·B[t,c]`. The
+//! product then drains column by column ("it is designed to output the
+//! product matrix column by column, so each column has `s` elements"),
+//! through the `s` bias adders.
+//!
+//! Two views are provided:
+//!
+//! * [`SystolicArray::simulate`] — a register-true, cycle-by-cycle PE
+//!   grid simulation, used by tests to prove the dataflow computes the
+//!   exact INT8 GEMM and to validate the closed-form timing;
+//! * [`SystolicArray::stream_cycles`]/[`SystolicArray::drain_cycles`] —
+//!   the closed-form costs the scheduler uses (in steady state,
+//!   back-to-back GEMMs pipeline through the skew, so throughput is `k`
+//!   cycles per GEMM plus the drain policy).
+
+use hwsim::cycles::Cycle;
+use tensor::Mat;
+
+/// Geometry and timing of the systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+/// Result of a register-true array simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The exact product accumulators.
+    pub out: Mat<i32>,
+    /// Cycles until the last PE finished accumulating
+    /// (`k + rows_a + cols_b − 2`).
+    pub compute: Cycle,
+    /// Column-serial drain cycles (`cols_b`).
+    pub drain: Cycle,
+    /// End-to-end cycles for this isolated GEMM.
+    pub total: Cycle,
+}
+
+impl SystolicArray {
+    /// Creates an array of `rows × cols` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// The paper's array for max sequence length `s`: `s × 64`.
+    pub fn paper(s: usize) -> Self {
+        Self::new(s, crate::partition::PANEL_COLS)
+    }
+
+    /// Row count (`s`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count (64).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of processing elements (`64 s` multipliers + adders, the
+    /// "biggest module in our design").
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Steady-state streaming cost of a GEMM with reduction depth `k`:
+    /// one operand column/row pair per cycle.
+    pub fn stream_cycles(&self, k: usize) -> Cycle {
+        Cycle(k as u64)
+    }
+
+    /// Column-serial drain cost of one result (`cols` cycles).
+    pub fn drain_cycles(&self) -> Cycle {
+        Cycle(self.cols as u64)
+    }
+
+    /// Register-true simulation of one GEMM `a · b`.
+    ///
+    /// `a: [rows_a, k]` with `rows_a <= self.rows()`; `b: [k, cols_b]`
+    /// with `cols_b <= self.cols()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands exceed the array or widths mismatch.
+    pub fn simulate(&self, a: &Mat<i8>, b: &Mat<i8>) -> SimResult {
+        let (rows_a, k) = a.shape();
+        let (kb, cols_b) = b.shape();
+        assert_eq!(k, kb, "reduction depth mismatch: {k} vs {kb}");
+        assert!(rows_a <= self.rows, "A has more rows than the array");
+        assert!(cols_b <= self.cols, "B has more columns than the array");
+        assert!(k > 0 && rows_a > 0 && cols_b > 0, "empty operands");
+
+        // Per-PE operand registers (west-moving A, south-moving B) and
+        // accumulators.
+        let mut a_reg = vec![vec![(0i8, false); cols_b]; rows_a];
+        let mut b_reg = vec![vec![(0i8, false); cols_b]; rows_a];
+        let mut acc = Mat::<i32>::zeros(rows_a, cols_b);
+
+        let compute_cycles = k + rows_a + cols_b - 2;
+        for t in 0..compute_cycles {
+            // Sweep from the south-east corner so each PE reads its
+            // neighbour's *previous-cycle* register.
+            for r in (0..rows_a).rev() {
+                for c in (0..cols_b).rev() {
+                    let a_in = if c == 0 {
+                        // west edge: row r injects A[r][t - r] (skewed)
+                        let idx = t as i64 - r as i64;
+                        if (0..k as i64).contains(&idx) {
+                            (a[(r, idx as usize)], true)
+                        } else {
+                            (0, false)
+                        }
+                    } else {
+                        a_reg[r][c - 1]
+                    };
+                    let b_in = if r == 0 {
+                        // north edge: column c injects B[t - c][c] (skewed)
+                        let idx = t as i64 - c as i64;
+                        if (0..k as i64).contains(&idx) {
+                            (b[(idx as usize, c)], true)
+                        } else {
+                            (0, false)
+                        }
+                    } else {
+                        b_reg[r - 1][c]
+                    };
+                    if a_in.1 && b_in.1 {
+                        acc[(r, c)] += a_in.0 as i32 * b_in.0 as i32;
+                    }
+                    a_reg[r][c] = a_in;
+                    b_reg[r][c] = b_in;
+                }
+            }
+        }
+        let compute = Cycle(compute_cycles as u64);
+        let drain = Cycle(cols_b as u64);
+        SimResult {
+            out: acc,
+            compute,
+            drain,
+            total: compute + drain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::gemm;
+
+    #[test]
+    fn simulation_computes_exact_gemm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sa = SystolicArray::new(8, 8);
+        for &(m, k, n) in &[(8usize, 12usize, 8usize), (3, 5, 7), (1, 1, 1), (8, 64, 8)] {
+            let a = tensor::init::uniform_i8(&mut rng, m, k);
+            let b = tensor::init::uniform_i8(&mut rng, k, n);
+            let sim = sa.simulate(&a, &b);
+            let want = gemm::matmul_i8(&a, &b).unwrap();
+            assert_eq!(sim.out, want, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn paper_array_simulates_one_projection_panel() {
+        // Q (64x512) x W_Q1 (512x64): one Algorithm-1 line-3 GEMM. Use a
+        // reduced depth to keep the test quick but the geometry real.
+        let mut rng = StdRng::seed_from_u64(2);
+        let sa = SystolicArray::paper(64);
+        let a = tensor::init::uniform_i8(&mut rng, 64, 96);
+        let b = tensor::init::uniform_i8(&mut rng, 96, 64);
+        let sim = sa.simulate(&a, &b);
+        assert_eq!(sim.out, gemm::matmul_i8(&a, &b).unwrap());
+        // compute = k + rows + cols - 2
+        assert_eq!(sim.compute, Cycle(96 + 64 + 64 - 2));
+        assert_eq!(sim.drain, Cycle(64));
+    }
+
+    #[test]
+    fn timing_formula_matches_simulation() {
+        let sa = SystolicArray::new(16, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = tensor::init::uniform_i8(&mut rng, 16, 40);
+        let b = tensor::init::uniform_i8(&mut rng, 40, 16);
+        let sim = sa.simulate(&a, &b);
+        assert_eq!(sim.compute, Cycle(40 + 16 + 16 - 2));
+        assert_eq!(sim.total, Cycle(40 + 16 + 16 - 2 + 16));
+        assert_eq!(sa.stream_cycles(40), Cycle(40));
+        assert_eq!(sa.drain_cycles(), Cycle(16));
+    }
+
+    #[test]
+    fn pe_count_and_geometry() {
+        let sa = SystolicArray::paper(64);
+        assert_eq!(sa.pe_count(), 4096);
+        assert_eq!(sa.rows(), 64);
+        assert_eq!(sa.cols(), 64);
+    }
+
+    #[test]
+    fn partial_occupancy_supported() {
+        // s = 5 sequence on a 64-row array
+        let mut rng = StdRng::seed_from_u64(4);
+        let sa = SystolicArray::paper(64);
+        let a = tensor::init::uniform_i8(&mut rng, 5, 32);
+        let b = tensor::init::uniform_i8(&mut rng, 32, 64);
+        let sim = sa.simulate(&a, &b);
+        assert_eq!(sim.out, gemm::matmul_i8(&a, &b).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "more rows")]
+    fn oversize_operand_rejected() {
+        let sa = SystolicArray::new(4, 4);
+        let a = Mat::<i8>::zeros(5, 4);
+        let b = Mat::<i8>::zeros(4, 4);
+        let _ = sa.simulate(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth mismatch")]
+    fn depth_mismatch_rejected() {
+        let sa = SystolicArray::new(4, 4);
+        let a = Mat::<i8>::zeros(4, 3);
+        let b = Mat::<i8>::zeros(4, 4);
+        let _ = sa.simulate(&a, &b);
+    }
+}

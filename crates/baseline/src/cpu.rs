@@ -1,0 +1,96 @@
+//! Measured CPU baseline: wall-clock timing of the FP32 reference
+//! ResBlocks on the host. Unlike [`crate::gpu`], nothing here is
+//! modelled — this is an actual execution, useful as a floor in the
+//! comparison tables and as the workload for Criterion benches.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transformer::config::ModelConfig;
+use transformer::ffn::FfnResBlock;
+use transformer::mha::MhaResBlock;
+
+/// A measured latency sample.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuMeasurement {
+    /// Best-of-N wall time.
+    pub best: Duration,
+    /// Mean wall time.
+    pub mean: Duration,
+    /// Number of timed iterations.
+    pub iters: u32,
+}
+
+fn measure(mut f: impl FnMut(), iters: u32) -> CpuMeasurement {
+    assert!(iters > 0, "need at least one iteration");
+    // warm-up
+    f();
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        best = best.min(dt);
+        total += dt;
+    }
+    CpuMeasurement {
+        best,
+        mean: total / iters,
+        iters,
+    }
+}
+
+/// Measures the FP32 MHA ResBlock at sequence length `s`.
+pub fn measure_mha(cfg: &ModelConfig, s: usize, iters: u32) -> CpuMeasurement {
+    let mut rng = StdRng::seed_from_u64(0x6A11);
+    let mut block = MhaResBlock::new(cfg, &mut rng);
+    let x = tensor::init::normal(&mut rng, s, cfg.d_model, 1.0);
+    measure(
+        move || {
+            std::hint::black_box(block.forward(&x, &x, &x, None));
+        },
+        iters,
+    )
+}
+
+/// Measures the FP32 FFN ResBlock at sequence length `s`.
+pub fn measure_ffn(cfg: &ModelConfig, s: usize, iters: u32) -> CpuMeasurement {
+    let mut rng = StdRng::seed_from_u64(0xFF17);
+    let mut block = FfnResBlock::new(cfg, &mut rng);
+    let x = tensor::init::normal(&mut rng, s, cfg.d_model, 1.0);
+    measure(
+        move || {
+            std::hint::black_box(block.forward(&x));
+        },
+        iters,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_positive_and_ordered() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let m = measure_mha(&cfg, 8, 3);
+        assert!(m.best > Duration::ZERO);
+        assert!(m.mean >= m.best);
+        assert_eq!(m.iters, 3);
+    }
+
+    #[test]
+    fn ffn_measurement_works() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let m = measure_ffn(&cfg, 8, 3);
+        assert!(m.best > Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_iters_rejected() {
+        let _ = measure(|| {}, 0);
+    }
+}

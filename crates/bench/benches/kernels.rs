@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the nonlinear-function kernels: the
+//! shift-add EXP/LN units, the rsqrt ROM, the full hardware softmax and
+//! the hardware LayerNorm.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fixedmath::explog::{exp_unit, ln_unit};
+use fixedmath::fx::{to_fx, FRAC};
+use fixedmath::quant::QuantParams;
+use fixedmath::rsqrt::rsqrt_fx;
+use quantized::layernorm::HwLayerNorm;
+use quantized::softmax::{scaled_masked_softmax, SoftmaxMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Mat;
+
+fn bench_units(c: &mut Criterion) {
+    let xs: Vec<i32> = (0..1024).map(|i| to_fx(-(i as f32) / 64.0, FRAC)).collect();
+    c.bench_function("exp_unit/1024", |b| {
+        b.iter(|| xs.iter().map(|&x| exp_unit(black_box(x))).sum::<i32>())
+    });
+    let ys: Vec<i32> = (1..1025).map(|i| i * 37).collect();
+    c.bench_function("ln_unit/1024", |b| {
+        b.iter(|| ys.iter().map(|&x| ln_unit(black_box(x))).sum::<i32>())
+    });
+    let vs: Vec<i64> = (1..1025).map(|i| i * 4097).collect();
+    c.bench_function("rsqrt_fx/1024", |b| {
+        b.iter(|| vs.iter().map(|&x| rsqrt_fx(black_box(x))).sum::<i64>())
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("hw_softmax");
+    for &s in &[16usize, 64, 128] {
+        let d = Mat::from_fn(s, s, |_, _| rng.random_range(-80_000..80_000i32));
+        group.bench_with_input(BenchmarkId::from_parameter(s), &d, |b, d| {
+            b.iter(|| {
+                black_box(scaled_masked_softmax(
+                    d,
+                    5e-5,
+                    64,
+                    None,
+                    SoftmaxMode::Hardware,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_layernorm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let d = 512;
+    let gamma: Vec<f32> = (0..d).map(|_| rng.random_range(0.5..1.5f32)).collect();
+    let beta: Vec<f32> = (0..d).map(|_| rng.random_range(-0.2..0.2f32)).collect();
+    let ln = HwLayerNorm::from_f32(
+        &gamma,
+        &beta,
+        QuantParams::new(0.02),
+        QuantParams::new(0.02),
+    );
+    let g = Mat::from_fn(64, d, |_, _| rng.random_range(-200..200i32));
+    c.bench_function("hw_layernorm/64x512", |b| {
+        b.iter(|| black_box(ln.forward(&g)))
+    });
+}
+
+criterion_group!(benches, bench_units, bench_softmax, bench_layernorm);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of full ResBlock execution: FP32 reference vs
+//! bit-accurate INT8 datapath, at study and paper scale.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quantized::{QuantFfnResBlock, QuantMhaResBlock, SoftmaxMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Mat;
+use transformer::config::ModelConfig;
+use transformer::ffn::FfnResBlock;
+use transformer::mha::MhaResBlock;
+
+fn setup(cfg: &ModelConfig, s: usize, seed: u64) -> (MhaResBlock, FfnResBlock, Vec<Mat<f32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mha = MhaResBlock::new(cfg, &mut rng);
+    let ffn = FfnResBlock::new(cfg, &mut rng);
+    let calib = (0..3)
+        .map(|_| tensor::init::normal(&mut rng, s, cfg.d_model, 1.0))
+        .collect();
+    (mha, ffn, calib)
+}
+
+fn bench_study_scale(c: &mut Criterion) {
+    let cfg = transformer::train::study_config();
+    let s = 12;
+    let (mut mha, mut ffn, calib) = setup(&cfg, s, 1);
+    let x = calib[0].clone();
+
+    c.bench_function("fp32_mha_resblock/study", |b| {
+        b.iter(|| black_box(mha.forward(&x, &x, &x, None)))
+    });
+    c.bench_function("fp32_ffn_resblock/study", |b| {
+        b.iter(|| black_box(ffn.forward(&x)))
+    });
+
+    let qmha = QuantMhaResBlock::from_f32(&mha, &calib, &calib, SoftmaxMode::Hardware);
+    let qffn = QuantFfnResBlock::from_f32(&ffn, &calib);
+    let xq = qmha.quantize_input_q(&x);
+    let xf = qffn.quantize_input(&x);
+    c.bench_function("int8_mha_resblock/study", |b| {
+        b.iter(|| black_box(qmha.forward(&xq, &xq, None)))
+    });
+    c.bench_function("int8_ffn_resblock/study", |b| {
+        b.iter(|| black_box(qffn.forward(&xf)))
+    });
+}
+
+fn bench_paper_scale(c: &mut Criterion) {
+    // Transformer-base at s = 64 — the paper's evaluation point. These
+    // are heavyweight; keep the sample count small.
+    let cfg = ModelConfig::transformer_base();
+    let (mha, ffn, calib) = setup(&cfg, 64, 2);
+    let qmha = QuantMhaResBlock::from_f32(&mha, &calib[..1], &calib[..1], SoftmaxMode::Hardware);
+    let qffn = QuantFfnResBlock::from_f32(&ffn, &calib[..1]);
+    let x = &calib[0];
+    let xq = qmha.quantize_input_q(x);
+    let xf = qffn.quantize_input(x);
+
+    let mut group = c.benchmark_group("paper_scale");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    group.bench_function("int8_mha_resblock/base_s64", |b| {
+        b.iter(|| black_box(qmha.forward(&xq, &xq, None)))
+    });
+    group.bench_function("int8_ffn_resblock/base_s64", |b| {
+        b.iter(|| black_box(qffn.forward(&xf)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_study_scale, bench_paper_scale);
+criterion_main!(benches);

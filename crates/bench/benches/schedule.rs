@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the cycle-level scheduler and the systolic
+//! array's register-true simulation — the simulator itself must stay
+//! fast enough for design-space sweeps.
+
+use std::hint::black_box;
+
+use accel::systolic::SystolicArray;
+use accel::AccelConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let cfg = AccelConfig::paper_default();
+    c.bench_function("schedule_mha/base_s64", |b| {
+        b.iter(|| black_box(accel::scheduler::schedule_mha(black_box(&cfg))))
+    });
+    c.bench_function("schedule_ffn/base_s64", |b| {
+        b.iter(|| black_box(accel::scheduler::schedule_ffn(black_box(&cfg))))
+    });
+    c.bench_function("area_model/base_s64", |b| {
+        b.iter(|| black_box(accel::area::AreaModel::new(cfg.clone()).top()))
+    });
+}
+
+fn bench_systolic_sim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let sa = SystolicArray::paper(64);
+    let a = tensor::init::uniform_i8(&mut rng, 64, 128);
+    let b = tensor::init::uniform_i8(&mut rng, 128, 64);
+    c.bench_function("systolic_register_sim/64x128x64", |bench| {
+        bench.iter(|| black_box(sa.simulate(&a, &b)))
+    });
+}
+
+criterion_group!(benches, bench_scheduler, bench_systolic_sim);
+criterion_main!(benches);

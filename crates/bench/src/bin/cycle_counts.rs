@@ -1,0 +1,70 @@
+//! E4 — Algorithm-1 cycle counts (paper: 21,344 MHA / 42,099 FFN at
+//! s = 64, batch 1), under the published policy and the scheduling
+//! ablations, bracketing the published numbers.
+
+use accel::{AccelConfig, SchedPolicy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    mha_cycles: u64,
+    ffn_cycles: u64,
+    mha_sa_util: f64,
+    ffn_sa_util: f64,
+}
+
+fn run(policy: SchedPolicy, name: &str) -> Row {
+    let mut cfg = AccelConfig::paper_default();
+    cfg.sched = policy;
+    let mha = accel::scheduler::schedule_mha(&cfg);
+    let ffn = accel::scheduler::schedule_ffn(&cfg);
+    Row {
+        policy: name.into(),
+        mha_cycles: mha.cycles.get(),
+        ffn_cycles: ffn.cycles.get(),
+        mha_sa_util: mha.sa_utilization,
+        ffn_sa_util: ffn.sa_utilization,
+    }
+}
+
+fn main() {
+    let rows = vec![
+        run(SchedPolicy::naive(), "naive (no optimisation)"),
+        run(SchedPolicy::paper(), "paper (softmax overlap + LN step1+2)"),
+        run(SchedPolicy::aggressive(), "aggressive (+ drain overlap)"),
+    ];
+    println!("E4 — ResBlock cycle counts (Transformer-base, s = 64, batch 1)");
+    println!("paper reference: MHA 21,344 cycles / FFN 42,099 cycles\n");
+    let table = bench_harness::render_table(
+        &[
+            "policy",
+            "MHA cycles",
+            "FFN cycles",
+            "MHA SA util",
+            "FFN SA util",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    r.mha_cycles.to_string(),
+                    r.ffn_cycles.to_string(),
+                    format!("{:.1}%", 100.0 * r.mha_sa_util),
+                    format!("{:.1}%", 100.0 * r.ffn_sa_util),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    let paper_row = &rows[1];
+    println!(
+        "model-vs-paper: MHA {} vs 21,344 ({:+.1}%), FFN {} vs 42,099 ({:+.1}%)",
+        paper_row.mha_cycles,
+        100.0 * (paper_row.mha_cycles as f64 - 21_344.0) / 21_344.0,
+        paper_row.ffn_cycles,
+        100.0 * (paper_row.ffn_cycles as f64 - 42_099.0) / 42_099.0,
+    );
+    bench_harness::write_json("cycle_counts", &rows);
+}

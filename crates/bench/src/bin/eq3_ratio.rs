@@ -1,0 +1,52 @@
+//! E2 — Eq. (3): the share of MHA multiplications spent in `Q_i K_i^T`,
+//! swept over sequence length and head count. Reports both the exact
+//! MAC ratio and the paper's closed form `s / (s + 256h² + 64)` (whose
+//! printed algebra carries extra dimension factors — see DESIGN.md).
+
+use accel::analysis::{qk_ratio, qk_ratio_closed_form};
+use serde::Serialize;
+use transformer::config::ModelConfig;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    h: usize,
+    s: usize,
+    exact_pct: f64,
+    paper_closed_form_pct: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for cfg in ModelConfig::table1() {
+        for &s in &[16usize, 32, 64, 128, 256, 512] {
+            rows.push(Row {
+                model: cfg.name.clone(),
+                h: cfg.h,
+                s,
+                exact_pct: 100.0 * qk_ratio(&cfg, s),
+                paper_closed_form_pct: 100.0 * qk_ratio_closed_form(cfg.h, s),
+            });
+        }
+    }
+    println!("E2 — Eq. (3): Q_i K_i^T share of MHA multiplications\n");
+    let table = bench_harness::render_table(
+        &["model", "h", "s", "exact %", "paper closed form %"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.h.to_string(),
+                    r.s.to_string(),
+                    format!("{:.3}", r.exact_pct),
+                    format!("{:.3}", r.paper_closed_form_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!("conclusion (paper): the ratio is very small, so handling QK^T specially");
+    println!("does not hurt overall systolic-array utilization — holds for both columns.");
+    bench_harness::write_json("eq3_ratio", &rows);
+}

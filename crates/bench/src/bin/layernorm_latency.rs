@@ -1,0 +1,72 @@
+//! E6 — Fig. 7: the LayerNorm latency optimisation, measured as (a) the
+//! module's added latency per variant and (b) the end-to-end ResBlock
+//! cycle impact.
+
+use accel::config::LayerNormMode;
+use accel::layernorm_module::{added_latency, output_cycles};
+use accel::AccelConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    added_latency_cycles: u64,
+    output_cycles: u64,
+    mha_total_cycles: u64,
+    ffn_total_cycles: u64,
+}
+
+fn main() {
+    let d_model = 512;
+    let variants = [
+        (LayerNormMode::Straightforward, "straightforward"),
+        (LayerNormMode::InlineMean, "step one (inline E(G))"),
+        (
+            LayerNormMode::InlineMeanAndVariance,
+            "step one + two (Eq. 9)",
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (mode, name) in variants {
+        let mut cfg = AccelConfig::paper_default();
+        cfg.sched.layernorm = mode;
+        let mha = accel::scheduler::schedule_mha(&cfg);
+        let ffn = accel::scheduler::schedule_ffn(&cfg);
+        rows.push(Row {
+            variant: name.into(),
+            added_latency_cycles: added_latency(mode, d_model).get(),
+            output_cycles: output_cycles(d_model).get(),
+            mha_total_cycles: mha.cycles.get(),
+            ffn_total_cycles: ffn.cycles.get(),
+        });
+    }
+    println!("E6 — Fig. 7: LayerNorm latency optimisation (d_model = 512, h = 8)");
+    println!(
+        "paper: straightforward adds 'at least 128h' = 1024 cycles; optimised adds 'very few'\n"
+    );
+    let table = bench_harness::render_table(
+        &[
+            "variant",
+            "added latency",
+            "output phase",
+            "MHA total",
+            "FFN total",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    r.added_latency_cycles.to_string(),
+                    r.output_cycles.to_string(),
+                    r.mha_total_cycles.to_string(),
+                    r.ffn_total_cycles.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    let saved = rows[0].mha_total_cycles - rows[2].mha_total_cycles;
+    println!("end-to-end saving of the full optimisation on the MHA ResBlock: {saved} cycles");
+    bench_harness::write_json("layernorm_latency", &rows);
+}

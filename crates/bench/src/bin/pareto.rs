@@ -1,0 +1,76 @@
+//! E16 (extension) — design-space Pareto analysis: which array sizes
+//! are worth building, per target model and per workload, and where the
+//! paper's `s = 64` sits.
+
+use accel::sweep::{evaluate_point_fixed_workload, pareto_latency_vs_lut, sweep};
+use serde::Serialize;
+use transformer::config::ModelConfig;
+
+#[derive(Serialize)]
+struct Out {
+    grid: Vec<accel::sweep::DesignPoint>,
+    frontier_own_s: Vec<accel::sweep::DesignPoint>,
+    frontier_fixed_s64: Vec<accel::sweep::DesignPoint>,
+}
+
+fn print_points(title: &str, pts: &[accel::sweep::DesignPoint]) {
+    println!("{title}");
+    let table = bench_harness::render_table(
+        &["model", "s", "layer us", "LUT", "BRAM", "W", "fits"],
+        &pts.iter()
+            .map(|p| {
+                vec![
+                    p.model.clone(),
+                    p.s.to_string(),
+                    format!("{:.1}", p.layer_latency_us),
+                    format!("{:.0}", p.lut),
+                    format!("{:.0}", p.bram),
+                    format!("{:.1}", p.power_w),
+                    p.fits.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+}
+
+fn main() {
+    println!("E16 — design-space Pareto analysis on the VU13P\n");
+    let grid = sweep(&ModelConfig::table1(), &[16, 32, 64, 128, 256]);
+    print_points(
+        "full grid (each array at its own max sequence length):",
+        &grid,
+    );
+
+    let frontier = pareto_latency_vs_lut(&grid);
+    print_points(
+        "Pareto frontier (layer latency vs LUTs, feasible only):",
+        &frontier,
+    );
+
+    // The deployment question the paper answers: fixed 64-token
+    // sentences, candidate arrays 64..256 rows.
+    let base = ModelConfig::transformer_base();
+    let fixed: Vec<_> = [64usize, 96, 128, 192, 256]
+        .iter()
+        .map(|&array_s| evaluate_point_fixed_workload(&base, array_s, 64))
+        .collect();
+    print_points(
+        "fixed s = 64 workload on larger arrays (rows idle, LUTs wasted):",
+        &fixed,
+    );
+    let fixed_frontier = pareto_latency_vs_lut(&fixed);
+    println!(
+        "frontier of the fixed-workload sweep: s = {} only — the paper's sizing rule\n(array rows = max sequence length) is Pareto-optimal.",
+        fixed_frontier[0].s
+    );
+
+    bench_harness::write_json(
+        "pareto",
+        &Out {
+            grid,
+            frontier_own_s: frontier,
+            frontier_fixed_s64: fixed_frontier,
+        },
+    );
+}

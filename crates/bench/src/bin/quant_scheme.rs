@@ -1,0 +1,211 @@
+//! E13 (extension) — per-tensor vs per-channel weight quantization.
+//!
+//! The paper quantizes per tensor (one scale per weight matrix). A
+//! per-output-column scheme costs one extra requantizer constant per
+//! drain column and nothing else in this architecture; this harness
+//! quantifies how much datapath error it buys back on the ResBlocks.
+
+use quantized::calib::MhaScales;
+use quantized::{QuantFfnResBlock, QuantMhaResBlock, QuantScheme, SoftmaxMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use tensor::Mat;
+use transformer::config::ModelConfig;
+use transformer::ffn::FfnResBlock;
+use transformer::mha::MhaResBlock;
+
+#[derive(Serialize)]
+struct Row {
+    block: String,
+    scheme: String,
+    rms_error: f64,
+    max_error: f64,
+    sqnr_db: f64,
+}
+
+fn errors(got: &Mat<f32>, want: &Mat<f32>) -> (f64, f64, f64) {
+    let mse = tensor::ops::mse(got, want).unwrap() as f64;
+    let max = got
+        .as_slice()
+        .iter()
+        .zip(want.as_slice())
+        .map(|(a, b)| (a - b).abs() as f64)
+        .fold(0.0, f64::max);
+    (mse.sqrt(), max, quantized::sqnr::sqnr_db(want, got))
+}
+
+fn main() {
+    let cfg = ModelConfig {
+        name: "ablation".into(),
+        d_model: 128,
+        d_ff: 512,
+        h: 2,
+        n_layers: 1,
+        vocab: 16,
+        max_len: 16,
+    };
+    let s = 16;
+    let mut rng = StdRng::seed_from_u64(0xAB1A);
+    let mut mha = MhaResBlock::new(&cfg, &mut rng);
+    let mut ffn = FfnResBlock::new(&cfg, &mut rng);
+    let calib: Vec<Mat<f32>> = (0..8)
+        .map(|_| tensor::init::normal(&mut rng, s, cfg.d_model, 1.0))
+        .collect();
+    let test: Vec<Mat<f32>> = (0..8)
+        .map(|_| tensor::init::normal(&mut rng, s, cfg.d_model, 1.0))
+        .collect();
+
+    // Shared activation scales so the comparison isolates the weight
+    // granularity: calibrate once via the per-tensor constructor's path.
+    let baseline = QuantMhaResBlock::from_f32(&mha, &calib, &calib, SoftmaxMode::Hardware);
+    let scales = MhaScales {
+        x_q: baseline.projections().0.in_scale(),
+        x_kv: baseline.projections().1.in_scale(),
+        q: baseline.projections().0.out_scale(),
+        k: baseline.projections().1.out_scale(),
+        v: baseline.projections().2.out_scale(),
+        p: baseline.p_scale(),
+        out: baseline.out_scale(),
+    };
+
+    let mut rows = Vec::new();
+    for (scheme, name) in [
+        (QuantScheme::PerTensor, "per-tensor (paper)"),
+        (QuantScheme::PerChannel, "per-channel"),
+    ] {
+        let qmha = QuantMhaResBlock::from_f32_with_scales_scheme(
+            &mha,
+            scales,
+            SoftmaxMode::Hardware,
+            scheme,
+        );
+        let mut rms_acc = 0.0;
+        let mut max_acc: f64 = 0.0;
+        let mut sqnr_acc = 0.0;
+        for x in &test {
+            let want = mha.forward(x, x, x, None);
+            let got = qmha.forward_f32(x, x, None);
+            let (rms, max, db) = errors(&got, &want);
+            rms_acc += rms;
+            max_acc = max_acc.max(max);
+            sqnr_acc += db;
+        }
+        rows.push(Row {
+            block: "MHA ResBlock".into(),
+            scheme: name.into(),
+            rms_error: rms_acc / test.len() as f64,
+            max_error: max_acc,
+            sqnr_db: sqnr_acc / test.len() as f64,
+        });
+    }
+
+    let ffn_baseline = QuantFfnResBlock::from_f32(&ffn, &calib);
+    let fscales = quantized::calib::FfnScales {
+        x: ffn_baseline.sublayers().0.in_scale(),
+        hidden: ffn_baseline.sublayers().0.out_scale(),
+        out: ffn_baseline.out_scale(),
+    };
+    for (scheme, name) in [
+        (QuantScheme::PerTensor, "per-tensor (paper)"),
+        (QuantScheme::PerChannel, "per-channel"),
+    ] {
+        let qffn = QuantFfnResBlock::from_f32_with_scales_scheme(&ffn, fscales, scheme);
+        let mut rms_acc = 0.0;
+        let mut max_acc: f64 = 0.0;
+        let mut sqnr_acc = 0.0;
+        for x in &test {
+            let want = ffn.forward(x);
+            let got = qffn.forward_f32(x);
+            let (rms, max, db) = errors(&got, &want);
+            rms_acc += rms;
+            max_acc = max_acc.max(max);
+            sqnr_acc += db;
+        }
+        rows.push(Row {
+            block: "FFN ResBlock".into(),
+            scheme: name.into(),
+            rms_error: rms_acc / test.len() as f64,
+            max_error: max_acc,
+            sqnr_db: sqnr_acc / test.len() as f64,
+        });
+    }
+
+    println!(
+        "E13 — weight-quantization granularity ablation (d_model = {}, s = {s})",
+        cfg.d_model
+    );
+    println!("(LayerNorm-domain outputs are O(1); errors are absolute)\n");
+    let table = bench_harness::render_table(
+        &["block", "scheme", "RMS error", "max error", "SQNR dB"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.block.clone(),
+                    r.scheme.clone(),
+                    format!("{:.4}", r.rms_error),
+                    format!("{:.4}", r.max_error),
+                    format!("{:.1}", r.sqnr_db),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!("hardware cost of per-channel: one requantizer constant per drain column; no datapath change.");
+    println!(
+        "note: Xavier-random weights have homogeneous column norms, so the two schemes tie here;"
+    );
+    println!(
+        "the stress case below shows the gap once column magnitudes skew (as in trained models)."
+    );
+
+    // Stress case: one dominant output column (the regime trained
+    // models drift toward), where per-tensor quantization crushes the
+    // resolution of every other column.
+    let mut rng2 = StdRng::seed_from_u64(0xD00D);
+    let mut w = tensor::init::normal(&mut rng2, 64, 16, 0.05);
+    for r in 0..64 {
+        w[(r, 0)] *= 80.0;
+    }
+    let lin = transformer::linear::Linear::from_parts("skew", w, vec![0.0; 16]);
+    let x = tensor::init::normal(&mut rng2, 8, 64, 1.0);
+    let want = quantized::calib::linear_f32(&lin, &x);
+    let in_s = fixedmath::quant::QuantParams::from_max_abs(tensor::ops::max_abs(&x));
+    let out_s = fixedmath::quant::QuantParams::from_max_abs(tensor::ops::max_abs(&want));
+    let mut stress = Vec::new();
+    for (scheme, name) in [
+        (QuantScheme::PerTensor, "per-tensor (paper)"),
+        (QuantScheme::PerChannel, "per-channel"),
+    ] {
+        let q = quantized::QLinear::from_f32_scheme(&lin, in_s, out_s, scheme);
+        let got = q.dequantize_output(&q.forward(&q.quantize_input(&x)));
+        let (rms, max, db) = errors(&got, &want);
+        stress.push(Row {
+            block: "skewed linear (stress)".into(),
+            scheme: name.into(),
+            rms_error: rms,
+            max_error: max,
+            sqnr_db: db,
+        });
+    }
+    println!();
+    let table = bench_harness::render_table(
+        &["block", "scheme", "RMS error", "max error", "SQNR dB"],
+        &stress
+            .iter()
+            .map(|r| {
+                vec![
+                    r.block.clone(),
+                    r.scheme.clone(),
+                    format!("{:.4}", r.rms_error),
+                    format!("{:.4}", r.max_error),
+                    format!("{:.1}", r.sqnr_db),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    rows.extend(stress);
+    bench_harness::write_json("quant_scheme", &rows);
+}

@@ -1,0 +1,53 @@
+//! Runs every fast experiment binary in sequence (everything except the
+//! training-heavy E9 quantization study) and leaves the JSON artifacts
+//! under `results/`. Convenience driver for regenerating EXPERIMENTS.md
+//! inputs:
+//!
+//! ```text
+//! cargo run -p bench-harness --release --bin report
+//! cargo run -p bench-harness --release --bin quantization
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "eq3_ratio",
+        "partition_check",
+        "cycle_counts",
+        "softmax_module",
+        "layernorm_latency",
+        "table2",
+        "table3",
+        "scaling",
+        "full_inference",
+        "quant_scheme",
+        "gpu_crossover",
+        "emit_rtl",
+        "pareto",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe dir").to_path_buf();
+    let release = dir.ends_with("release");
+    for bin in bins {
+        println!("\n=== {bin} ===\n");
+        let direct = dir.join(bin);
+        let status = if direct.exists() {
+            Command::new(&direct).status()
+        } else {
+            // sibling binary not built yet: go through cargo with the
+            // same profile
+            let mut cmd = Command::new("cargo");
+            cmd.args(["run", "-q", "-p", "bench-harness"]);
+            if release {
+                cmd.arg("--release");
+            }
+            cmd.args(["--bin", bin]).status()
+        }
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nall experiments complete; JSON artifacts in results/");
+    println!("(run the training-based E9 separately: cargo run -p bench-harness --release --bin quantization)");
+}

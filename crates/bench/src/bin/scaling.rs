@@ -1,0 +1,86 @@
+//! E11 (extension) — scaling study: cycle counts, resources and power
+//! when the accelerator is re-provisioned for every Table-I model and
+//! for longer sequence lengths. The paper's future-work section points
+//! at "multiple Transformer networks"; the calibrated models let us
+//! extrapolate.
+
+use accel::area::{estimate_power, AreaModel};
+use accel::AccelConfig;
+use serde::Serialize;
+use transformer::config::ModelConfig;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    s: usize,
+    mha_cycles: u64,
+    ffn_cycles: u64,
+    mha_us: f64,
+    ffn_us: f64,
+    lut: f64,
+    bram: f64,
+    power_w: f64,
+    fits_vu13p: bool,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for model in ModelConfig::table1() {
+        for &s in &[64usize, 128] {
+            let mut cfg = AccelConfig::paper_default();
+            cfg.model = model.clone();
+            cfg.s = s;
+            let mha = accel::scheduler::schedule_mha(&cfg);
+            let ffn = accel::scheduler::schedule_ffn(&cfg);
+            let area = AreaModel::new(cfg.clone());
+            let top = area.top();
+            let p = estimate_power(&area, &cfg);
+            rows.push(Row {
+                model: model.name.clone(),
+                s,
+                mha_cycles: mha.cycles.get(),
+                ffn_cycles: ffn.cycles.get(),
+                mha_us: mha.latency_us,
+                ffn_us: ffn.latency_us,
+                lut: top.lut,
+                bram: top.bram,
+                power_w: p.total_w(),
+                fits_vu13p: area.fits_vu13p(),
+            });
+        }
+    }
+    println!("E11 — scaling the accelerator across Table-I models and sequence lengths\n");
+    let table = bench_harness::render_table(
+        &[
+            "model",
+            "s",
+            "MHA cyc",
+            "FFN cyc",
+            "MHA us",
+            "FFN us",
+            "LUT",
+            "BRAM",
+            "power W",
+            "fits VU13P",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.s.to_string(),
+                    r.mha_cycles.to_string(),
+                    r.ffn_cycles.to_string(),
+                    format!("{:.1}", r.mha_us),
+                    format!("{:.1}", r.ffn_us),
+                    format!("{:.0}", r.lut),
+                    format!("{:.0}", r.bram),
+                    format!("{:.1}", r.power_w),
+                    r.fits_vu13p.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    bench_harness::write_json("scaling", &rows);
+}

@@ -1,0 +1,129 @@
+//! E5 — Fig. 6: the scaled masked-softmax module. Reports (a) the
+//! accuracy of the shift-add EXP/LN pipeline against exact FP32
+//! softmax, (b) the module latency and the Section-IV hiding condition
+//! against the `V·W_Vi` projection.
+
+use accel::softmax_module::{hides_behind_vw, latency_after_last_input};
+use fixedmath::explog::{exp_unit_max_abs_error, exp_unit_pwl2_max_abs_error};
+use quantized::softmax::{scaled_masked_softmax, SoftmaxMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use tensor::Mat;
+
+#[derive(Serialize)]
+struct AccuracyRow {
+    s: usize,
+    masked: bool,
+    max_code_err: i32,
+    mean_abs_code_err: f64,
+    row_sum_min: i32,
+    row_sum_max: i32,
+}
+
+fn accuracy(s: usize, masked: bool, seed: u64) -> AccuracyRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = Mat::from_fn(s, s, |_, _| rng.random_range(-80_000..80_000i32));
+    let mask = masked.then(|| tensor::ops::causal_mask(s));
+    let hw = scaled_masked_softmax(&d, 5e-5, 64, mask.as_ref(), SoftmaxMode::Hardware);
+    let sw = scaled_masked_softmax(&d, 5e-5, 64, mask.as_ref(), SoftmaxMode::Fp32);
+    let mut max_err = 0i32;
+    let mut sum_err = 0f64;
+    for (a, b) in hw.as_slice().iter().zip(sw.as_slice()) {
+        let e = (*a as i32 - *b as i32).abs();
+        max_err = max_err.max(e);
+        sum_err += e as f64;
+    }
+    let mut row_sum_min = i32::MAX;
+    let mut row_sum_max = i32::MIN;
+    for r in 0..s {
+        let sum: i32 = hw.row(r).iter().map(|&x| x as i32).sum();
+        row_sum_min = row_sum_min.min(sum);
+        row_sum_max = row_sum_max.max(sum);
+    }
+    AccuracyRow {
+        s,
+        masked,
+        max_code_err: max_err,
+        mean_abs_code_err: sum_err / hw.len() as f64,
+        row_sum_min,
+        row_sum_max,
+    }
+}
+
+#[derive(Serialize)]
+struct LatencyRow {
+    s: usize,
+    latency_cycles: u64,
+    vw_stream_plus_drain: u64,
+    hidden: bool,
+}
+
+fn main() {
+    println!("E5 — Fig. 6 softmax module\n");
+    println!(
+        "EXP unit max abs error over [-16, 0]: {:.4} (paper's 1-segment 2^f)",
+        exp_unit_max_abs_error()
+    );
+    println!(
+        "                                      {:.4} (2-segment PWL ablation: one comparator + two adders)\n",
+        exp_unit_pwl2_max_abs_error()
+    );
+
+    let acc: Vec<AccuracyRow> = [16usize, 64, 128]
+        .iter()
+        .flat_map(|&s| [accuracy(s, false, 7), accuracy(s, true, 8)])
+        .collect();
+    println!("accuracy vs exact FP32 softmax (INT8 probability codes, 0..=127):");
+    let table = bench_harness::render_table(
+        &[
+            "s",
+            "masked",
+            "max |Δcode|",
+            "mean |Δcode|",
+            "row-sum min",
+            "row-sum max",
+        ],
+        &acc.iter()
+            .map(|r| {
+                vec![
+                    r.s.to_string(),
+                    r.masked.to_string(),
+                    r.max_code_err.to_string(),
+                    format!("{:.2}", r.mean_abs_code_err),
+                    r.row_sum_min.to_string(),
+                    r.row_sum_max.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+
+    let d_model = 512;
+    let lat: Vec<LatencyRow> = [16usize, 32, 64, 128, 256, 512]
+        .iter()
+        .map(|&s| LatencyRow {
+            s,
+            latency_cycles: latency_after_last_input(s).get(),
+            vw_stream_plus_drain: (d_model + 64) as u64,
+            hidden: hides_behind_vw(s, d_model),
+        })
+        .collect();
+    println!("module latency vs the V*W_V hiding budget (d_model = 512):");
+    let table = bench_harness::render_table(
+        &["s", "softmax cycles", "V*W_V budget", "hidden?"],
+        &lat.iter()
+            .map(|r| {
+                vec![
+                    r.s.to_string(),
+                    r.latency_cycles.to_string(),
+                    r.vw_stream_plus_drain.to_string(),
+                    r.hidden.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    bench_harness::write_json("softmax_module_accuracy", &acc);
+    bench_harness::write_json("softmax_module_latency", &lat);
+}

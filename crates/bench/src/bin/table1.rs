@@ -1,0 +1,72 @@
+//! E1 — Table I: variations on the Transformer and BERT architectures,
+//! extended with the Fig. 4 partition counts that the `d_model = 64h`
+//! pattern implies.
+
+use serde::Serialize;
+use transformer::config::ModelConfig;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    d_model: usize,
+    d_ff: usize,
+    h: usize,
+    d_k: usize,
+    follows_64h: bool,
+    wg_panels: usize,
+    w1_panels: usize,
+    w2_panels: usize,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for cfg in ModelConfig::table1() {
+        let (wg, w1, w2) = accel::partition::expected_panel_counts(cfg.h);
+        rows.push(Row {
+            name: cfg.name.clone(),
+            d_model: cfg.d_model,
+            d_ff: cfg.d_ff,
+            h: cfg.h,
+            d_k: cfg.d_k(),
+            follows_64h: cfg.follows_64h_pattern(),
+            wg_panels: wg,
+            w1_panels: w1,
+            w2_panels: w2,
+        });
+    }
+    println!("Table I — variations on the Transformer and BERT architectures");
+    println!(
+        "(paper columns: d_model, d_ff, h; extension: d_k, 64h pattern, Fig.4 panel counts)\n"
+    );
+    let table = bench_harness::render_table(
+        &[
+            "model",
+            "d_model",
+            "d_ff",
+            "h",
+            "d_k",
+            "64h?",
+            "W_G panels",
+            "W_1 panels",
+            "W_2 panels",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.d_model.to_string(),
+                    r.d_ff.to_string(),
+                    r.h.to_string(),
+                    r.d_k.to_string(),
+                    r.follows_64h.to_string(),
+                    r.wg_panels.to_string(),
+                    r.w1_panels.to_string(),
+                    r.w2_panels.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    bench_harness::write_json("table1", &rows);
+}

@@ -1,0 +1,82 @@
+//! E7/E10 — Table II: utilization report for the accelerator and its
+//! primary modules on the VU13P, from the calibrated area model, plus
+//! the 200 MHz / 16.7 W operating point.
+
+use accel::area::{estimate_power, AreaModel};
+use accel::AccelConfig;
+use hwsim::resources::Device;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    lut: f64,
+    ff: f64,
+    bram: f64,
+    dsp: f64,
+}
+
+fn main() {
+    let cfg = AccelConfig::paper_default();
+    let model = AreaModel::new(cfg.clone());
+    let rows: Vec<Row> = model
+        .table2()
+        .into_iter()
+        .map(|m| Row {
+            name: m.name,
+            lut: m.resources.lut,
+            ff: m.resources.ff,
+            bram: m.resources.bram,
+            dsp: m.resources.dsp,
+        })
+        .collect();
+
+    println!(
+        "Table II — utilization report (model: {}, s = {})",
+        cfg.model.name, cfg.s
+    );
+    println!("paper reference row 'Top': 471563 LUT / 217859 FF / 498 BRAM / 129 DSP\n");
+    let table = bench_harness::render_table(
+        &["module", "LUT", "CLB Registers", "BRAM", "DSP"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.0}", r.lut),
+                    format!("{:.0}", r.ff),
+                    format!("{:.1}", r.bram),
+                    format!("{:.0}", r.dsp),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+
+    let device = Device::vu13p();
+    let (l, f, b, d) = device.utilization_pct(&model.top());
+    println!(
+        "Top utilization of {}: {l:.1}% LUT, {f:.1}% FF, {b:.1}% BRAM, {d:.1}% DSP",
+        device.name
+    );
+
+    // Extension: the Fig. 5 activation buffers live in URAM (a separate
+    // Vivado column, absent from the paper's table).
+    let dm = accel::datamem::plan(&cfg);
+    println!(
+        "\nData memory (Fig. 5 activation buffers, URAM): {} blocks of {} available ({:.1} Mbit total)",
+        dm.total_uram,
+        accel::datamem::VU13P_URAM,
+        dm.total_bits as f64 / 1e6
+    );
+
+    let p = estimate_power(&model, &cfg);
+    println!(
+        "\nOperating point: {:.0} MHz, power = {:.1} W total ({:.1} W dynamic + {:.1} W static); paper: 16.7 W (13.3 + 3.4)",
+        cfg.clock.as_mhz(),
+        p.total_w(),
+        p.dynamic_w,
+        p.static_w
+    );
+    bench_harness::write_json("table2", &rows);
+}

@@ -1,0 +1,102 @@
+//! E8 — Table III: FPGA vs GPU latency and speed-up for both ResBlocks
+//! (batch 1, s = 64, 200 MHz), using the cycle-accurate schedule for the
+//! FPGA side and the calibrated V100/PyTorch model for the GPU side.
+
+use accel::{AccelConfig, Accelerator};
+use baseline::gpu::{ffn_trace, mha_trace, GpuModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    layer: String,
+    fpga_cycles: u64,
+    fpga_us: f64,
+    gpu_us: f64,
+    speedup: f64,
+    paper_fpga_us: f64,
+    paper_gpu_us: f64,
+    paper_speedup: f64,
+}
+
+fn main() {
+    let cfg = AccelConfig::paper_default();
+    let accel = Accelerator::new(cfg.clone());
+    let gpu = GpuModel::v100_pytorch();
+
+    let mha = accel.schedule_mha();
+    let ffn = accel.schedule_ffn();
+    let gpu_mha = gpu.latency_us(&mha_trace(&cfg.model, cfg.s));
+    let gpu_ffn = gpu.latency_us(&ffn_trace(&cfg.model, cfg.s));
+
+    let rows = vec![
+        Row {
+            layer: "MHA ResBlock".into(),
+            fpga_cycles: mha.cycles.get(),
+            fpga_us: mha.latency_us,
+            gpu_us: gpu_mha,
+            speedup: gpu_mha / mha.latency_us,
+            paper_fpga_us: 106.7,
+            paper_gpu_us: 1557.8,
+            paper_speedup: 14.6,
+        },
+        Row {
+            layer: "FFN ResBlock".into(),
+            fpga_cycles: ffn.cycles.get(),
+            fpga_us: ffn.latency_us,
+            gpu_us: gpu_ffn,
+            speedup: gpu_ffn / ffn.latency_us,
+            paper_fpga_us: 210.5,
+            paper_gpu_us: 713.4,
+            paper_speedup: 3.4,
+        },
+    ];
+
+    println!("Table III — FPGA vs GPU latency (batch 1, s = 64, 200 MHz)\n");
+    let table = bench_harness::render_table(
+        &[
+            "layer",
+            "FPGA cycles",
+            "FPGA us",
+            "GPU us",
+            "speed-up",
+            "paper FPGA",
+            "paper GPU",
+            "paper x",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.layer.clone(),
+                    r.fpga_cycles.to_string(),
+                    format!("{:.1}", r.fpga_us),
+                    format!("{:.1}", r.gpu_us),
+                    format!("{:.1}x", r.speedup),
+                    format!("{:.1}us", r.paper_fpga_us),
+                    format!("{:.1}us", r.paper_gpu_us),
+                    format!("{:.1}x", r.paper_speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!(
+        "shape check: MHA speed-up ({:.1}x) >> FFN speed-up ({:.1}x), as in the paper (14.6x vs 3.4x)",
+        rows[0].speedup, rows[1].speedup
+    );
+    // Energy extension: FPGA 16.7 W vs a 250 W-class V100.
+    use accel::area::{energy_uj, V100_TDP_W};
+    let p = accel::area::estimate_power(&accel::area::AreaModel::new(cfg.clone()), &cfg);
+    for r in &rows {
+        let e_fpga = energy_uj(p.total_w(), r.fpga_us);
+        let e_gpu = energy_uj(V100_TDP_W, r.gpu_us);
+        println!(
+            "energy/{}: FPGA {:.2} mJ vs GPU {:.1} mJ -> {:.0}x more efficient",
+            r.layer,
+            e_fpga / 1000.0,
+            e_gpu / 1000.0,
+            e_gpu / e_fpga
+        );
+    }
+    bench_harness::write_json("table3", &rows);
+}

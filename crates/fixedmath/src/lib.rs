@@ -1,0 +1,46 @@
+//! Fixed-point and INT8 arithmetic substrate for the accelerator datapath.
+//!
+//! Everything the SOCC'20 accelerator computes outside the systolic array is
+//! integer/fixed-point arithmetic built from shifts, adds and small lookup
+//! tables. This crate provides those primitives, bit-exactly, so that the
+//! quantized model ([`quantized`]) and the cycle-level simulator ([`accel`])
+//! share one authoritative implementation:
+//!
+//! * [`quant`] — symmetric INT8 quantization parameters and the
+//!   integer-only requantizer used after every GEMM;
+//! * [`fx`] — plain `Qm.n` fixed-point conversion and multiply helpers;
+//! * [`explog`] — the multiplier-free EXP and LN units of the softmax
+//!   module (Fig. 6 of the paper, architecture from Wang et al.,
+//!   APCCAS 2018);
+//! * [`rsqrt`] — the `x^(-1/2)` lookup table of the LayerNorm module
+//!   (Fig. 8);
+//! * [`sat`] — saturating casts and rounding shifts.
+//!
+//! [`quantized`]: https://example.invalid/quantized
+//! [`accel`]: https://example.invalid/accel
+//!
+//! # INT8 convention
+//!
+//! All quantization is *symmetric*: values map to `[-127, 127]` and `-128`
+//! is never produced. This halves the PE multiplier corner cases in
+//! hardware and keeps `x * y` within 14 bits.
+//!
+//! # Example
+//!
+//! ```
+//! use fixedmath::quant::QuantParams;
+//!
+//! let q = QuantParams::from_max_abs(6.35);
+//! let x = q.quantize(1.0);
+//! assert_eq!(x, 20); // 1.0 / 0.05 = 20
+//! assert!((q.dequantize(x) - 1.0).abs() < q.scale() / 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explog;
+pub mod fx;
+pub mod quant;
+pub mod rsqrt;
+pub mod sat;

@@ -1,0 +1,156 @@
+//! The `x^(-1/2)` lookup table of the LayerNorm module.
+//!
+//! The paper implements the reciprocal square root with a lookup table
+//! ("The `x^(-0.5)` unit is implemented with a lookup table in our
+//! experiment"). We model the standard construction: normalise the input
+//! to `m · 4^e` with mantissa `m ∈ [1, 4)`, index a 192-entry table with
+//! the top mantissa bits, and shift the table value by `e`:
+//!
+//! `rsqrt(m · 4^e) = rsqrt(m) · 2^(-e)`.
+//!
+//! A 192 x 16-bit ROM fits in a fraction of one BRAM36; the LayerNorm
+//! module's 27.5 BRAMs in Table II are dominated by the γ/β parameter
+//! store, which the area model accounts separately.
+
+use std::sync::OnceLock;
+
+use crate::fx::FRAC;
+
+/// Number of mantissa entries in the ROM (mantissa range `[1, 4)` with
+/// 6 index bits per octave).
+pub const LUT_ENTRIES: usize = 192;
+
+/// Fraction bits of the ROM output (`rsqrt(m) ∈ (0.5, 1]` stored in
+/// Q1.15).
+pub const LUT_FRAC: u32 = 15;
+
+/// Fraction bits of the [`rsqrt_fx`] result. Wider than the pipeline's
+/// `Q.12` because `1/sqrt(var)` can be very small when the variance is
+/// large; the hardware keeps the shifter output at full width before the
+/// final normalisation multiply.
+pub const OUT_FRAC: u32 = 24;
+
+fn lut() -> &'static [u16; LUT_ENTRIES] {
+    static LUT: OnceLock<[u16; LUT_ENTRIES]> = OnceLock::new();
+    LUT.get_or_init(|| {
+        let mut t = [0u16; LUT_ENTRIES];
+        for (i, slot) in t.iter_mut().enumerate() {
+            // Entry i covers mantissa [1 + i/64, 1 + (i+1)/64); evaluate at
+            // the midpoint to halve the worst-case error.
+            let m = 1.0 + (i as f64 + 0.5) / 64.0;
+            let v = (1.0 / m.sqrt() * (1u32 << LUT_FRAC) as f64).round() as u32;
+            *slot = v.min(u16::MAX as u32) as u16;
+        }
+        t
+    })
+}
+
+/// Reciprocal square root of a non-negative `Q.FRAC` fixed-point value,
+/// returned in `Q.OUT_FRAC` (Q.24) fixed point.
+///
+/// Zero input returns `i64::from(i32::MAX)` (the caller adds the
+/// LayerNorm ε before the lookup, so a true zero never reaches the
+/// hardware ROM).
+///
+/// # Example
+///
+/// ```
+/// use fixedmath::{rsqrt::{rsqrt_fx, OUT_FRAC}, fx};
+/// let x = fx::to_fx(4.0, fx::FRAC) as i64;
+/// let r = rsqrt_fx(x) as f64 / (1u64 << OUT_FRAC) as f64;
+/// assert!((r - 0.5).abs() < 0.01);
+/// ```
+pub fn rsqrt_fx(x: i64) -> i64 {
+    assert!(x >= 0, "rsqrt input must be non-negative, got {x}");
+    if x == 0 {
+        return i32::MAX as i64;
+    }
+    // Normalise: x = m * 4^e with m in [1, 4), in units of 2^FRAC.
+    let p = 63 - x.leading_zeros() as i32; // MSB position
+    let mut e2 = p - FRAC as i32; // power-of-two exponent
+    if e2 % 2 != 0 {
+        e2 -= 1; // force even so we can halve it
+    }
+    // mantissa in Q.FRAC, in [ONE, 4*ONE)
+    let m = if e2 >= 0 { x >> e2 } else { x << (-e2) };
+    let idx = ((m >> (FRAC - 6)) - 64) as usize; // 6 fractional index bits
+    let idx = idx.min(LUT_ENTRIES - 1);
+    let v = lut()[idx] as i64; // Q1.15 value of rsqrt(m)
+                               // result = v * 2^(-e2/2), convert Q1.15 -> Q.OUT_FRAC
+    let half_e = e2 / 2;
+    let shift = LUT_FRAC as i32 - OUT_FRAC as i32 + half_e; // total right shift
+    if shift >= 0 {
+        v >> shift
+    } else {
+        v << (-shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fx::{to_fx, ONE};
+
+    fn check(x: f64, tol_rel: f64) {
+        let fx_in = (x * ONE as f64).round() as i64;
+        // Compare against the rsqrt of the *quantized* input: input
+        // quantization is the caller's concern, the ROM's accuracy is ours.
+        let quantized_x = fx_in as f64 / ONE as f64;
+        let got = rsqrt_fx(fx_in) as f64 / (1u64 << OUT_FRAC) as f64;
+        let want = 1.0 / quantized_x.sqrt();
+        let rel = (got - want).abs() / want;
+        assert!(rel < tol_rel, "x={x}: got {got}, want {want}, rel {rel}");
+    }
+
+    #[test]
+    fn exact_powers_of_four() {
+        for &x in &[0.25f64, 1.0, 4.0, 16.0, 64.0, 1024.0] {
+            check(x, 0.01);
+        }
+    }
+
+    #[test]
+    fn dense_sweep_relative_error_under_one_percent() {
+        let mut x = 0.01f64;
+        while x < 20_000.0 {
+            check(x, 0.012);
+            x *= 1.0837;
+        }
+    }
+
+    #[test]
+    fn zero_returns_sentinel() {
+        assert_eq!(rsqrt_fx(0), i32::MAX as i64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        rsqrt_fx(-1);
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        let mut prev = i64::MAX;
+        let mut x = 1i64;
+        while x < (1i64 << 40) {
+            let r = rsqrt_fx(x);
+            assert!(r <= prev, "rsqrt not monotone at {x}");
+            prev = r;
+            x = x * 21 / 16 + 1;
+        }
+    }
+
+    #[test]
+    fn layernorm_variance_range_is_accurate() {
+        // Typical INT8 LayerNorm variances land in [1, 127^2] in the
+        // quantized domain.
+        check(to_fx(1.0, FRAC) as f64 / ONE as f64, 0.01);
+        check(16129.0, 0.01);
+    }
+
+    #[test]
+    fn lut_size_matches_constant() {
+        assert_eq!(lut().len(), LUT_ENTRIES);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the fixed-point substrate: the requantizer,
+//! saturating arithmetic and the nonlinear units must satisfy their
+//! contracts for arbitrary inputs.
+
+use fixedmath::explog::{exp_unit, ln_unit};
+use fixedmath::fx::{FRAC, ONE};
+use fixedmath::quant::{QuantParams, Requantizer};
+use fixedmath::rsqrt::{rsqrt_fx, OUT_FRAC};
+use fixedmath::sat::{rounding_shr, sat_i8};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn requantizer_within_one_ulp_of_real_product(
+        ratio_mant in 0.1f64..10.0,
+        ratio_exp in -20i32..6,
+        acc in -2_000_000i32..2_000_000,
+    ) {
+        let ratio = ratio_mant * (2f64).powi(ratio_exp);
+        let r = Requantizer::from_ratio(ratio);
+        let want = (acc as f64 * ratio).round() as i64;
+        let got = r.apply(acc);
+        prop_assert!((got - want).abs() <= 1, "ratio {ratio}, acc {acc}: {got} vs {want}");
+    }
+
+    #[test]
+    fn requantizer_is_odd(ratio in 0.001f64..100.0, acc in 0i32..1_000_000) {
+        let r = Requantizer::from_ratio(ratio);
+        prop_assert_eq!(r.apply(acc), -r.apply(-acc));
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded(max_abs in 0.01f32..100.0, frac in -1.0f32..1.0) {
+        let q = QuantParams::from_max_abs(max_abs);
+        let x = frac * max_abs;
+        let err = (q.dequantize(q.quantize(x)) - x).abs();
+        prop_assert!(err <= q.scale() / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn quantize_saturates_out_of_range(max_abs in 0.01f32..100.0, mult in 1.1f32..10.0) {
+        let q = QuantParams::from_max_abs(max_abs);
+        prop_assert_eq!(q.quantize(max_abs * mult), 127);
+        prop_assert_eq!(q.quantize(-max_abs * mult), -127);
+    }
+
+    #[test]
+    fn rounding_shr_error_under_half(x in -1_000_000i64..1_000_000, s in 1u32..20) {
+        let got = rounding_shr(x, s) as f64;
+        let want = x as f64 / (1i64 << s) as f64;
+        prop_assert!((got - want).abs() <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn sat_i8_is_clamp(x in i32::MIN..i32::MAX) {
+        let y = sat_i8(x) as i32;
+        prop_assert!((-127..=127).contains(&y));
+        if (-127..=127).contains(&x) {
+            prop_assert_eq!(y, x);
+        }
+    }
+
+    #[test]
+    fn exp_unit_bounded_and_monotone_pairs(a in -80_000i32..0, b in -80_000i32..0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ya = exp_unit(lo);
+        let yb = exp_unit(hi);
+        prop_assert!(ya <= yb, "exp not monotone: exp({lo})={ya} > exp({hi})={yb}");
+        prop_assert!((0..=ONE).contains(&yb));
+    }
+
+    #[test]
+    fn ln_unit_monotone_pairs(a in 1i32..10_000_000, b in 1i32..10_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(ln_unit(lo) <= ln_unit(hi));
+    }
+
+    #[test]
+    fn ln_unit_tracks_f64_absolutely(x in 1i32..5_000_000) {
+        let approx = ln_unit(x) as f64 / ONE as f64;
+        let exact = (x as f64 / ONE as f64).ln();
+        // absolute bound: linear-mantissa error (0.086·ln2) plus the
+        // ln2 shift-add constant error (0.32% of |ln x|)
+        prop_assert!(
+            (approx - exact).abs() < 0.062 + 0.005 * exact.abs(),
+            "x={x}: {approx} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn rsqrt_relative_error_small(x in 1i64..(1i64 << 40)) {
+        let got = rsqrt_fx(x) as f64 / (1u64 << OUT_FRAC) as f64;
+        let want = 1.0 / (x as f64 / ONE as f64).sqrt();
+        let rel = (got - want).abs() / want;
+        // 6 mantissa index bits -> <= ~1.2% incl. output quantization
+        prop_assert!(rel < 0.015, "x={x}: rel {rel}");
+    }
+
+    #[test]
+    fn softmax_identity_is_preserved_by_units(shift in 0i32..(12 * ONE)) {
+        // exp(ln(x) - ln(x)) must be exactly ONE for any intermediate —
+        // i.e. the x - max - ln(sum) path at the maximum element when the
+        // row is a singleton.
+        let _ = shift;
+        prop_assert_eq!(exp_unit(0), ONE);
+    }
+
+    #[test]
+    fn fx_roundtrip(x in -100_000.0f32..100_000.0) {
+        let fx = fixedmath::fx::to_fx(x, FRAC);
+        let back = fixedmath::fx::to_f32(fx, FRAC);
+        prop_assert!((back - x).abs() <= 0.5 / (1 << FRAC) as f32 * 2.0 + x.abs() * 1e-6);
+    }
+}

@@ -1,0 +1,49 @@
+//! Cycle-level hardware simulation framework for the accelerator model.
+//!
+//! The SOCC'20 accelerator is a small set of pipelined modules (systolic
+//! array, softmax, LayerNorm, memories) connected by a statically
+//! scheduled dataflow (Algorithm 1). That maps naturally onto a
+//! **dependency-driven unit timeline** rather than a full event-driven
+//! RTL simulation:
+//!
+//! * every hardware module is a [`timeline::UnitId`] — a non-preemptive,
+//!   in-order resource;
+//! * every operation (a GEMM pass, a softmax column sweep, a LayerNorm
+//!   output sweep) is an event with a cycle duration and explicit data
+//!   dependencies;
+//! * [`timeline::Timeline::schedule`] resolves `start = max(unit free,
+//!   dependency ends)` and records the event, yielding the makespan,
+//!   per-unit utilization, and a Gantt trace.
+//!
+//! The crate also carries the FPGA cost vocabulary: [`resources::Resources`]
+//! (LUT/FF/BRAM/DSP vectors), [`resources::Device`] capacities (Xilinx
+//! VU13P), and [`memory`] BRAM estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use hwsim::timeline::Timeline;
+//! use hwsim::cycles::Cycle;
+//!
+//! let mut tl = Timeline::new();
+//! let sa = tl.add_unit("systolic_array");
+//! let sm = tl.add_unit("softmax");
+//! let qk = tl.schedule(sa, "QK^T", Cycle(64), &[]);
+//! let smx = tl.schedule(sm, "softmax", Cycle(128), &[qk]);
+//! let vw = tl.schedule(sa, "V*Wv", Cycle(512), &[]);
+//! let pv = tl.schedule(sa, "P*V", Cycle(64), &[smx, vw]);
+//! assert_eq!(tl.end_of(pv), Cycle(640)); // softmax hidden behind V*Wv
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycles;
+pub mod memory;
+pub mod resources;
+pub mod timeline;
+pub mod traffic;
+
+pub use cycles::{Cycle, Frequency};
+pub use resources::{Device, Resources};
+pub use timeline::Timeline;

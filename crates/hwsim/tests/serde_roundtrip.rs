@@ -1,0 +1,46 @@
+//! Trace-export tests: timelines, resources and cycle types serialize
+//! to JSON (the experiment harness archives them under `results/`) and
+//! deserialize back without loss.
+
+use hwsim::cycles::{Cycle, Frequency};
+use hwsim::resources::{Device, Resources};
+use hwsim::timeline::Timeline;
+
+#[test]
+fn timeline_json_round_trip() {
+    let mut tl = Timeline::new();
+    let a = tl.add_unit("systolic_array");
+    let b = tl.add_unit("softmax");
+    let x = tl.schedule(a, "QK^T", Cycle(64), &[]);
+    let _ = tl.schedule(b, "softmax", Cycle(132), &[x]);
+
+    let json = serde_json::to_string(&tl).expect("serialize timeline");
+    assert!(json.contains("QK^T"));
+    let back: Timeline = serde_json::from_str(&json).expect("deserialize timeline");
+    assert_eq!(back.makespan(), tl.makespan());
+    assert_eq!(back.events().len(), tl.events().len());
+    assert_eq!(back.events()[1].start, Cycle(64));
+}
+
+#[test]
+fn resources_and_device_round_trip() {
+    let d = Device::vu13p();
+    let json = serde_json::to_string(&d).expect("serialize device");
+    let back: Device = serde_json::from_str(&json).expect("deserialize device");
+    assert_eq!(back, d);
+
+    let r = Resources::new(1.5, 2.0, 27.5, 129.0);
+    let back: Resources =
+        serde_json::from_str(&serde_json::to_string(&r).unwrap()).expect("resources");
+    assert_eq!(back, r);
+}
+
+#[test]
+fn cycle_and_frequency_round_trip() {
+    let c = Cycle(21_344);
+    let back: Cycle = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+    assert_eq!(back, c);
+    let f = Frequency::paper_clock();
+    let back: Frequency = serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+    assert_eq!(back.as_mhz(), 200.0);
+}

@@ -1,0 +1,222 @@
+//! KV-cached incremental decoding for the quantized model.
+//!
+//! Mirrors `transformer::incremental` in the INT8 domain: the projected
+//! self-attention K/V *codes* of every decoder layer are cached, and the
+//! fixed cross-attention K/V codes are computed once per source
+//! sentence. Every integer operation per row is identical to the full
+//! recompute (the datapath is row-independent), so decodes are
+//! **bit-identical** to [`QuantSeq2Seq::greedy_decode`] — asserted by
+//! tests — while doing O(L) layer passes instead of O(L²).
+
+use tensor::{gemm, Mat};
+use transformer::tasks::{BOS, EOS};
+
+use crate::mha::QuantMhaResBlock;
+use crate::model::QuantSeq2Seq;
+use crate::qlinear::residual_add_i8;
+use crate::softmax::scaled_masked_softmax;
+
+#[derive(Debug, Clone)]
+struct QLayerCache {
+    self_k: Mat<i8>,
+    self_v: Mat<i8>,
+    cross_k: Mat<i8>,
+    cross_v: Mat<i8>,
+}
+
+/// An INT8 decoding session over one source sentence.
+#[derive(Debug, Clone)]
+pub struct QuantIncrementalSession {
+    memory_rows: usize,
+    layers: Vec<QLayerCache>,
+    pos: usize,
+}
+
+/// One cached-attention ResBlock applied to a single row of codes.
+fn resblock_row(
+    block: &QuantMhaResBlock,
+    x_row: &Mat<i8>,
+    keys: &Mat<i8>,
+    vals: &Mat<i8>,
+) -> Mat<i8> {
+    let (wq, _, _, wo) = block.projections();
+    let d_k = block.d_k();
+    let q = wq.forward(x_row);
+    let mut p_panels = Vec::with_capacity(block.heads());
+    for i in 0..block.heads() {
+        let c0 = i * d_k;
+        let qi = q.submatrix(0, c0, 1, d_k).expect("head panel");
+        let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
+        let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
+        let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
+        let probs = scaled_masked_softmax(&d_acc, block.d_scale(), d_k, None, block.softmax_mode());
+        let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
+        p_panels.push(p_acc.map(|&a| block.requantize_p(a)));
+    }
+    let p = Mat::hconcat(&p_panels).expect("heads share rows");
+    let g_matmul = wo.forward(&p);
+    let g = residual_add_i8(&g_matmul, x_row);
+    block.layernorm().forward(&g)
+}
+
+impl QuantSeq2Seq {
+    /// Opens an incremental decoding session: encodes `src` and
+    /// precomputes each decoder layer's cross-attention K/V codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is empty.
+    pub fn start_session(&self, src: &[usize]) -> QuantIncrementalSession {
+        assert!(!src.is_empty(), "source must be non-empty");
+        let memory = self.encode(src);
+        let d_model = memory.cols();
+        let layers = self
+            .decoder_layers()
+            .iter()
+            .map(|layer| {
+                let (_, wk, wv, _) = layer.cross_mha.projections();
+                QLayerCache {
+                    self_k: Mat::zeros(0, d_model),
+                    self_v: Mat::zeros(0, d_model),
+                    cross_k: wk.forward(&memory),
+                    cross_v: wv.forward(&memory),
+                }
+            })
+            .collect();
+        QuantIncrementalSession {
+            memory_rows: memory.rows(),
+            layers,
+            pos: 0,
+        }
+    }
+
+    /// Feeds one target token and returns the next-token logits (FP32,
+    /// from the output projection). Bit-identical to the full-prefix
+    /// decode at the same position.
+    pub fn step_session(&self, session: &mut QuantIncrementalSession, token: usize) -> Vec<f32> {
+        let emb = self.tgt_embedding().embed_at(token, session.pos);
+        let emb_row = Mat::from_vec(1, emb.len(), emb).expect("row");
+        let mut x = self.decoder_layers()[0].self_mha.quantize_input_q(&emb_row);
+        for (layer, cache) in self.decoder_layers().iter().zip(&mut session.layers) {
+            // Extend the projected self-attention cache with this row.
+            let (_, wk, wv, _) = layer.self_mha.projections();
+            let k_new = wk.forward(&x);
+            let v_new = wv.forward(&x);
+            cache.self_k = Mat::vconcat(&[cache.self_k.clone(), k_new]).expect("widths");
+            cache.self_v = Mat::vconcat(&[cache.self_v.clone(), v_new]).expect("widths");
+            let a = resblock_row(&layer.self_mha, &x, &cache.self_k, &cache.self_v);
+            let b = resblock_row(&layer.cross_mha, &a, &cache.cross_k, &cache.cross_v);
+            let (c, _) = layer.ffn.forward(&b);
+            x = c;
+        }
+        session.pos += 1;
+        let last_ffn = &self.decoder_layers().last().expect("nonempty decoder").ffn;
+        let x_f32 = last_ffn.dequantize_output(&x);
+        self.output_projection_logits(&x_f32)
+    }
+
+    /// Greedy decoding through the INT8 KV cache.
+    pub fn greedy_decode_incremental(&self, src: &[usize], max_len: usize) -> Vec<usize> {
+        let mut session = self.start_session(src);
+        let mut out = Vec::new();
+        let mut token = BOS;
+        for _ in 0..max_len {
+            let logits = self.step_session(&mut session, token);
+            let next = tensor::ops::argmax(&logits);
+            if next == EOS {
+                break;
+            }
+            out.push(next);
+            token = next;
+        }
+        out
+    }
+}
+
+impl QuantIncrementalSession {
+    /// Target tokens consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Encoder memory length this session attends over.
+    pub fn memory_rows(&self) -> usize {
+        self.memory_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax::SoftmaxMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use transformer::config::ModelConfig;
+    use transformer::model::Seq2SeqTransformer;
+    use transformer::tasks::{Task, TaskGen};
+
+    #[allow(clippy::type_complexity)]
+    fn setup() -> (QuantSeq2Seq, Vec<(Vec<usize>, Vec<usize>)>) {
+        let mut cfg = ModelConfig::tiny_for_tests();
+        cfg.n_layers = 2;
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = Seq2SeqTransformer::new(&cfg, &mut rng);
+        let gen = TaskGen::new(Task::Reverse, cfg.vocab, 3, 7);
+        let corpus = gen.corpus(5, &mut StdRng::seed_from_u64(22));
+        (
+            QuantSeq2Seq::from_trained(&model, &corpus, SoftmaxMode::Hardware),
+            corpus,
+        )
+    }
+
+    #[test]
+    fn incremental_decode_is_bit_identical_to_full() {
+        let (q, corpus) = setup();
+        for (src, _) in &corpus {
+            let full = q.greedy_decode(src, BOS, EOS, 8);
+            let inc = q.greedy_decode_incremental(src, 8);
+            assert_eq!(full, inc, "src {src:?}");
+        }
+    }
+
+    #[test]
+    fn step_logits_match_teacher_forced_last_row() {
+        let (q, corpus) = setup();
+        let (src, tgt) = &corpus[0];
+        let mut tin = vec![BOS];
+        tin.extend_from_slice(tgt);
+        let full = q.forward_logits(src, &tin);
+        let mut session = q.start_session(src);
+        let mut got = Vec::new();
+        for &t in &tin {
+            got = q.step_session(&mut session, t);
+        }
+        let want = full.row(tin.len() - 1);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g, w, "logits must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn session_bookkeeping() {
+        let (q, corpus) = setup();
+        let (src, _) = &corpus[1];
+        let mut s = q.start_session(src);
+        assert_eq!(s.pos(), 0);
+        assert_eq!(s.memory_rows(), src.len());
+        let _ = q.step_session(&mut s, BOS);
+        assert_eq!(s.pos(), 1);
+    }
+
+    #[test]
+    fn works_in_fp32_softmax_mode_too() {
+        let (mut q, corpus) = setup();
+        q.set_softmax_mode(SoftmaxMode::Fp32);
+        let (src, _) = &corpus[2];
+        assert_eq!(
+            q.greedy_decode(src, BOS, EOS, 8),
+            q.greedy_decode_incremental(src, 8)
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the INT8 datapath: ordering, invariance and
+//! error-bound contracts of the hardware softmax and LayerNorm.
+
+use fixedmath::quant::QuantParams;
+use proptest::prelude::*;
+use quantized::layernorm::HwLayerNorm;
+use quantized::softmax::{scaled_masked_softmax, SoftmaxMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Mat;
+
+fn random_acc(seed: u64, rows: usize, cols: usize, mag: i32) -> Mat<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mat::from_fn(rows, cols, |_, _| rng.random_range(-mag..=mag))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_preserves_score_ordering_within_rows(
+        s in 2usize..24,
+        seed in 0u64..1000,
+    ) {
+        // Higher score -> probability code at least as large (monotone
+        // pipeline: requant, exp, shared max/ln per row are monotone).
+        let d = random_acc(seed, s, s, 90_000);
+        let p = scaled_masked_softmax(&d, 6e-5, 64, None, SoftmaxMode::Hardware);
+        for r in 0..s {
+            for a in 0..s {
+                for b in 0..s {
+                    if d[(r, a)] > d[(r, b)] {
+                        prop_assert!(
+                            p[(r, a)] >= p[(r, b)],
+                            "row {r}: score {} > {} but prob {} < {}",
+                            d[(r, a)], d[(r, b)], p[(r, a)], p[(r, b)]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_row_shift_invariance(s in 2usize..16, seed in 0u64..500, shift in 1i32..30_000) {
+        // Adding a constant to every score accumulator of a row must not
+        // change the output by more than 1 code (the log-sum-exp trick's
+        // whole point). Exact invariance is broken only by the fx
+        // requantization of the shifted inputs.
+        let d = random_acc(seed, s, s, 60_000);
+        let shifted = d.map(|&x| x + shift);
+        let p0 = scaled_masked_softmax(&d, 5e-5, 64, None, SoftmaxMode::Hardware);
+        let p1 = scaled_masked_softmax(&shifted, 5e-5, 64, None, SoftmaxMode::Hardware);
+        for (a, b) in p0.as_slice().iter().zip(p1.as_slice()) {
+            prop_assert!((*a as i32 - *b as i32).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn softmax_mask_only_removes_probability(s in 2usize..16, seed in 0u64..500) {
+        // Masking a column cannot *decrease* the other columns' codes
+        // by more than the approximation jitter.
+        let d = random_acc(seed, s, s, 60_000);
+        let mask = Mat::from_fn(s, s, |_, j| j == 0);
+        let p_full = scaled_masked_softmax(&d, 5e-5, 64, None, SoftmaxMode::Hardware);
+        let p_masked = scaled_masked_softmax(&d, 5e-5, 64, Some(&mask), SoftmaxMode::Hardware);
+        for r in 0..s {
+            prop_assert_eq!(p_masked[(r, 0)], 0);
+            for c in 1..s {
+                prop_assert!(
+                    p_masked[(r, c)] as i32 >= p_full[(r, c)] as i32 - 2,
+                    "({r},{c}): masked {} << full {}",
+                    p_masked[(r, c)], p_full[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layernorm_output_rows_are_normalized(
+        d_pow in 3u32..7,
+        seed in 0u64..1000,
+    ) {
+        let d = 1usize << d_pow;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Mat::from_fn(4, d, |_, _| rng.random_range(-220..220i32));
+        let out_scale = QuantParams::new(1.0 / 40.0);
+        let ln = HwLayerNorm::from_f32(
+            &vec![1.0f32; d],
+            &vec![0.0f32; d],
+            QuantParams::new(0.02),
+            out_scale,
+        );
+        let y = ln.forward(&g);
+        for r in 0..4 {
+            let vals: Vec<f64> = y.row(r).iter().map(|&c| c as f64 / 40.0).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / d as f64;
+            let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+            prop_assert!(mean.abs() < 0.1, "row {r} mean {mean}");
+            // variance ~1 within fixed-point error (unless the row was
+            // nearly constant, where saturation effects dominate)
+            let spread = g.row(r).iter().max().unwrap() - g.row(r).iter().min().unwrap();
+            if spread > 20 {
+                prop_assert!((var - 1.0).abs() < 0.2, "row {r} var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn layernorm_is_shift_invariant_in_codes(
+        seed in 0u64..1000,
+        shift in -60i32..60,
+    ) {
+        let d = 32usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Mat::from_fn(2, d, |_, _| rng.random_range(-120..120i32));
+        let g_shifted = g.map(|&x| x + shift);
+        let ln = HwLayerNorm::from_f32(
+            &vec![1.2f32; d],
+            &vec![0.1f32; d],
+            QuantParams::new(0.02),
+            QuantParams::new(0.03),
+        );
+        let a = ln.forward(&g);
+        let b = ln.forward(&g_shifted);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((*x as i32 - *y as i32).abs() <= 1, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gamma_scaling_scales_output(seed in 0u64..500) {
+        let d = 16usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Mat::from_fn(1, d, |_, _| rng.random_range(-100..100i32));
+        let in_s = QuantParams::new(0.02);
+        let out_s = QuantParams::new(0.05);
+        let ln1 = HwLayerNorm::from_f32(&vec![1.0f32; d], &vec![0.0f32; d], in_s, out_s);
+        let ln2 = HwLayerNorm::from_f32(&vec![2.0f32; d], &vec![0.0f32; d], in_s, out_s);
+        let y1 = ln1.forward(&g);
+        let y2 = ln2.forward(&g);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            let doubled = (2 * *a as i32).clamp(-127, 127);
+            prop_assert!((doubled - *b as i32).abs() <= 2, "{a}*2 vs {b}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! General matrix-matrix multiplication kernels.
+//!
+//! Two numeric domains are needed by the workspace:
+//!
+//! * `f32 x f32 -> f32` for the reference Transformer ([`matmul`]);
+//! * `i8 x i8 -> i32` for the INT8 datapath the accelerator implements
+//!   ([`matmul_i8`]). The `i32` accumulator never overflows for the
+//!   reduction depths used by the paper (`k <= 4096`): the worst case is
+//!   `4096 * 127 * 128 = 66,584,576`, far below `i32::MAX`.
+
+use crate::{Mat, ShapeError};
+
+/// `f32` GEMM: returns `a * b`.
+///
+/// Uses a cache-friendly ikj loop ordering; adequate for the model sizes in
+/// the paper (`d_model <= 1024`, `d_ff <= 4096`).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{Mat, gemm};
+/// # fn main() -> Result<(), tensor::ShapeError> {
+/// let id = Mat::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// let a = Mat::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+/// assert_eq!(gemm::matmul(&a, &id)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul", a.shape(), b.shape()));
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `f32` GEMM against the transpose of `b`: returns `a * b^T`.
+///
+/// Avoids materialising the transpose for the attention score computation
+/// `Q_i K_i^T`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.cols()`.
+pub fn matmul_nt(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>, ShapeError> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::new("matmul_nt", a.shape(), b.shape()));
+    }
+    let m = a.rows();
+    let n = b.rows();
+    let mut out = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// INT8 GEMM with `i32` accumulation: returns `a * b` exactly as an INT8
+/// MAC array (the paper's systolic array) would compute it.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{Mat, gemm};
+/// # fn main() -> Result<(), tensor::ShapeError> {
+/// let a = Mat::from_vec(1, 2, vec![100i8, -100])?;
+/// let b = Mat::from_vec(2, 1, vec![100i8, 100])?;
+/// assert_eq!(gemm::matmul_i8(&a, &b)?[(0, 0)], 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_i8(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul_i8", a.shape(), b.shape()));
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0 {
+                continue;
+            }
+            let av = av as i32;
+            let brow = b.row(p);
+            for j in 0..n {
+                orow[j] += av * brow[j] as i32;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Cache-blocked INT8 GEMM — identical results to [`matmul_i8`]
+/// (integer arithmetic is exact, so tiling cannot change the output),
+/// noticeably faster on the paper-scale shapes (`k = 512..4096`) because
+/// the `B` panel stays in cache across the `i` loop.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
+pub fn matmul_i8_blocked(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul_i8_blocked", a.shape(), b.shape()));
+    }
+    const BK: usize = 64;
+    const BN: usize = 64;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Mat::<i32>::zeros(m, n);
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = BK.min(k - k0);
+        let mut n0 = 0;
+        while n0 < n {
+            let nb = BN.min(n - n0);
+            for i in 0..m {
+                let arow = &a.row(i)[k0..k0 + kb];
+                let orow = &mut out.row_mut(i)[n0..n0 + nb];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0 {
+                        continue;
+                    }
+                    let av = av as i32;
+                    let brow = &b.row(k0 + p)[n0..n0 + nb];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv as i32;
+                    }
+                }
+            }
+            n0 += nb;
+        }
+        k0 += kb;
+    }
+    Ok(out)
+}
+
+/// INT8 GEMM against the transpose of `b`: returns `a * b^T` with `i32`
+/// accumulation.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.cols()`.
+pub fn matmul_i8_nt(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::new("matmul_i8_nt", a.shape(), b.shape()));
+    }
+    let m = a.rows();
+    let n = b.rows();
+    let mut out = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut acc = 0i32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += *x as i32 * *y as i32;
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_f32(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f32> {
+        Mat::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|p| a[(i, p)] * b[(p, j)]).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Mat::from_fn(4, 7, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Mat::from_fn(7, 3, |r, c| (r * c) as f32 * 0.25 - 1.0);
+        let got = matmul(&a, &b).unwrap();
+        let want = naive_f32(&a, &b);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Mat::<f32>::zeros(2, 3);
+        let b = Mat::<f32>::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Mat::from_fn(3, 5, |r, c| (r + 2 * c) as f32);
+        let b = Mat::from_fn(4, 5, |r, c| (2 * r + c) as f32 * 0.5);
+        let got = matmul_nt(&a, &b).unwrap();
+        let want = matmul(&a, &b.transposed()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matmul_i8_exact() {
+        let a = Mat::from_vec(2, 2, vec![1i8, -2, 3, 4]).unwrap();
+        let b = Mat::from_vec(2, 2, vec![5i8, 6, 7, -8]).unwrap();
+        let c = matmul_i8(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[5 - 14, 6 + 16, 15 + 28, 18 - 32]);
+    }
+
+    #[test]
+    fn matmul_i8_nt_equals_explicit_transpose() {
+        let a = Mat::from_fn(3, 4, |r, c| (r as i8) - (c as i8));
+        let b = Mat::from_fn(2, 4, |r, c| (r as i8 * 3) + c as i8);
+        let got = matmul_i8_nt(&a, &b).unwrap();
+        let want = matmul_i8(&a, &b.transposed()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matmul_i8_worst_case_no_overflow() {
+        // Deepest reduction in any Table-I config: k = d_ff = 4096.
+        let a = Mat::filled(1, 4096, -128i8);
+        let b = Mat::filled(4096, 1, -128i8);
+        let c = matmul_i8(&a, &b).unwrap();
+        assert_eq!(c[(0, 0)], 4096 * 128 * 128);
+    }
+
+    #[test]
+    fn blocked_i8_gemm_is_bit_identical() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (7, 130, 65),
+            (64, 512, 64),
+            (3, 64, 200),
+        ] {
+            let a = crate::init::uniform_i8(&mut rng, m, k);
+            let b = crate::init::uniform_i8(&mut rng, k, n);
+            assert_eq!(
+                matmul_i8_blocked(&a, &b).unwrap(),
+                matmul_i8(&a, &b).unwrap(),
+                "shape ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_i8_gemm_shape_error() {
+        let a = Mat::<i8>::zeros(2, 3);
+        let b = Mat::<i8>::zeros(2, 3);
+        assert!(matmul_i8_blocked(&a, &b).is_err());
+    }
+
+    #[test]
+    fn empty_matmul_is_ok() {
+        let a = Mat::<f32>::zeros(0, 3);
+        let b = Mat::<f32>::zeros(3, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 2));
+    }
+}

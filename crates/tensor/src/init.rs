@@ -1,0 +1,96 @@
+//! Deterministic random initialisation for weights and test inputs.
+//!
+//! All generators take an explicit `Rng` so callers (tests, benches,
+//! training) stay reproducible via seeded [`rand::rngs::StdRng`].
+
+use rand::Rng;
+
+use crate::Mat;
+
+/// Uniform matrix in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> Mat<f32> {
+    assert!(lo < hi, "uniform range must be non-empty: [{lo}, {hi})");
+    Mat::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// Xavier/Glorot uniform initialisation for a `fan_in x fan_out` weight
+/// matrix: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Mat<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, fan_in, fan_out, -a, a)
+}
+
+/// Standard-normal matrix scaled by `std`, via Box-Muller (keeps us off
+/// `rand_distr`, which is outside the approved dependency set).
+pub fn normal(rng: &mut impl Rng, rows: usize, cols: usize, std: f32) -> Mat<f32> {
+    Mat::from_fn(rows, cols, |_, _| {
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std
+    })
+}
+
+/// Uniformly random INT8 matrix over the full `[-127, 127]` symmetric
+/// range (the accelerator never uses `-128`; see `fixedmath`).
+pub fn uniform_i8(rng: &mut impl Rng, rows: usize, cols: usize) -> Mat<i8> {
+    Mat::from_fn(rows, cols, |_, _| rng.random_range(-127i16..=127) as i8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = uniform(&mut rng, 16, 16, -0.5, 0.5);
+        assert!(m.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let m2 = uniform(&mut rng2, 16, 16, -0.5, 0.5);
+        assert_eq!(m, m2, "same seed must reproduce the same matrix");
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wide = xavier(&mut rng, 1024, 1024);
+        let bound = (6.0f32 / 2048.0).sqrt();
+        assert!(wide.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean_unit_std() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = normal(&mut rng, 64, 64, 1.0);
+        let n = m.len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_i8_avoids_minus_128() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = uniform_i8(&mut rng, 64, 64);
+        assert!(m.as_slice().iter().all(|&x| x != i8::MIN));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_rejects_empty_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        uniform(&mut rng, 1, 1, 1.0, 1.0);
+    }
+}

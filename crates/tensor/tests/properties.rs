@@ -1,0 +1,159 @@
+//! Property-based tests for the matrix substrate: algebraic laws that the
+//! GEMM kernels and structural operations must satisfy for arbitrary
+//! shapes and contents.
+
+use proptest::prelude::*;
+use tensor::{gemm, ops, Mat};
+
+fn mat_f32(rows: usize, cols: usize) -> impl Strategy<Value = Mat<f32>> {
+    proptest::collection::vec(-8.0f32..8.0, rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v).expect("len matches"))
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+proptest! {
+    #[test]
+    fn gemm_distributes_over_addition(
+        (m, k, n) in dims(),
+        seed in 0u64..1000,
+    ) {
+        // (A + B) C == AC + BC, exactly in i32 arithmetic.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = tensor::init::uniform_i8(&mut rng, m, k);
+        let b = tensor::init::uniform_i8(&mut rng, m, k);
+        let c = tensor::init::uniform_i8(&mut rng, k, n);
+        // Sum in i32 to avoid i8 overflow, then compare against the sum of
+        // the individual products.
+        let ac = gemm::matmul_i8(&a, &c).unwrap();
+        let bc = gemm::matmul_i8(&b, &c).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let direct: i32 = (0..k)
+                    .map(|p| (a[(i, p)] as i32 + b[(i, p)] as i32) * c[(p, j)] as i32)
+                    .sum();
+                prop_assert_eq!(direct, ac[(i, j)] + bc[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_product((m, k, n) in dims(), sa in 0u64..100, sb in 0u64..100) {
+        // (A B)^T == B^T A^T in exact integer arithmetic.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut ra = StdRng::seed_from_u64(sa);
+        let mut rb = StdRng::seed_from_u64(sb ^ 0xdead);
+        let a = tensor::init::uniform_i8(&mut ra, m, k);
+        let b = tensor::init::uniform_i8(&mut rb, k, n);
+        let ab_t = gemm::matmul_i8(&a, &b).unwrap().transposed();
+        let bt_at = gemm::matmul_i8(&b.transposed(), &a.transposed()).unwrap();
+        prop_assert_eq!(ab_t, bt_at);
+    }
+
+    #[test]
+    fn nt_gemm_agrees_with_materialized_transpose(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = tensor::init::uniform_i8(&mut rng, m, k);
+        let b = tensor::init::uniform_i8(&mut rng, n, k);
+        prop_assert_eq!(
+            gemm::matmul_i8_nt(&a, &b).unwrap(),
+            gemm::matmul_i8(&a, &b.transposed()).unwrap()
+        );
+    }
+
+    #[test]
+    fn panels_reassemble(rows in 1usize..8, cols in 1usize..40, width in 1usize..12) {
+        let m = Mat::from_fn(rows, cols, |r, c| (r * cols + c) as i32);
+        let panels = m.col_panels(width);
+        // every panel except possibly the last has the requested width
+        for p in &panels[..panels.len() - 1] {
+            prop_assert_eq!(p.cols(), width);
+        }
+        prop_assert_eq!(Mat::hconcat(&panels).unwrap(), m);
+    }
+
+    #[test]
+    fn padding_preserves_prefix_and_zeroes_rest(
+        rows in 1usize..6, cols in 1usize..6, extra_r in 0usize..4, extra_c in 0usize..4
+    ) {
+        let m = Mat::from_fn(rows, cols, |r, c| (1 + r * cols + c) as i32);
+        let p = m.padded(rows + extra_r, cols + extra_c);
+        for r in 0..rows + extra_r {
+            for c in 0..cols + extra_c {
+                let want = if r < rows && c < cols { m[(r, c)] } else { 0 };
+                prop_assert_eq!(p[(r, c)], want);
+            }
+        }
+    }
+
+    #[test]
+    fn mse_is_symmetric_and_nonnegative((a, b) in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| (mat_f32(r, c), mat_f32(r, c)))) {
+        let ab = ops::mse(&a, &b).unwrap();
+        let ba = ops::mse(&b, &a).unwrap();
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_is_idempotent(rc in (1usize..8, 1usize..8), seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let (r, c) = rc;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = tensor::init::uniform(&mut rng, r, c, -4.0, 4.0);
+        let once = ops::relu(&m);
+        let twice = ops::relu(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn mask_zero_rows_survive_i8(rc in (1usize..8, 1usize..8), seed in 0u64..50) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let (r, c) = rc;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scores = tensor::init::uniform(&mut rng, r, c, -3.0, 3.0);
+        let mask = Mat::from_fn(r, c, |i, j| (i + j) % 3 == 0);
+        let masked = ops::mask_scores(&scores, &mask).unwrap();
+        for i in 0..r {
+            for j in 0..c {
+                if mask[(i, j)] {
+                    prop_assert_eq!(masked[(i, j)], f32::NEG_INFINITY);
+                } else {
+                    prop_assert_eq!(masked[(i, j)], scores[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hconcat_then_panels_identity(r in 1usize..6, widths in proptest::collection::vec(1usize..5, 1..5)) {
+        let parts: Vec<Mat<i32>> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Mat::from_fn(r, w, move |rr, cc| (i * 100 + rr * 10 + cc) as i32))
+            .collect();
+        let joined = Mat::hconcat(&parts).unwrap();
+        let total: usize = widths.iter().sum();
+        prop_assert_eq!(joined.cols(), total);
+    }
+
+    #[test]
+    fn i8_gemm_matches_f32_gemm_exactly_in_range((m, k, n) in dims(), seed in 0u64..100) {
+        // For small values the f32 GEMM must agree exactly with the i8 GEMM
+        // (f32 represents all integers up to 2^24 exactly).
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a8 = tensor::init::uniform_i8(&mut rng, m, k);
+        let b8 = tensor::init::uniform_i8(&mut rng, k, n);
+        let af = a8.map(|&x| x as f32);
+        let bf = b8.map(|&x| x as f32);
+        let exact = gemm::matmul_i8(&a8, &b8).unwrap();
+        let float = gemm::matmul(&af, &bf).unwrap();
+        for (e, f) in exact.as_slice().iter().zip(float.as_slice()) {
+            prop_assert_eq!(*e as f32, *f);
+        }
+    }
+}

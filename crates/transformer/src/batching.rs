@@ -1,0 +1,173 @@
+//! Variable-length batching: pad token sequences to a common length
+//! (the accelerator's array height `s`) and build the key-padding masks
+//! that keep attention away from the padding — how a deployment feeds
+//! ragged sentences to a fixed `s × 64` array.
+
+use tensor::{ops, Mat};
+
+use crate::tasks::PAD;
+
+/// A padded batch: token matrix rows plus per-sequence valid lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaddedBatch {
+    /// Token ids, one padded sequence per row (`PAD`-filled).
+    pub tokens: Vec<Vec<usize>>,
+    /// Real length of each sequence.
+    pub lengths: Vec<usize>,
+    /// The common padded length.
+    pub padded_len: usize,
+}
+
+impl PaddedBatch {
+    /// Pads `seqs` to `max(len)` (or to `min_len`, whichever is larger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs` is empty or contains an empty sequence.
+    pub fn new(seqs: &[Vec<usize>], min_len: usize) -> Self {
+        assert!(!seqs.is_empty(), "empty batch");
+        assert!(
+            seqs.iter().all(|s| !s.is_empty()),
+            "empty sequence in batch"
+        );
+        let padded_len = seqs
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .expect("non-empty")
+            .max(min_len);
+        let tokens = seqs
+            .iter()
+            .map(|s| {
+                let mut row = s.clone();
+                row.resize(padded_len, PAD);
+                row
+            })
+            .collect();
+        Self {
+            tokens,
+            lengths: seqs.iter().map(|s| s.len()).collect(),
+            padded_len,
+        }
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the batch holds no sequences (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The self-attention key-padding mask for sequence `i`:
+    /// `[padded_len, padded_len]`, `true` marks illegal (padding) keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn self_attention_mask(&self, i: usize) -> Mat<bool> {
+        let valid = self.lengths[i];
+        let flags: Vec<bool> = (0..self.padded_len).map(|p| p < valid).collect();
+        ops::padding_mask(self.padded_len, &flags)
+    }
+
+    /// Strips the padding back off sequence `i`'s output rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `out` has fewer rows than the
+    /// sequence's real length.
+    pub fn unpad(&self, i: usize, out: &Mat<f32>) -> Mat<f32> {
+        let valid = self.lengths[i];
+        assert!(out.rows() >= valid, "output shorter than the sequence");
+        out.submatrix(0, 0, valid, out.cols()).expect("in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> PaddedBatch {
+        PaddedBatch::new(&[vec![3, 4, 5], vec![6, 7], vec![8, 9, 10, 11]], 0)
+    }
+
+    #[test]
+    fn pads_to_the_longest_sequence() {
+        let b = batch();
+        assert_eq!(b.padded_len, 4);
+        assert_eq!(b.tokens[0], vec![3, 4, 5, PAD]);
+        assert_eq!(b.tokens[1], vec![6, 7, PAD, PAD]);
+        assert_eq!(b.tokens[2], vec![8, 9, 10, 11]);
+        assert_eq!(b.lengths, vec![3, 2, 4]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn min_len_forces_array_height() {
+        let b = PaddedBatch::new(&[vec![3, 4]], 8);
+        assert_eq!(b.padded_len, 8);
+        assert_eq!(b.tokens[0].len(), 8);
+    }
+
+    #[test]
+    fn masks_block_padding_keys_only() {
+        let b = batch();
+        let m = b.self_attention_mask(1); // valid = 2 of 4
+        for q in 0..4 {
+            assert!(!m[(q, 0)]);
+            assert!(!m[(q, 1)]);
+            assert!(m[(q, 2)]);
+            assert!(m[(q, 3)]);
+        }
+        // fully valid sequence: nothing masked
+        let m = b.self_attention_mask(2);
+        assert!(m.as_slice().iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn unpad_recovers_the_valid_rows() {
+        let b = batch();
+        let out = Mat::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let u = b.unpad(1, &out);
+        assert_eq!(u.shape(), (2, 2));
+        assert_eq!(u[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn padded_batch_runs_through_a_quantized_block_equivalently() {
+        // End-to-end: a padded+masked FP32 MHA forward agrees with the
+        // unpadded forward on the valid rows (the library-level version
+        // of tests/padding_masks.rs).
+        use crate::config::ModelConfig;
+        use crate::mha::MhaResBlock;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let block = MhaResBlock::new(&cfg, &mut rng);
+        let x_full = tensor::init::normal(&mut rng, 6, cfg.d_model, 1.0);
+        let valid = 4;
+        let x_short = x_full.submatrix(0, 0, valid, cfg.d_model).unwrap();
+        let want = block.forward_inference(&x_short, &x_short, &x_short, None);
+
+        let b = PaddedBatch::new(&[vec![3; valid]], 6);
+        let mask = b.self_attention_mask(0);
+        let x_padded = x_short.padded(6, cfg.d_model);
+        let got = block.forward_inference(&x_padded, &x_padded, &x_padded, Some(&mask));
+        for r in 0..valid {
+            for c in 0..cfg.d_model {
+                assert!((got[(r, c)] - want[(r, c)]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let _ = PaddedBatch::new(&[], 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Beam-search decoding — the decoding strategy the Transformer paper
+//! (and the IWSLT evaluation the SOCC'20 paper quantizes) actually uses
+//! (beam 4, length penalty 0.6 in Vaswani et al.).
+
+use crate::model::Seq2SeqTransformer;
+
+/// One finished or in-flight hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamHyp {
+    /// Generated tokens (no BOS, no EOS).
+    pub tokens: Vec<usize>,
+    /// Sum of per-token log-probabilities.
+    pub log_prob: f32,
+}
+
+impl BeamHyp {
+    /// Length-penalised score: `log_prob / lp(len)` with
+    /// `lp(n) = ((5 + n) / 6)^alpha` (Wu et al. 2016, as used by
+    /// Vaswani et al.).
+    pub fn score(&self, alpha: f32) -> f32 {
+        let n = self.tokens.len().max(1) as f32;
+        self.log_prob / ((5.0 + n) / 6.0).powf(alpha)
+    }
+}
+
+fn log_softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let log_z = max + logits.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    logits.iter().map(|&x| x - log_z).collect()
+}
+
+/// Beam-search decoding.
+///
+/// Returns the completed hypotheses sorted best-first by the
+/// length-penalised score (at most `beam_width` of them; if no beam
+/// finishes within `max_len`, the in-flight beams are returned instead).
+///
+/// # Panics
+///
+/// Panics if `src` is empty or `beam_width == 0`.
+pub fn beam_search(
+    model: &mut Seq2SeqTransformer,
+    src: &[usize],
+    bos: usize,
+    eos: usize,
+    max_len: usize,
+    beam_width: usize,
+    length_penalty: f32,
+) -> Vec<BeamHyp> {
+    assert!(beam_width > 0, "beam width must be positive");
+    let memory = model.encode(src);
+
+    // (prefix including BOS, log_prob)
+    let mut beams: Vec<(Vec<usize>, f32)> = vec![(vec![bos], 0.0)];
+    let mut finished: Vec<BeamHyp> = Vec::new();
+
+    for _ in 0..max_len {
+        let mut candidates: Vec<(Vec<usize>, f32)> = Vec::new();
+        for (prefix, lp) in &beams {
+            let logits = model.decode_step_logits(prefix, &memory);
+            let logp = log_softmax(&logits);
+            // Expand only the top beam_width tokens of each beam; more
+            // cannot survive the global prune.
+            let mut idx: Vec<usize> = (0..logp.len()).collect();
+            idx.sort_unstable_by(|&a, &b| logp[b].partial_cmp(&logp[a]).expect("finite"));
+            for &t in idx.iter().take(beam_width) {
+                let mut next = prefix.clone();
+                next.push(t);
+                candidates.push((next, lp + logp[t]));
+            }
+        }
+        candidates.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        beams.clear();
+        for (prefix, lp) in candidates {
+            if beams.len() >= beam_width {
+                break;
+            }
+            if *prefix.last().expect("non-empty") == eos {
+                finished.push(BeamHyp {
+                    tokens: prefix[1..prefix.len() - 1].to_vec(),
+                    log_prob: lp,
+                });
+            } else {
+                beams.push((prefix, lp));
+            }
+        }
+        if beams.is_empty() || finished.len() >= beam_width {
+            break;
+        }
+    }
+
+    if finished.is_empty() {
+        // Nothing terminated: return the live beams as hypotheses.
+        finished = beams
+            .into_iter()
+            .map(|(prefix, lp)| BeamHyp {
+                tokens: prefix[1..].to_vec(),
+                log_prob: lp,
+            })
+            .collect();
+    }
+    finished.sort_by(|a, b| {
+        b.score(length_penalty)
+            .partial_cmp(&a.score(length_penalty))
+            .expect("finite scores")
+    });
+    finished.truncate(beam_width);
+    finished
+}
+
+/// Sampling configuration for stochastic decoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingConfig {
+    /// Softmax temperature (`< 1` sharpens, `> 1` flattens).
+    pub temperature: f32,
+    /// Keep only the `k` most likely tokens before sampling
+    /// (`0` = no truncation).
+    pub top_k: usize,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            temperature: 1.0,
+            top_k: 0,
+        }
+    }
+}
+
+/// Temperature / top-k sampling decode.
+///
+/// # Panics
+///
+/// Panics if `src` is empty or `temperature <= 0`.
+pub fn sample_decode(
+    model: &mut Seq2SeqTransformer,
+    src: &[usize],
+    bos: usize,
+    eos: usize,
+    max_len: usize,
+    cfg: SamplingConfig,
+    rng: &mut impl rand::Rng,
+) -> Vec<usize> {
+    assert!(cfg.temperature > 0.0, "temperature must be positive");
+    let memory = model.encode(src);
+    let mut tokens = vec![bos];
+    let mut out = Vec::new();
+    for _ in 0..max_len {
+        let mut logits = model.decode_step_logits(&tokens, &memory);
+        for l in &mut logits {
+            *l /= cfg.temperature;
+        }
+        if cfg.top_k > 0 && cfg.top_k < logits.len() {
+            let mut sorted: Vec<f32> = logits.clone();
+            sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
+            let cutoff = sorted[cfg.top_k - 1];
+            for l in &mut logits {
+                if *l < cutoff {
+                    *l = f32::NEG_INFINITY;
+                }
+            }
+        }
+        let probs: Vec<f32> = log_softmax(&logits).iter().map(|&x| x.exp()).collect();
+        let mut u: f32 = rng.random_range(0.0..1.0);
+        let mut next = probs.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if u < p {
+                next = i;
+                break;
+            }
+            u -= p;
+        }
+        if next == eos {
+            break;
+        }
+        out.push(next);
+        tokens.push(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::tasks::{BOS, EOS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Seq2SeqTransformer {
+        let mut cfg = ModelConfig::tiny_for_tests();
+        cfg.n_layers = 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Seq2SeqTransformer::new(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn log_softmax_normalizes() {
+        let lp = log_softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = lp.iter().map(|&x| x.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(lp.iter().all(|&x| x <= 0.0));
+    }
+
+    #[test]
+    fn beam_one_matches_greedy() {
+        let mut m = tiny_model(1);
+        let src = [3usize, 4, 5];
+        let greedy = m.greedy_decode(&src, BOS, EOS, 6);
+        let beams = beam_search(&mut m, &src, BOS, EOS, 6, 1, 0.0);
+        assert_eq!(beams[0].tokens, greedy);
+    }
+
+    #[test]
+    fn wider_beams_never_score_worse() {
+        let mut m = tiny_model(2);
+        let src = [5usize, 6, 7, 8];
+        let b1 = beam_search(&mut m, &src, BOS, EOS, 6, 1, 0.0);
+        let b4 = beam_search(&mut m, &src, BOS, EOS, 6, 4, 0.0);
+        // with alpha = 0 the score is the raw log prob of the best
+        // *comparable* hypothesis set; beam 4 explores a superset
+        assert!(b4[0].log_prob >= b1[0].log_prob - 1e-4);
+        assert!(b4.len() <= 4);
+    }
+
+    #[test]
+    fn hypotheses_sorted_best_first() {
+        let mut m = tiny_model(3);
+        let beams = beam_search(&mut m, &[4, 5], BOS, EOS, 5, 3, 0.6);
+        for w in beams.windows(2) {
+            assert!(w[0].score(0.6) >= w[1].score(0.6));
+        }
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let mut m = tiny_model(4);
+        let beams = beam_search(&mut m, &[3], BOS, EOS, 3, 2, 0.6);
+        assert!(beams.iter().all(|h| h.tokens.len() <= 3));
+    }
+
+    #[test]
+    fn length_penalty_prefers_longer_at_equal_logprob() {
+        let short = BeamHyp {
+            tokens: vec![1],
+            log_prob: -1.0,
+        };
+        let long = BeamHyp {
+            tokens: vec![1, 2, 3, 4],
+            log_prob: -1.0,
+        };
+        assert!(long.score(0.6) > short.score(0.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_beam_rejected() {
+        let mut m = tiny_model(5);
+        let _ = beam_search(&mut m, &[3], BOS, EOS, 4, 0, 0.6);
+    }
+
+    #[test]
+    fn near_zero_temperature_approaches_greedy() {
+        let mut m = tiny_model(6);
+        let src = [3usize, 7, 4];
+        let greedy = m.greedy_decode(&src, BOS, EOS, 6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SamplingConfig {
+            temperature: 0.01,
+            top_k: 0,
+        };
+        let sampled = sample_decode(&mut m, &src, BOS, EOS, 6, cfg, &mut rng);
+        assert_eq!(sampled, greedy);
+    }
+
+    #[test]
+    fn top_k_one_is_deterministic() {
+        let mut m = tiny_model(7);
+        let src = [4usize, 5];
+        let cfg = SamplingConfig {
+            temperature: 5.0,
+            top_k: 1,
+        };
+        let a = sample_decode(
+            &mut m,
+            &src,
+            BOS,
+            EOS,
+            5,
+            cfg,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let b = sample_decode(
+            &mut m,
+            &src,
+            BOS,
+            EOS,
+            5,
+            cfg,
+            &mut StdRng::seed_from_u64(99),
+        );
+        assert_eq!(a, b, "top-1 sampling must ignore the rng");
+    }
+
+    #[test]
+    fn high_temperature_produces_variety() {
+        let mut m = tiny_model(8);
+        let src = [3usize, 4, 5, 6];
+        let cfg = SamplingConfig {
+            temperature: 3.0,
+            top_k: 0,
+        };
+        let outs: std::collections::HashSet<Vec<usize>> = (0..12)
+            .map(|s| {
+                sample_decode(
+                    &mut m,
+                    &src,
+                    BOS,
+                    EOS,
+                    6,
+                    cfg,
+                    &mut StdRng::seed_from_u64(s),
+                )
+            })
+            .collect();
+        assert!(outs.len() > 1, "hot sampling produced a single output");
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn bad_temperature_rejected() {
+        let mut m = tiny_model(9);
+        let cfg = SamplingConfig {
+            temperature: 0.0,
+            top_k: 0,
+        };
+        let _ = sample_decode(
+            &mut m,
+            &[3],
+            BOS,
+            EOS,
+            4,
+            cfg,
+            &mut StdRng::seed_from_u64(0),
+        );
+    }
+}

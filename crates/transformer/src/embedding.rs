@@ -1,0 +1,223 @@
+//! Token embedding with sinusoidal positional encoding (Vaswani et al.,
+//! Section 3.4–3.5). Outside the accelerator's scope ("other components
+//! beside the stacks ... have not been taken into account by this work"),
+//! but required to train the quantization-study model.
+
+use rand::Rng;
+use tensor::Mat;
+
+use crate::opt::HasParams;
+
+/// Sinusoidal positional encoding matrix `[s, d_model]`:
+/// `PE(pos, 2i) = sin(pos / 10000^(2i/d))`, `PE(pos, 2i+1) = cos(...)`.
+pub fn sinusoidal_pos_encoding(s: usize, d_model: usize) -> Mat<f32> {
+    Mat::from_fn(s, d_model, |pos, j| {
+        let i = (j / 2) as f32;
+        let angle = pos as f32 / (10_000f32).powf(2.0 * i / d_model as f32);
+        if j % 2 == 0 {
+            angle.sin()
+        } else {
+            angle.cos()
+        }
+    })
+}
+
+/// Learned token embedding table with `sqrt(d_model)` scaling and
+/// additive positional encoding.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    name: String,
+    table: Mat<f32>,
+    grad: Mat<f32>,
+    cache_tokens: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates an embedding for `vocab` tokens of width `d_model`.
+    pub fn new(name: impl Into<String>, vocab: usize, d_model: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            name: name.into(),
+            table: tensor::init::normal(rng, vocab, d_model, 1.0 / (d_model as f32).sqrt()),
+            grad: Mat::zeros(vocab, d_model),
+            cache_tokens: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding width.
+    pub fn d_model(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Borrow of the raw embedding table.
+    pub fn table(&self) -> &Mat<f32> {
+        &self.table
+    }
+
+    /// Embeds a token sequence: `emb[t] * sqrt(d_model) + PE`, caching the
+    /// tokens for [`Embedding::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is out of vocabulary.
+    pub fn forward(&mut self, tokens: &[usize]) -> Mat<f32> {
+        let out = self.forward_inference(tokens);
+        self.cache_tokens = Some(tokens.to_vec());
+        out
+    }
+
+    /// Inference-only forward (no cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is out of vocabulary.
+    pub fn forward_inference(&self, tokens: &[usize]) -> Mat<f32> {
+        let d = self.d_model();
+        let scale = (d as f32).sqrt();
+        let pe = sinusoidal_pos_encoding(tokens.len(), d);
+        Mat::from_fn(tokens.len(), d, |r, c| {
+            let t = tokens[r];
+            assert!(
+                t < self.vocab(),
+                "token {t} out of vocabulary ({})",
+                self.vocab()
+            );
+            self.table[(t, c)] * scale + pe[(r, c)]
+        })
+    }
+
+    /// Embeds a single token at absolute position `pos` (for
+    /// incremental decoding, where the sinusoidal encoding must match
+    /// the token's true position, not index 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token id is out of vocabulary.
+    pub fn embed_at(&self, token: usize, pos: usize) -> Vec<f32> {
+        assert!(
+            token < self.vocab(),
+            "token {token} out of vocabulary ({})",
+            self.vocab()
+        );
+        let d = self.d_model();
+        let scale = (d as f32).sqrt();
+        (0..d)
+            .map(|j| {
+                let i = (j / 2) as f32;
+                let angle = pos as f32 / (10_000f32).powf(2.0 * i / d as f32);
+                let pe = if j % 2 == 0 { angle.sin() } else { angle.cos() };
+                self.table[(token, j)] * scale + pe
+            })
+            .collect()
+    }
+
+    /// Backward: scatters `dy` rows into the embedding-table gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a mismatched shape.
+    pub fn backward(&mut self, dy: &Mat<f32>) {
+        let tokens = self
+            .cache_tokens
+            .take()
+            .expect("embedding backward called without forward");
+        assert_eq!(
+            dy.shape(),
+            (tokens.len(), self.d_model()),
+            "dy shape mismatch"
+        );
+        let scale = (self.d_model() as f32).sqrt();
+        for (r, &t) in tokens.iter().enumerate() {
+            for (g, v) in self.grad.row_mut(t).iter_mut().zip(dy.row(r)) {
+                *g += v * scale;
+            }
+        }
+    }
+}
+
+impl HasParams for Embedding {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {
+        let n = format!("{}.table", self.name);
+        f(&n, self.table.as_mut_slice(), self.grad.as_mut_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pos_encoding_first_row_is_alternating_zero_one() {
+        let pe = sinusoidal_pos_encoding(4, 6);
+        for j in 0..6 {
+            let want = if j % 2 == 0 { 0.0 } else { 1.0 };
+            assert!((pe[(0, j)] - want).abs() < 1e-6, "pe(0,{j})");
+        }
+    }
+
+    #[test]
+    fn pos_encoding_values_bounded() {
+        let pe = sinusoidal_pos_encoding(64, 32);
+        assert!(pe.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn pos_encoding_rows_distinct() {
+        let pe = sinusoidal_pos_encoding(16, 8);
+        for r in 1..16 {
+            assert_ne!(pe.row(0), pe.row(r), "row {r} equals row 0");
+        }
+    }
+
+    #[test]
+    fn forward_uses_table_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut emb = Embedding::new("e", 10, 4, &mut rng);
+        let x = emb.forward(&[3, 3, 7]);
+        assert_eq!(x.shape(), (3, 4));
+        // same token at different positions differs only by PE
+        let pe = sinusoidal_pos_encoding(3, 4);
+        for c in 0..4 {
+            let diff = (x[(0, c)] - pe[(0, c)]) - (x[(1, c)] - pe[(1, c)]);
+            assert!(diff.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn forward_rejects_oov() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut emb = Embedding::new("e", 4, 4, &mut rng);
+        let _ = emb.forward(&[4]);
+    }
+
+    #[test]
+    fn backward_scatters_scaled_gradient() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut emb = Embedding::new("e", 5, 2, &mut rng);
+        let _ = emb.forward(&[1, 1, 4]);
+        let dy = Mat::filled(3, 2, 1.0f32);
+        emb.backward(&dy);
+        let scale = 2f32.sqrt();
+        emb.visit_params(&mut |_, _, g| {
+            // token 1 hit twice, token 4 once, others zero
+            assert!((g[2] - 2.0 * scale).abs() < 1e-5);
+            assert!((g[4 * 2] - scale).abs() < 1e-5);
+            assert_eq!(g[0], 0.0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "without forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut emb = Embedding::new("e", 4, 2, &mut rng);
+        emb.backward(&Mat::zeros(1, 2));
+    }
+}

@@ -1,0 +1,231 @@
+//! KV-cached incremental decoding.
+//!
+//! [`crate::model::Seq2SeqTransformer::greedy_decode`] recomputes the
+//! whole target prefix every step — O(L²) layer work per sentence. This
+//! module keeps the projected self-attention keys/values of every
+//! decoder layer (and the cross-attention K/V, which never change) in a
+//! session cache, so each step runs the decoder on exactly one new row.
+//! Results are equivalent to full recomputation (causal masking makes
+//! position `t` independent of positions `> t`); tests assert agreement.
+
+use tensor::{gemm, ops, Mat};
+
+use crate::attention::attention_forward;
+use crate::mha::MhaResBlock;
+use crate::model::Seq2SeqTransformer;
+
+/// Per-layer cache: projected self-attention K/V so far, and the fixed
+/// cross-attention K/V from the encoder memory.
+#[derive(Debug, Clone)]
+struct LayerCache {
+    self_k: Mat<f32>,
+    self_v: Mat<f32>,
+    cross_k: Mat<f32>,
+    cross_v: Mat<f32>,
+}
+
+/// A decoding session over one source sentence.
+#[derive(Debug, Clone)]
+pub struct IncrementalSession {
+    layers: Vec<LayerCache>,
+    pos: usize,
+}
+
+/// Multi-head attention of a single query row against cached projected
+/// keys/values.
+fn attend_row(block: &MhaResBlock, q_row: &Mat<f32>, keys: &Mat<f32>, vals: &Mat<f32>) -> Mat<f32> {
+    let mha = block.mha();
+    let (wq, _, _, wo) = mha.projections();
+    let h = mha.heads();
+    let d_k = wq.d_in() / h;
+    let scale = 1.0 / (d_k as f32).sqrt();
+    let q = wq.forward_inference(q_row);
+    let mut heads = Vec::with_capacity(h);
+    for i in 0..h {
+        let c0 = i * d_k;
+        let qi = q.submatrix(0, c0, 1, d_k).expect("head panel");
+        let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
+        let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
+        let (out, _) = attention_forward(&qi, &ki, &vi, None, scale);
+        heads.push(out);
+    }
+    let concat = Mat::hconcat(&heads).expect("heads share rows");
+    wo.forward_inference(&concat)
+}
+
+/// Applies a full MHA ResBlock to one cached-attention row:
+/// `LayerNorm(x + attend(x))`.
+fn resblock_row(
+    block: &MhaResBlock,
+    x_row: &Mat<f32>,
+    keys: &Mat<f32>,
+    vals: &Mat<f32>,
+) -> Mat<f32> {
+    let sub = attend_row(block, x_row, keys, vals);
+    let res = ops::add(x_row, &sub).expect("residual shape");
+    block.layernorm().forward_inference(&res)
+}
+
+impl IncrementalSession {
+    /// Encodes `src` and prepares per-layer caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is empty.
+    pub fn new(model: &Seq2SeqTransformer, src: &[usize]) -> Self {
+        assert!(!src.is_empty(), "source must be non-empty");
+        let src_x = model.src_embedding().forward_inference(src);
+        let memory = model.encoder().forward_inference(&src_x, None);
+        let d_model = model.config().d_model;
+        let layers = model
+            .decoder()
+            .layers()
+            .iter()
+            .map(|layer| {
+                let (_, cross, _) = layer.blocks();
+                let (_, wk, wv, _) = cross.mha().projections();
+                LayerCache {
+                    self_k: Mat::zeros(0, d_model),
+                    self_v: Mat::zeros(0, d_model),
+                    cross_k: wk.forward_inference(&memory),
+                    cross_v: wv.forward_inference(&memory),
+                }
+            })
+            .collect();
+        Self { layers, pos: 0 }
+    }
+
+    /// Number of target tokens consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Feeds one target token (at the next position) and returns the
+    /// next-token vocabulary logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is out of vocabulary.
+    pub fn step(&mut self, model: &Seq2SeqTransformer, token: usize) -> Vec<f32> {
+        let emb = model.tgt_embedding().embed_at(token, self.pos);
+        let mut x = Mat::from_vec(1, emb.len(), emb).expect("row");
+        for (layer, cache) in model.decoder().layers().iter().zip(&mut self.layers) {
+            let (self_blk, cross_blk, ffn_blk) = layer.blocks();
+            // Append this position's projected self-attention K/V.
+            let (_, wk, wv, _) = self_blk.mha().projections();
+            let k_new = wk.forward_inference(&x);
+            let v_new = wv.forward_inference(&x);
+            cache.self_k = Mat::vconcat(&[cache.self_k.clone(), k_new]).expect("widths match");
+            cache.self_v = Mat::vconcat(&[cache.self_v.clone(), v_new]).expect("widths match");
+            // Causal self-attention over the cache (past + current only).
+            let a = resblock_row(self_blk, &x, &cache.self_k, &cache.self_v);
+            // Cross-attention over the fixed encoder K/V.
+            let b = resblock_row(cross_blk, &a, &cache.cross_k, &cache.cross_v);
+            // Position-wise FFN on the single row.
+            x = ffn_blk.forward_inference(&b);
+        }
+        self.pos += 1;
+        let logits = gemm::matmul(&x, model.output_projection().weight()).expect("widths match");
+        let logits = ops::add_row_bias(&logits, model.output_projection().bias()).expect("bias");
+        logits.row(0).to_vec()
+    }
+}
+
+/// Greedy decoding through the KV cache — output-equivalent to
+/// [`Seq2SeqTransformer::greedy_decode`] but O(L) layer passes instead
+/// of O(L²).
+pub fn greedy_decode_incremental(
+    model: &Seq2SeqTransformer,
+    src: &[usize],
+    bos: usize,
+    eos: usize,
+    max_len: usize,
+) -> Vec<usize> {
+    let mut session = IncrementalSession::new(model, src);
+    let mut out = Vec::new();
+    let mut token = bos;
+    for _ in 0..max_len {
+        let logits = session.step(model, token);
+        let next = tensor::ops::argmax(&logits);
+        if next == eos {
+            break;
+        }
+        out.push(next);
+        token = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::tasks::{BOS, EOS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Seq2SeqTransformer {
+        let mut cfg = ModelConfig::tiny_for_tests();
+        cfg.n_layers = 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Seq2SeqTransformer::new(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn incremental_logits_match_full_recompute() {
+        let mut m = model(1);
+        let src = [3usize, 7, 4, 9];
+        let prefix = [1usize, 5, 8, 6];
+        // full recompute: teacher-forced logits of the last position
+        let memory_logits = m.forward_train(&src, &prefix);
+        let want = memory_logits.row(prefix.len() - 1).to_vec();
+        // incremental
+        let mut session = IncrementalSession::new(&m, &src);
+        let mut got = Vec::new();
+        for &t in &prefix {
+            got = session.step(&m, t);
+        }
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn incremental_greedy_equals_full_greedy() {
+        for seed in [2u64, 3, 4] {
+            let mut m = model(seed);
+            let src = [4usize, 5, 6, 7, 8];
+            let full = m.greedy_decode(&src, BOS, EOS, 8);
+            let inc = greedy_decode_incremental(&m, &src, BOS, EOS, 8);
+            assert_eq!(full, inc, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn session_tracks_position() {
+        let m = model(5);
+        let mut s = IncrementalSession::new(&m, &[3, 4]);
+        assert_eq!(s.pos(), 0);
+        let _ = s.step(&m, BOS);
+        let _ = s.step(&m, 5);
+        assert_eq!(s.pos(), 2);
+    }
+
+    #[test]
+    fn cross_kv_is_precomputed_once() {
+        let m = model(6);
+        let s = IncrementalSession::new(&m, &[3, 4, 5]);
+        for cache in &s.layers {
+            assert_eq!(cache.cross_k.rows(), 3);
+            assert_eq!(cache.self_k.rows(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_source_rejected() {
+        let m = model(7);
+        let _ = IncrementalSession::new(&m, &[]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Fully connected layer `y = x W + b` with cached-activation backward.
+
+use rand::Rng;
+use tensor::{gemm, ops, Mat};
+
+use crate::opt::HasParams;
+
+/// A linear (dense) layer with weight `W: [in, out]` and bias
+/// `b: [out]`, holding its own gradients and forward cache.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    name: String,
+    w: Mat<f32>,
+    b: Vec<f32>,
+    grad_w: Mat<f32>,
+    grad_b: Vec<f32>,
+    cache_x: Option<Mat<f32>>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialised layer mapping `d_in -> d_out`.
+    pub fn new(name: impl Into<String>, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            name: name.into(),
+            w: tensor::init::xavier(rng, d_in, d_out),
+            b: vec![0.0; d_out],
+            grad_w: Mat::zeros(d_in, d_out),
+            grad_b: vec![0.0; d_out],
+            cache_x: None,
+        }
+    }
+
+    /// Creates a layer from explicit weights (for tests and for loading
+    /// trained parameters into the quantized model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != w.cols()`.
+    pub fn from_parts(name: impl Into<String>, w: Mat<f32>, b: Vec<f32>) -> Self {
+        assert_eq!(b.len(), w.cols(), "bias length must match output width");
+        let shape = w.shape();
+        Self {
+            name: name.into(),
+            w,
+            b,
+            grad_w: Mat::zeros(shape.0, shape.1),
+            grad_b: vec![0.0; shape.1],
+            cache_x: None,
+        }
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Borrow of the weight matrix.
+    pub fn weight(&self) -> &Mat<f32> {
+        &self.w
+    }
+
+    /// Borrow of the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Forward pass, caching the input for [`Linear::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.d_in()`.
+    pub fn forward(&mut self, x: &Mat<f32>) -> Mat<f32> {
+        let y = self.forward_inference(x);
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    /// Forward pass without caching (inference only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.d_in()`.
+    pub fn forward_inference(&self, x: &Mat<f32>) -> Mat<f32> {
+        let xw = gemm::matmul(x, &self.w).expect("linear: input width mismatch");
+        ops::add_row_bias(&xw, &self.b).expect("bias length invariant")
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`, or if `dy` has the wrong shape.
+    pub fn backward(&mut self, dy: &Mat<f32>) -> Mat<f32> {
+        let x = self
+            .cache_x
+            .take()
+            .expect("linear backward called without forward");
+        assert_eq!(dy.shape(), (x.rows(), self.d_out()), "dy shape mismatch");
+        // dW += X^T dY
+        let dw = gemm::matmul(&x.transposed(), dy).expect("shapes checked");
+        self.grad_w = ops::add(&self.grad_w, &dw).expect("grad shape invariant");
+        // db += column sums of dY
+        for r in 0..dy.rows() {
+            for (gb, v) in self.grad_b.iter_mut().zip(dy.row(r)) {
+                *gb += v;
+            }
+        }
+        // dX = dY W^T
+        gemm::matmul_nt(dy, &self.w).expect("shapes checked")
+    }
+}
+
+impl HasParams for Linear {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {
+        let wname = format!("{}.w", self.name);
+        f(&wname, self.w.as_mut_slice(), self.grad_w.as_mut_slice());
+        let bname = format!("{}.b", self.name);
+        f(&bname, &mut self.b, &mut self.grad_b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fd_check_linear(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lin = Linear::new("t", 4, 3, &mut rng);
+        let x = tensor::init::normal(&mut rng, 2, 4, 1.0);
+        let dy = tensor::init::normal(&mut rng, 2, 3, 1.0);
+
+        let _ = lin.forward(&x);
+        let dx = lin.backward(&dy);
+
+        // loss = <y, dy>; finite differences on x
+        let h = 1e-3f32;
+        let loss = |l: &Linear, x: &Mat<f32>| -> f32 {
+            l.forward_inference(x)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut xp = x.clone();
+                xp[(r, c)] += h;
+                let mut xm = x.clone();
+                xm[(r, c)] -= h;
+                let fd = (loss(&lin, &xp) - loss(&lin, &xm)) / (2.0 * h);
+                assert!(
+                    (fd - dx[(r, c)]).abs() < 2e-2,
+                    "dx({r},{c}): fd {fd} vs {}",
+                    dx[(r, c)]
+                );
+            }
+        }
+        // finite differences on W
+        let mut lin2 = lin.clone();
+        for r in 0..4 {
+            for c in 0..3 {
+                let mut wp = lin.weight().clone();
+                wp[(r, c)] += h;
+                let mut wm = lin.weight().clone();
+                wm[(r, c)] -= h;
+                let lp = Linear::from_parts("t", wp, lin.bias().to_vec());
+                let lm = Linear::from_parts("t", wm, lin.bias().to_vec());
+                let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+                let mut analytic = 0.0;
+                lin2.visit_params(&mut |n, _, g| {
+                    if n.ends_with(".w") {
+                        analytic = g[r * 3 + c];
+                    }
+                });
+                assert!(
+                    (fd - analytic).abs() < 2e-2,
+                    "dw({r},{c}): fd {fd} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        fd_check_linear(1);
+        fd_check_linear(2);
+    }
+
+    #[test]
+    fn forward_applies_bias() {
+        let w = Mat::from_vec(2, 2, vec![1.0f32, 0.0, 0.0, 1.0]).unwrap();
+        let mut lin = Linear::from_parts("id", w, vec![1.0, -1.0]);
+        let x = Mat::from_vec(1, 2, vec![3.0f32, 4.0]).unwrap();
+        let y = lin.forward(&x);
+        assert_eq!(y.as_slice(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn bias_grad_sums_rows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lin = Linear::new("t", 3, 2, &mut rng);
+        let x = tensor::init::normal(&mut rng, 4, 3, 1.0);
+        let dy = Mat::filled(4, 2, 1.0f32);
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        lin.visit_params(&mut |n, _, g| {
+            if n.ends_with(".b") {
+                assert_eq!(g, &[4.0, 4.0]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "without forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new("t", 2, 2, &mut rng);
+        let dy = Mat::zeros(1, 2);
+        let _ = lin.backward(&dy);
+    }
+
+    #[test]
+    fn zero_grad_resets_accumulation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lin = Linear::new("t", 2, 2, &mut rng);
+        let x = tensor::init::normal(&mut rng, 1, 2, 1.0);
+        let dy = tensor::init::normal(&mut rng, 1, 2, 1.0);
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        assert!(lin.grad_norm() > 0.0);
+        lin.zero_grad();
+        assert_eq!(lin.grad_norm(), 0.0);
+    }
+}

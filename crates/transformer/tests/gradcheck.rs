@@ -1,0 +1,136 @@
+//! Whole-model gradient check: finite differences through the *entire*
+//! encoder–decoder Transformer (embeddings, both stacks, output
+//! projection, cross-entropy), sampled across parameters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transformer::config::ModelConfig;
+use transformer::loss::cross_entropy;
+use transformer::model::Seq2SeqTransformer;
+use transformer::opt::HasParams;
+
+fn micro_config() -> ModelConfig {
+    ModelConfig {
+        name: "gradcheck".into(),
+        d_model: 8,
+        d_ff: 16,
+        h: 2,
+        n_layers: 1,
+        vocab: 8,
+        max_len: 6,
+    }
+}
+
+fn loss_of(model: &mut Seq2SeqTransformer, src: &[usize], tin: &[usize], tout: &[usize]) -> f32 {
+    let logits = model.forward_train(src, tin);
+    cross_entropy(&logits, tout, None).0
+}
+
+#[test]
+fn whole_model_gradients_match_finite_differences() {
+    let cfg = micro_config();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut model = Seq2SeqTransformer::new(&cfg, &mut rng);
+    let src = [3usize, 4, 5];
+    let tin = [1usize, 5, 4];
+    let tout = [5usize, 4, 3];
+
+    // analytic gradients
+    model.zero_grad();
+    let logits = model.forward_train(&src, &tin);
+    let (_, dlogits) = cross_entropy(&logits, &tout, None);
+    model.backward(&dlogits);
+
+    // collect flattened (buffer index, element index, analytic grad)
+    let mut analytic: Vec<(usize, usize, f32)> = Vec::new();
+    {
+        let mut buf_idx = 0usize;
+        model.visit_params(&mut |_, p, g| {
+            // sample a few elements per buffer, deterministically
+            let step = (p.len() / 3).max(1);
+            let mut i = buf_idx % step.max(1); // vary the phase per buffer
+            while i < p.len() {
+                analytic.push((buf_idx, i, g[i]));
+                i += step;
+            }
+            buf_idx += 1;
+        });
+    }
+
+    // finite differences on each sampled parameter
+    let h = 1e-2f32;
+    let mut checked = 0usize;
+    for &(buf, elem, grad) in analytic.iter() {
+        // Skip parameters with negligible gradient signal: the fd noise
+        // floor (f32 forward, h = 1e-2) swamps them.
+        if grad.abs() < 5e-3 {
+            continue;
+        }
+        let mut fd = 0.0f32;
+        for (sign, store) in [(1.0f32, true), (-1.0f32, false)] {
+            let mut idx = 0usize;
+            model.visit_params(&mut |_, p, _| {
+                if idx == buf {
+                    p[elem] += sign * h;
+                }
+                idx += 1;
+            });
+            let l = loss_of(&mut model, &src, &tin, &tout);
+            if store {
+                fd = l;
+            } else {
+                fd = (fd - l) / (2.0 * h);
+            }
+            // restore
+            let mut idx2 = 0usize;
+            model.visit_params(&mut |_, p, _| {
+                if idx2 == buf {
+                    p[elem] -= sign * h;
+                }
+                idx2 += 1;
+            });
+        }
+        let denom = grad.abs().max(fd.abs()).max(1e-3);
+        let rel = (fd - grad).abs() / denom;
+        assert!(
+            rel < 0.25,
+            "buffer {buf} elem {elem}: fd {fd} vs analytic {grad} (rel {rel})"
+        );
+        checked += 1;
+    }
+    assert!(checked > 30, "only {checked} parameters had usable signal");
+}
+
+#[test]
+fn gradient_accumulation_is_additive() {
+    let cfg = micro_config();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut model = Seq2SeqTransformer::new(&cfg, &mut rng);
+    let samples: Vec<([usize; 2], [usize; 2], [usize; 2])> = (0..3)
+        .map(|_| {
+            let a = rng.random_range(3..8);
+            let b = rng.random_range(3..8);
+            ([a, b], [1, b], [b, 2])
+        })
+        .collect();
+
+    // accumulate over all three samples
+    model.zero_grad();
+    for (src, tin, tout) in &samples {
+        let logits = model.forward_train(src, tin);
+        let (_, d) = cross_entropy(&logits, tout, None);
+        model.backward(&d);
+    }
+    let total = model.grad_norm();
+
+    // the same accumulation restarted per sample must differ
+    model.zero_grad();
+    let (src, tin, tout) = &samples[0];
+    let logits = model.forward_train(src, tin);
+    let (_, d) = cross_entropy(&logits, tout, None);
+    model.backward(&d);
+    let single = model.grad_norm();
+
+    assert!(total > 0.0 && single > 0.0);
+    assert_ne!(total, single, "accumulation had no effect");
+}

@@ -1,0 +1,93 @@
+//! Trains a small model on the reversal task and renders its decoder
+//! cross-attention as ASCII heatmaps — the learned anti-diagonal is
+//! direct evidence the MHA ResBlock (the layer the accelerator serves)
+//! is doing position-based routing, not memorisation.
+//!
+//! ```text
+//! cargo run --release --example attention_maps
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transformer_accel::tensor::{gemm, ops, Mat};
+use transformer_accel::transformer::functional::softmax_rows;
+use transformer_accel::transformer::model::Seq2SeqTransformer;
+use transformer_accel::transformer::tasks::{Task, TaskGen, BOS};
+use transformer_accel::transformer::train::{study_config, train, TrainSpec};
+
+/// Renders a probability matrix as an ASCII heatmap.
+fn heatmap(p: &Mat<f32>) -> String {
+    const SHADES: [char; 5] = [' ', '.', ':', '#', '@'];
+    let mut out = String::new();
+    for r in 0..p.rows() {
+        for c in 0..p.cols() {
+            let v = p[(r, c)].clamp(0.0, 1.0);
+            let idx = ((v * (SHADES.len() as f32 - 1.0)).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx]);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let cfg = study_config();
+    println!("training on the reversal task to grow an anti-diagonal attention head...");
+    let mut rng = StdRng::seed_from_u64(0xA77E);
+    let mut model = Seq2SeqTransformer::new(&cfg, &mut rng);
+    let gen = TaskGen::new(Task::Reverse, cfg.vocab, 8, 8);
+    let spec = TrainSpec {
+        steps: 900,
+        batch: 8,
+        warmup: 120,
+        lr_scale: 0.5,
+        ..TrainSpec::default()
+    };
+    let report = train(&mut model, &gen, &spec);
+    println!("final loss {:.3}\n", report.final_loss);
+
+    // One evaluation pair; recompute the last decoder layer's
+    // cross-attention probabilities by hand from its projections.
+    let (src, tgt) = gen.sample(&mut StdRng::seed_from_u64(3));
+    println!("src: {src:?}");
+    println!("tgt: {tgt:?} (the reverse)\n");
+
+    let memory = model.encode(&src);
+    let mut tgt_in = vec![BOS];
+    tgt_in.extend_from_slice(&tgt);
+    // Run the decoder stack up to the last layer's cross-attention input.
+    let logits = model.forward_train(&src, &tgt_in); // populates nothing we can read; recompute below
+    drop(logits);
+
+    // Recompute: embed target, run self-attn of layer 0, then inspect
+    // the cross-attention scores of layer 0 head by head.
+    let y = model.tgt_embedding().forward_inference(&tgt_in);
+    let layer = &model.decoder().layers()[0];
+    let (self_blk, cross_blk, _) = layer.blocks();
+    let mask = ops::causal_mask(tgt_in.len());
+    let a = self_blk.forward_inference(&y, &y, &y, Some(&mask));
+
+    let (wq, wk, _, _) = cross_blk.mha().projections();
+    let h = cross_blk.mha().heads();
+    let d_k = wq.d_in() / h;
+    let q = wq.forward_inference(&a);
+    let k = wk.forward_inference(&memory);
+    for head in 0..h {
+        let c0 = head * d_k;
+        let qi = q.submatrix(0, c0, q.rows(), d_k).unwrap();
+        let ki = k.submatrix(0, c0, k.rows(), d_k).unwrap();
+        let scores = ops::scale(
+            &gemm::matmul_nt(&qi, &ki).unwrap(),
+            1.0 / (d_k as f32).sqrt(),
+        );
+        let probs = softmax_rows(&scores, None);
+        println!(
+            "decoder layer 0, cross-attention head {head} (rows = target pos, cols = source pos):"
+        );
+        println!("{}", heatmap(&probs));
+    }
+    println!("a reversal model attends anti-diagonally: target position t looks at source");
+    println!("position s-1-t — visible as the '@' band running from top-right to bottom-left");
+    println!("in at least one head.");
+}

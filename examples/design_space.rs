@@ -1,0 +1,57 @@
+//! Design-space exploration: sweep the array height `s` and the target
+//! model, and chart latency / resources / power trade-offs — the kind of
+//! study the paper's calibrated models enable beyond the single
+//! published design point.
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use transformer_accel::accel::area::{estimate_power, AreaModel};
+use transformer_accel::accel::{scheduler, AccelConfig};
+use transformer_accel::hwsim::resources::Device;
+use transformer_accel::transformer::config::ModelConfig;
+
+fn main() {
+    let device = Device::vu13p();
+    println!(
+        "design space on {} (paper design: s = 64, Transformer-base)\n",
+        device.name
+    );
+    println!(
+        "{:>18} {:>5} | {:>9} {:>9} | {:>9} {:>7} {:>7} | {:>6}",
+        "model", "s", "MHA us", "FFN us", "LUT", "BRAM", "W", "fits"
+    );
+    for model in ModelConfig::table1() {
+        for s in [32usize, 64, 128, 256] {
+            let cfg = AccelConfig {
+                model: model.clone(),
+                s,
+                ..AccelConfig::paper_default()
+            };
+            let mha = scheduler::schedule_mha(&cfg);
+            let ffn = scheduler::schedule_ffn(&cfg);
+            let area = AreaModel::new(cfg.clone());
+            let top = area.top();
+            let power = estimate_power(&area, &cfg);
+            println!(
+                "{:>18} {:>5} | {:>9.1} {:>9.1} | {:>9.0} {:>7.0} {:>7.1} | {:>6}",
+                model.name,
+                s,
+                mha.latency_us,
+                ffn.latency_us,
+                top.lut,
+                top.bram,
+                power.total_w(),
+                if area.fits_vu13p() { "yes" } else { "NO" },
+            );
+        }
+        println!();
+    }
+    println!("notes:");
+    println!("- FFN cycles are s-independent (weight panels stream k = d_model / d_ff regardless)");
+    println!("- MHA grows with s through QK^T tiling, softmax passes and the PV reduction");
+    println!(
+        "- beyond s = 128 the softmax can no longer hide behind V*W_V (see softmax_module bin)"
+    );
+}
