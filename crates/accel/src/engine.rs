@@ -21,6 +21,27 @@ use tensor::Mat;
 use crate::partition::{qk_plan, PANEL_COLS};
 use crate::systolic::SystolicArray;
 
+/// How the engine models each GEMM pass through the array.
+///
+/// Both modes produce **bit-identical** [`EngineRun`]s — same output
+/// codes, same [`EngineStats`], same cycle counts (asserted by tests) —
+/// because the PE grid is exact integer arithmetic and the wavefront
+/// timing is a closed form of the operand shape alone. They differ only
+/// in simulation cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Cycle-by-cycle register-true PE-grid simulation
+    /// ([`SystolicArray::simulate`]): `O(cycles · PEs)` per pass. Use
+    /// when validating the dataflow itself.
+    RegisterTrue,
+    /// Fast analytic model ([`SystolicArray::simulate_analytic`]): the
+    /// blocked/parallel `tensor::gemm::matmul_i8` kernel for the product
+    /// plus closed-form cycles (`compute = k + m + n − 2`, `drain = n`).
+    /// The default — orders of magnitude faster at paper shapes.
+    #[default]
+    Analytic,
+}
+
 /// Execution statistics of one engine run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -48,15 +69,29 @@ pub struct EngineRun {
 pub struct ArrayEngine {
     sa: SystolicArray,
     stats: EngineStats,
+    fidelity: Fidelity,
 }
 
 impl ArrayEngine {
-    /// Creates an engine around an `s_max × 64` array.
+    /// Creates an engine around an `s_max × 64` array using the default
+    /// [`Fidelity::Analytic`] model.
     pub fn new(s_max: usize) -> Self {
+        Self::with_fidelity(s_max, Fidelity::default())
+    }
+
+    /// Creates an engine around an `s_max × 64` array with an explicit
+    /// fidelity mode.
+    pub fn with_fidelity(s_max: usize, fidelity: Fidelity) -> Self {
         Self {
             sa: SystolicArray::paper(s_max),
             stats: EngineStats::default(),
+            fidelity,
         }
+    }
+
+    /// Creates a register-true engine (cycle-by-cycle PE simulation).
+    pub fn register_true(s_max: usize) -> Self {
+        Self::with_fidelity(s_max, Fidelity::RegisterTrue)
     }
 
     /// The underlying array geometry.
@@ -64,9 +99,17 @@ impl ArrayEngine {
         &self.sa
     }
 
+    /// The engine's fidelity mode.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
     /// One GEMM pass through the PE grid, with bookkeeping.
     fn pass(&mut self, a: &Mat<i8>, b: &Mat<i8>) -> Mat<i32> {
-        let sim = self.sa.simulate(a, b);
+        let sim = match self.fidelity {
+            Fidelity::RegisterTrue => self.sa.simulate(a, b),
+            Fidelity::Analytic => self.sa.simulate_analytic(a, b),
+        };
         self.stats.gemm_passes += 1;
         self.stats.macs += (a.rows() * a.cols() * b.cols()) as u64;
         self.stats.isolated_cycles += sim.total;
@@ -292,6 +335,46 @@ mod tests {
         let (want, _) = qmha.forward(&xq, &codes[1], None);
         let run = engine.execute_mha(&qmha, &xq, &codes[1], None);
         assert_eq!(run.out, want);
+    }
+
+    #[test]
+    fn fidelity_modes_are_bit_identical_for_mha() {
+        // Analytic and register-true engines must agree on outputs AND
+        // stats (pass counts, MACs, isolated cycles) across randomized
+        // inputs and sequence lengths, masked and unmasked.
+        for s in [3usize, 5, 8] {
+            let (qmha, _, codes) = setup(s);
+            let mut fast = ArrayEngine::new(8);
+            let mut slow = ArrayEngine::register_true(8);
+            assert_eq!(fast.fidelity(), Fidelity::Analytic);
+            assert_eq!(slow.fidelity(), Fidelity::RegisterTrue);
+            let mask = tensor::ops::causal_mask(s);
+            for xq in &codes {
+                let x = xq.submatrix(0, 0, s, xq.cols()).unwrap();
+                for mask in [None, Some(&mask)] {
+                    let a = fast.execute_mha(&qmha, &x, &x, mask);
+                    let b = slow.execute_mha(&qmha, &x, &x, mask);
+                    assert_eq!(a.out, b.out, "s={s}");
+                    assert_eq!(a.stats, b.stats, "s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fidelity_modes_are_bit_identical_for_ffn() {
+        for s in [2usize, 7, 8] {
+            let (_, qffn, codes) = setup(s);
+            let mut fast = ArrayEngine::with_fidelity(8, Fidelity::Analytic);
+            let mut slow = ArrayEngine::with_fidelity(8, Fidelity::RegisterTrue);
+            for xq in &codes {
+                let x = xq.submatrix(0, 0, s, xq.cols()).unwrap();
+                let a = fast.execute_ffn(&qffn, &x);
+                let b = slow.execute_ffn(&qffn, &x);
+                assert_eq!(a.out, b.out, "s={s}");
+                assert_eq!(a.stats, b.stats, "s={s}");
+            }
+        }
     }
 
     #[test]

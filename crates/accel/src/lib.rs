@@ -58,5 +58,6 @@ pub mod top;
 pub mod weights;
 
 pub use config::{AccelConfig, LayerNormMode, SchedPolicy};
+pub use engine::{ArrayEngine, EngineRun, EngineStats, Fidelity};
 pub use scheduler::ScheduleReport;
 pub use top::Accelerator;

@@ -84,14 +84,16 @@ pub fn evaluate_point_fixed_workload(
 }
 
 /// Sweeps every `(model, s)` combination.
+///
+/// Points are evaluated in parallel (`tensor::par`, honouring
+/// `ACCEL_THREADS`) but returned in grid order — models outermost,
+/// `s_values` inner — identically to a serial double loop.
 pub fn sweep(models: &[ModelConfig], s_values: &[usize]) -> Vec<DesignPoint> {
-    let mut out = Vec::with_capacity(models.len() * s_values.len());
-    for m in models {
-        for &s in s_values {
-            out.push(evaluate_point(m, s));
-        }
-    }
-    out
+    let grid: Vec<(&ModelConfig, usize)> = models
+        .iter()
+        .flat_map(|m| s_values.iter().map(move |&s| (m, s)))
+        .collect();
+    tensor::par::par_map(&grid, |&(m, s)| evaluate_point(m, s))
 }
 
 /// Extracts the Pareto frontier over `(layer_latency_us, lut)` from the

@@ -20,7 +20,7 @@
 //!   cycles per GEMM plus the drain policy).
 
 use hwsim::cycles::Cycle;
-use tensor::Mat;
+use tensor::{gemm, Mat};
 
 /// Geometry and timing of the systolic array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +153,40 @@ impl SystolicArray {
             total: compute + drain,
         }
     }
+
+    /// Analytic model of one GEMM `a · b`: the product from the fast
+    /// blocked [`tensor::gemm::matmul_i8`] kernel plus the closed-form
+    /// cycle counts (`compute = k + rows_a + cols_b − 2`,
+    /// `drain = cols_b`).
+    ///
+    /// The PE grid is output-stationary and exact, and the wavefront
+    /// timing depends only on the operand shape, so this is
+    /// **bit-identical** to [`SystolicArray::simulate`] in both outputs
+    /// and cycles (asserted by tests) — at GEMM cost instead of
+    /// `O(cycles · PEs)` register stepping. Operand validation matches
+    /// `simulate` panic for panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands exceed the array or widths mismatch.
+    pub fn simulate_analytic(&self, a: &Mat<i8>, b: &Mat<i8>) -> SimResult {
+        let (rows_a, k) = a.shape();
+        let (kb, cols_b) = b.shape();
+        assert_eq!(k, kb, "reduction depth mismatch: {k} vs {kb}");
+        assert!(rows_a <= self.rows, "A has more rows than the array");
+        assert!(cols_b <= self.cols, "B has more columns than the array");
+        assert!(k > 0 && rows_a > 0 && cols_b > 0, "empty operands");
+
+        let out = gemm::matmul_i8(a, b).expect("widths checked above");
+        let compute = Cycle((k + rows_a + cols_b - 2) as u64);
+        let drain = Cycle(cols_b as u64);
+        SimResult {
+            out,
+            compute,
+            drain,
+            total: compute + drain,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +235,36 @@ mod tests {
         assert_eq!(sim.total, Cycle(40 + 16 + 16 - 2 + 16));
         assert_eq!(sa.stream_cycles(40), Cycle(40));
         assert_eq!(sa.drain_cycles(), Cycle(16));
+    }
+
+    #[test]
+    fn analytic_matches_register_true_bit_for_bit() {
+        // Randomized shapes: outputs AND all three cycle counts must be
+        // identical between the two fidelity paths.
+        let mut rng = StdRng::seed_from_u64(29);
+        let sa = SystolicArray::new(16, 16);
+        for case in 0..25 {
+            let m = 1 + (case * 7) % 16;
+            let n = 1 + (case * 11) % 16;
+            let k = 1 + (case * 13) % 80;
+            let a = tensor::init::uniform_i8(&mut rng, m, k);
+            let b = tensor::init::uniform_i8(&mut rng, k, n);
+            let slow = sa.simulate(&a, &b);
+            let fast = sa.simulate_analytic(&a, &b);
+            assert_eq!(fast.out, slow.out, "({m},{k},{n})");
+            assert_eq!(fast.compute, slow.compute, "({m},{k},{n})");
+            assert_eq!(fast.drain, slow.drain, "({m},{k},{n})");
+            assert_eq!(fast.total, slow.total, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth mismatch")]
+    fn analytic_keeps_simulate_validation() {
+        let sa = SystolicArray::new(4, 4);
+        let a = Mat::<i8>::zeros(4, 3);
+        let b = Mat::<i8>::zeros(4, 4);
+        let _ = sa.simulate_analytic(&a, &b);
     }
 
     #[test]

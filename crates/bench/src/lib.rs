@@ -46,16 +46,23 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Writes a JSON result artifact under `results/<name>.json` (relative
-/// to the workspace root when run via `cargo run`).
+/// Writes a JSON result artifact under the workspace root's
+/// `results/<name>.json`, regardless of the invoking CWD (`cargo run`
+/// starts in the invocation directory, `cargo bench` in the package
+/// directory — anchoring on `CARGO_MANIFEST_DIR` makes both land in the
+/// same tracked `results/`).
 ///
 /// # Panics
 ///
 /// Panics on I/O or serialization failure — experiment binaries should
 /// fail loudly.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let dir = Path::new("results");
-    fs::create_dir_all(dir).expect("create results/ directory");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/bench");
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).expect("create results/ directory");
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize result");
     fs::write(&path, json).expect("write result file");

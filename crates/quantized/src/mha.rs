@@ -277,11 +277,15 @@ impl QuantMhaResBlock {
         mask: Option<&Mat<bool>>,
     ) -> (Mat<i8>, Mat<i8>) {
         // Algorithm 1, first loop: per-head projections and attention.
+        // Heads are independent, so they fan out across threads
+        // (`tensor::par`); each head's datapath is bit-exact integer
+        // arithmetic and the panels are reassembled in head order, so
+        // the result is identical for any thread count.
         let q = self.wq.forward(xq);
         let k = self.wk.forward(xkv);
         let v = self.wv.forward(xkv);
-        let mut p_panels = Vec::with_capacity(self.h);
-        for i in 0..self.h {
+        let heads: Vec<usize> = (0..self.h).collect();
+        let p_panels = tensor::par::par_map(&heads, |&i| {
             let c0 = i * self.d_k;
             let qi = q.submatrix(0, c0, q.rows(), self.d_k).expect("panel");
             let ki = k.submatrix(0, c0, k.rows(), self.d_k).expect("panel");
@@ -289,8 +293,8 @@ impl QuantMhaResBlock {
             let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
             let probs = scaled_masked_softmax(&d_acc, self.d_scale, self.d_k, mask, self.mode);
             let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
-            p_panels.push(p_acc.map(|&a| self.p_requant.apply_sat_i8(a)));
-        }
+            p_acc.map(|&a| self.p_requant.apply_sat_i8(a))
+        });
         let p = Mat::hconcat(&p_panels).expect("heads share rows");
         // Second loop: G = P W_G + bias (+ residual), then LayerNorm.
         let g_matmul = self.wo.forward(&p);

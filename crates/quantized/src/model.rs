@@ -264,16 +264,15 @@ impl QuantSeq2Seq {
         assert!(threads > 0, "need at least one thread");
         let chunk = corpus.len().div_ceil(threads);
         let mut hyps: Vec<Vec<usize>> = vec![Vec::new(); corpus.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot_chunk, work_chunk) in hyps.chunks_mut(chunk).zip(corpus.chunks(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (slot, (src, _)) in slot_chunk.iter_mut().zip(work_chunk) {
                         *slot = self.greedy_decode_incremental(src, self.max_len);
                     }
                 });
             }
-        })
-        .expect("evaluation worker panicked");
+        });
         self.score(corpus, hyps)
     }
 

@@ -7,13 +7,237 @@
 //!   ([`matmul_i8`]). The `i32` accumulator never overflows for the
 //!   reduction depths used by the paper (`k <= 4096`): the worst case is
 //!   `4096 * 127 * 128 = 66,584,576`, far below `i32::MAX`.
+//!
+//! # Kernel structure
+//!
+//! The four public entry points ([`matmul`], [`matmul_nt`], [`matmul_i8`],
+//! [`matmul_i8_nt`]) are parallelised over horizontal output bands with
+//! [`std::thread::scope`] (worker count from [`crate::par::threads`],
+//! i.e. the `ACCEL_THREADS` environment variable or the machine's
+//! available parallelism). Small problems below [`SERIAL_CUTOFF_MACS`]
+//! run on the calling thread to avoid spawn overhead.
+//!
+//! The non-transposed kernels pack `B` once into `NR`-lane column tiles
+//! (`[tile][k][lane]` layout, integer operands widened to `i32` during
+//! packing) shared read-only by all bands, then run a register-tiled
+//! `MR x NR` microkernel: `MR` rows of `A` against one tile, with the
+//! `MR * NR` accumulators living in registers across the whole `k` sweep
+//! so each output element is loaded and stored exactly once. The `*_nt`
+//! kernels read `B`'s rows directly (they already are the contiguous
+//! panels of `B^T`) with a blocked dot product.
+//!
+//! Every kernel is **bit-identical** to its naive reference
+//! ([`matmul_ref`] etc.) for any thread count: tiling over `n`, register
+//! blocking over rows, and splitting rows across threads never reorder
+//! the per-element accumulation (each output element still sums its `k`
+//! products in ascending-`k` order on a single thread). The integer
+//! kernels are exact regardless; for `f32` the unchanged summation order
+//! is what preserves bit equality. There is deliberately **no** skip of
+//! zero operands — a data-dependent early-out gives data-dependent
+//! timing (unlike the fixed-schedule systolic array being modelled) and
+//! silently drops `0.0 * NaN` propagation in the float kernel.
+//!
+//! Explicit-thread-count variants ([`matmul_with_threads`] etc.) bypass
+//! both the environment lookup and the serial cutoff; they exist for
+//! equivalence tests and benchmarks that pin the worker count.
 
-use crate::{Mat, ShapeError};
+use crate::{par, Mat, ShapeError};
+
+/// Column-tile width of the register microkernel (one 512-bit vector of
+/// `i32`/`f32` lanes; also vectorises as two 256-bit ops on AVX2).
+const NR: usize = 16;
+/// Rows of `A` processed together by the register microkernel — each
+/// packed `B` vector load feeds `MR` rows' accumulators.
+const MR: usize = 4;
+/// Output-column block size for the `*_nt` dot-product kernels: how many
+/// rows of `B` stay hot in cache while a band of `A` rows streams by.
+const BJ: usize = 32;
+
+/// Problems with at most this many multiply-accumulates (`m * k * n`)
+/// run serially on the calling thread — below this size thread-spawn
+/// overhead exceeds the compute being split.
+pub const SERIAL_CUTOFF_MACS: usize = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// Tile packing
+// ---------------------------------------------------------------------------
+
+/// Packs `b` (`k x n`) into `NR`-lane column tiles, widening each
+/// element with `widen` (identity for `f32`, `i8 -> i32` for the integer
+/// kernel so the inner loop multiplies without per-element conversions).
+///
+/// Layout: `[tile][p][lane]` — for column tile `t`, the `NR` values of
+/// row `p` restricted to columns `t*NR..` are contiguous, so the
+/// microkernel's per-`p` tile load is a single vector read. The last
+/// tile is zero-padded to `NR`; padded lanes are computed and discarded,
+/// which cannot perturb real lanes (lanes are independent). The packed
+/// buffer is built once per GEMM and shared read-only by every band.
+fn pack_tiles<T: Copy, U: Copy + Default>(b: &Mat<T>, widen: impl Fn(T) -> U) -> Vec<U> {
+    let (k, n) = b.shape();
+    let tiles = n.div_ceil(NR);
+    let mut packed = vec![U::default(); tiles * k * NR];
+    for t in 0..tiles {
+        let j0 = t * NR;
+        let w = NR.min(n - j0);
+        for p in 0..k {
+            let brow = &b.row(p)[j0..j0 + w];
+            let dst = &mut packed[(t * k + p) * NR..(t * k + p) * NR + w];
+            for (d, &v) in dst.iter_mut().zip(brow) {
+                *d = widen(v);
+            }
+        }
+    }
+    packed
+}
+
+// ---------------------------------------------------------------------------
+// Band kernels (each runs on one worker thread over a row band)
+// ---------------------------------------------------------------------------
+
+macro_rules! band_kernel {
+    ($name:ident, $ta:ty, $to:ty, $widen:path) => {
+        /// Computes `out_band = a[first_row..][..rows] * B` from packed
+        /// `B` tiles with a register-tiled `MR x NR` microkernel: the
+        /// accumulators stay in registers across the whole `k` sweep and
+        /// each output element is written exactly once. The tile loop is
+        /// outermost so one packed tile (`k * NR` elements) stays hot in
+        /// cache across every row of the band — without this, wide-`n`
+        /// GEMMs (the FFN's `n = d_ff`) re-stream the whole packed `B`
+        /// per row quad. Per element the `k` products accumulate in
+        /// ascending-`k` order from zero, matching the naive reference
+        /// bit for bit (the loop nesting never changes what one element
+        /// sums, only the visit order across independent elements).
+        fn $name(a: &Mat<$ta>, packed: &[$to], first_row: usize, out_band: &mut [$to], n: usize) {
+            if n == 0 {
+                return;
+            }
+            let k = a.cols();
+            let rows = out_band.len() / n;
+            let tiles = n.div_ceil(NR);
+            for t in 0..tiles {
+                let bt = &packed[t * k * NR..(t + 1) * k * NR];
+                let j0 = t * NR;
+                let w = NR.min(n - j0);
+                let mut r = 0;
+                // MR-row register tiles.
+                while r + MR <= rows {
+                    let (a0, a1, a2, a3) = (
+                        a.row(first_row + r),
+                        a.row(first_row + r + 1),
+                        a.row(first_row + r + 2),
+                        a.row(first_row + r + 3),
+                    );
+                    let mut c0 = [<$to>::default(); NR];
+                    let mut c1 = [<$to>::default(); NR];
+                    let mut c2 = [<$to>::default(); NR];
+                    let mut c3 = [<$to>::default(); NR];
+                    for p in 0..k {
+                        let bv = &bt[p * NR..(p + 1) * NR];
+                        let x0 = $widen(a0[p]);
+                        let x1 = $widen(a1[p]);
+                        let x2 = $widen(a2[p]);
+                        let x3 = $widen(a3[p]);
+                        for l in 0..NR {
+                            c0[l] += x0 * bv[l];
+                            c1[l] += x1 * bv[l];
+                            c2[l] += x2 * bv[l];
+                            c3[l] += x3 * bv[l];
+                        }
+                    }
+                    for (q, c) in [c0, c1, c2, c3].iter().enumerate() {
+                        let at = (r + q) * n + j0;
+                        out_band[at..at + w].copy_from_slice(&c[..w]);
+                    }
+                    r += MR;
+                }
+                // Remainder rows, one at a time.
+                while r < rows {
+                    let a0 = a.row(first_row + r);
+                    let mut c0 = [<$to>::default(); NR];
+                    for p in 0..k {
+                        let bv = &bt[p * NR..(p + 1) * NR];
+                        let x0 = $widen(a0[p]);
+                        for l in 0..NR {
+                            c0[l] += x0 * bv[l];
+                        }
+                    }
+                    out_band[r * n + j0..r * n + j0 + w].copy_from_slice(&c0[..w]);
+                    r += 1;
+                }
+            }
+        }
+    };
+}
+
+band_kernel!(band_f32, f32, f32, widen_f32);
+band_kernel!(band_i8, i8, i32, widen_i8);
+
+/// Identity widening for the `f32` dot-product kernel.
+#[inline]
+fn widen_f32(v: f32) -> f32 {
+    v
+}
+
+/// `i8 -> i32` widening for the integer dot-product kernel.
+#[inline]
+fn widen_i8(v: i8) -> i32 {
+    i32::from(v)
+}
+
+macro_rules! band_kernel_nt {
+    ($name:ident, $ta:ty, $to:ty, $zero:expr, $widen:path) => {
+        /// Computes `out_band = a[first_row..][..rows] * b^T` by blocked
+        /// dot products: `BJ` rows of `b` stay in cache while the band's
+        /// `a` rows stream past. Each element uses one accumulator over
+        /// ascending `k`, matching the naive reference bit for bit.
+        fn $name(a: &Mat<$ta>, b: &Mat<$ta>, first_row: usize, out_band: &mut [$to], n: usize) {
+            if n == 0 {
+                return;
+            }
+            let rows = out_band.len() / n;
+            let mut j0 = 0;
+            while j0 < n {
+                let jb = BJ.min(n - j0);
+                for r in 0..rows {
+                    let arow = a.row(first_row + r);
+                    let orow = &mut out_band[r * n + j0..r * n + j0 + jb];
+                    for (o, j) in orow.iter_mut().zip(j0..) {
+                        let brow = b.row(j);
+                        let mut acc = $zero;
+                        for (&x, &y) in arow.iter().zip(brow) {
+                            acc += $widen(x) * $widen(y);
+                        }
+                        *o = acc;
+                    }
+                }
+                j0 += jb;
+            }
+        }
+    };
+}
+
+band_kernel_nt!(band_nt_f32, f32, f32, 0.0f32, widen_f32);
+band_kernel_nt!(band_nt_i8, i8, i32, 0i32, widen_i8);
+
+/// Worker count for an `m x k x n` problem: serial below the cutoff,
+/// otherwise [`par::threads`].
+fn auto_threads(m: usize, k: usize, n: usize) -> usize {
+    if m * k * n <= SERIAL_CUTOFF_MACS {
+        1
+    } else {
+        par::threads()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
 
 /// `f32` GEMM: returns `a * b`.
 ///
-/// Uses a cache-friendly ikj loop ordering; adequate for the model sizes in
-/// the paper (`d_model <= 1024`, `d_ff <= 4096`).
+/// Cache-blocked over packed `B` panels and parallelised over output row
+/// bands (see the [module docs](self)); bit-identical to [`matmul_ref`]
+/// for any thread count.
 ///
 /// # Errors
 ///
@@ -31,59 +255,75 @@ use crate::{Mat, ShapeError};
 /// # }
 /// ```
 pub fn matmul(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>, ShapeError> {
+    matmul_with_threads(a, b, auto_threads(a.rows(), a.cols(), b.cols()))
+}
+
+/// [`matmul`] with an explicit worker count (no cutoff, no environment
+/// lookup). `threads = 1` runs entirely on the calling thread.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
+pub fn matmul_with_threads(
+    a: &Mat<f32>,
+    b: &Mat<f32>,
+    threads: usize,
+) -> Result<Mat<f32>, ShapeError> {
     if a.cols() != b.rows() {
         return Err(ShapeError::new("matmul", a.shape(), b.shape()));
     }
-    let (m, k) = a.shape();
-    let n = b.cols();
+    let (m, n) = (a.rows(), b.cols());
     let mut out = Mat::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let orow = out.row_mut(i);
-        for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
-        }
-    }
+    let packed = pack_tiles(b, widen_f32);
+    par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+        band_f32(a, &packed, first_row, band, n);
+    });
     Ok(out)
 }
 
 /// `f32` GEMM against the transpose of `b`: returns `a * b^T`.
 ///
 /// Avoids materialising the transpose for the attention score computation
-/// `Q_i K_i^T`.
+/// `Q_i K_i^T`; `b`'s rows already are the contiguous panels of `b^T`.
+/// Parallelised over output row bands; bit-identical to
+/// [`matmul_nt_ref`] for any thread count.
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if `a.cols() != b.cols()`.
 pub fn matmul_nt(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>, ShapeError> {
+    matmul_nt_with_threads(a, b, auto_threads(a.rows(), a.cols(), b.rows()))
+}
+
+/// [`matmul_nt`] with an explicit worker count (no cutoff, no
+/// environment lookup).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.cols()`.
+pub fn matmul_nt_with_threads(
+    a: &Mat<f32>,
+    b: &Mat<f32>,
+    threads: usize,
+) -> Result<Mat<f32>, ShapeError> {
     if a.cols() != b.cols() {
         return Err(ShapeError::new("matmul_nt", a.shape(), b.shape()));
     }
-    let m = a.rows();
-    let n = b.rows();
+    let (m, n) = (a.rows(), b.rows());
     let mut out = Mat::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let brow = b.row(j);
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            out[(i, j)] = acc;
-        }
-    }
+    par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+        band_nt_f32(a, b, first_row, band, n);
+    });
     Ok(out)
 }
 
 /// INT8 GEMM with `i32` accumulation: returns `a * b` exactly as an INT8
 /// MAC array (the paper's systolic array) would compute it.
+///
+/// Cache-blocked over packed `B` panels with the widening
+/// `i8 x i8 -> i32` microkernel and parallelised over output row bands;
+/// integer arithmetic is exact, so the result equals [`matmul_i8_ref`]
+/// for any blocking or thread count.
 ///
 /// # Errors
 ///
@@ -101,8 +341,94 @@ pub fn matmul_nt(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>, ShapeError> {
 /// # }
 /// ```
 pub fn matmul_i8(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+    matmul_i8_with_threads(a, b, auto_threads(a.rows(), a.cols(), b.cols()))
+}
+
+/// [`matmul_i8`] with an explicit worker count (no cutoff, no
+/// environment lookup).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
+pub fn matmul_i8_with_threads(
+    a: &Mat<i8>,
+    b: &Mat<i8>,
+    threads: usize,
+) -> Result<Mat<i32>, ShapeError> {
     if a.cols() != b.rows() {
         return Err(ShapeError::new("matmul_i8", a.shape(), b.shape()));
+    }
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = Mat::<i32>::zeros(m, n);
+    let packed = pack_tiles(b, widen_i8);
+    par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+        band_i8(a, &packed, first_row, band, n);
+    });
+    Ok(out)
+}
+
+/// Serial cache-blocked INT8 GEMM — the single-thread configuration of
+/// [`matmul_i8`], kept as a distinct entry point so benchmarks can
+/// isolate blocking gains from parallel speedup.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
+pub fn matmul_i8_blocked(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+    matmul_i8_with_threads(a, b, 1)
+        .map_err(|_| ShapeError::new("matmul_i8_blocked", a.shape(), b.shape()))
+}
+
+/// INT8 GEMM against the transpose of `b`: returns `a * b^T` with `i32`
+/// accumulation.
+///
+/// Parallelised over output row bands with the widening dot-product
+/// kernel; exact, so identical to [`matmul_i8_nt_ref`] for any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.cols()`.
+pub fn matmul_i8_nt(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+    matmul_i8_nt_with_threads(a, b, auto_threads(a.rows(), a.cols(), b.rows()))
+}
+
+/// [`matmul_i8_nt`] with an explicit worker count (no cutoff, no
+/// environment lookup).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.cols()`.
+pub fn matmul_i8_nt_with_threads(
+    a: &Mat<i8>,
+    b: &Mat<i8>,
+    threads: usize,
+) -> Result<Mat<i32>, ShapeError> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::new("matmul_i8_nt", a.shape(), b.shape()));
+    }
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Mat::zeros(m, n);
+    par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+        band_nt_i8(a, b, first_row, band, n);
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels (oracles for the equivalence tests)
+// ---------------------------------------------------------------------------
+
+/// Naive triple-loop `f32` GEMM reference (`ikj` order, no blocking, no
+/// threads, no zero skipping). The blocked/parallel [`matmul`] must match
+/// this bit for bit.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
+pub fn matmul_ref(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul_ref", a.shape(), b.shape()));
     }
     let (m, k) = a.shape();
     let n = b.cols();
@@ -111,75 +437,76 @@ pub fn matmul_i8(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
         let arow = a.row(i);
         let orow = out.row_mut(i);
         for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0 {
-                continue;
-            }
-            let av = av as i32;
             let brow = b.row(p);
             for j in 0..n {
-                orow[j] += av * brow[j] as i32;
+                orow[j] += av * brow[j];
             }
         }
     }
     Ok(out)
 }
 
-/// Cache-blocked INT8 GEMM — identical results to [`matmul_i8`]
-/// (integer arithmetic is exact, so tiling cannot change the output),
-/// noticeably faster on the paper-scale shapes (`k = 512..4096`) because
-/// the `B` panel stays in cache across the `i` loop.
-///
-/// # Errors
-///
-/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
-pub fn matmul_i8_blocked(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
-    if a.cols() != b.rows() {
-        return Err(ShapeError::new("matmul_i8_blocked", a.shape(), b.shape()));
-    }
-    const BK: usize = 64;
-    const BN: usize = 64;
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let mut out = Mat::<i32>::zeros(m, n);
-    let mut k0 = 0;
-    while k0 < k {
-        let kb = BK.min(k - k0);
-        let mut n0 = 0;
-        while n0 < n {
-            let nb = BN.min(n - n0);
-            for i in 0..m {
-                let arow = &a.row(i)[k0..k0 + kb];
-                let orow = &mut out.row_mut(i)[n0..n0 + nb];
-                for (p, &av) in arow.iter().enumerate() {
-                    if av == 0 {
-                        continue;
-                    }
-                    let av = av as i32;
-                    let brow = &b.row(k0 + p)[n0..n0 + nb];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv as i32;
-                    }
-                }
-            }
-            n0 += nb;
-        }
-        k0 += kb;
-    }
-    Ok(out)
-}
-
-/// INT8 GEMM against the transpose of `b`: returns `a * b^T` with `i32`
-/// accumulation.
+/// Naive `a * b^T` `f32` reference. See [`matmul_ref`].
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if `a.cols() != b.cols()`.
-pub fn matmul_i8_nt(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+pub fn matmul_nt_ref(a: &Mat<f32>, b: &Mat<f32>) -> Result<Mat<f32>, ShapeError> {
     if a.cols() != b.cols() {
-        return Err(ShapeError::new("matmul_i8_nt", a.shape(), b.shape()));
+        return Err(ShapeError::new("matmul_nt_ref", a.shape(), b.shape()));
     }
-    let m = a.rows();
-    let n = b.rows();
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Naive triple-loop INT8 GEMM reference. See [`matmul_ref`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.rows()`.
+pub fn matmul_i8_ref(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul_i8_ref", a.shape(), b.shape()));
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            let av = i32::from(av);
+            let brow = b.row(p);
+            for j in 0..n {
+                orow[j] += av * i32::from(brow[j]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Naive `a * b^T` INT8 reference. See [`matmul_ref`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.cols()`.
+pub fn matmul_i8_nt_ref(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::new("matmul_i8_nt_ref", a.shape(), b.shape()));
+    }
+    let (m, n) = (a.rows(), b.rows());
     let mut out = Mat::zeros(m, n);
     for i in 0..m {
         let arow = a.row(i);
@@ -187,7 +514,7 @@ pub fn matmul_i8_nt(a: &Mat<i8>, b: &Mat<i8>) -> Result<Mat<i32>, ShapeError> {
             let brow = b.row(j);
             let mut acc = 0i32;
             for (x, y) in arow.iter().zip(brow) {
-                acc += *x as i32 * *y as i32;
+                acc += i32::from(*x) * i32::from(*y);
             }
             out[(i, j)] = acc;
         }
@@ -221,6 +548,8 @@ mod tests {
         let a = Mat::<f32>::zeros(2, 3);
         let b = Mat::<f32>::zeros(2, 3);
         assert!(matmul(&a, &b).is_err());
+        assert!(matmul_ref(&a, &b).is_err());
+        assert!(matmul_with_threads(&a, &b, 4).is_err());
     }
 
     #[test]
@@ -270,11 +599,9 @@ mod tests {
         ] {
             let a = crate::init::uniform_i8(&mut rng, m, k);
             let b = crate::init::uniform_i8(&mut rng, k, n);
-            assert_eq!(
-                matmul_i8_blocked(&a, &b).unwrap(),
-                matmul_i8(&a, &b).unwrap(),
-                "shape ({m},{k},{n})"
-            );
+            let want = matmul_i8_ref(&a, &b).unwrap();
+            assert_eq!(matmul_i8_blocked(&a, &b).unwrap(), want, "({m},{k},{n})");
+            assert_eq!(matmul_i8(&a, &b).unwrap(), want, "({m},{k},{n})");
         }
     }
 
@@ -291,5 +618,39 @@ mod tests {
         let b = Mat::<f32>::zeros(3, 2);
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.shape(), (0, 2));
+        let d = matmul(&Mat::<f32>::zeros(2, 0), &Mat::<f32>::zeros(0, 3)).unwrap();
+        assert_eq!(d.shape(), (2, 3));
+        assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // The old kernel skipped `a` zeros, silently dropping 0.0 * NaN.
+        let a = Mat::from_vec(1, 2, vec![0.0f32, 1.0]).unwrap();
+        let b = Mat::from_vec(2, 1, vec![f32::NAN, 2.0]).unwrap();
+        assert!(matmul(&a, &b).unwrap()[(0, 0)].is_nan());
+        assert!(matmul_ref(&a, &b).unwrap()[(0, 0)].is_nan());
+        assert!(matmul_nt(&a, &b.transposed()).unwrap()[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn f32_parallel_is_bit_identical_to_ref() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 129, 67), (64, 512, 64)] {
+            let a = crate::init::uniform(&mut rng, m, k, -1.0, 1.0);
+            let b = crate::init::uniform(&mut rng, k, n, -1.0, 1.0);
+            let want = matmul_ref(&a, &b).unwrap();
+            for t in [1usize, 2, 5] {
+                let got = matmul_with_threads(&a, &b, t).unwrap();
+                assert!(
+                    got.as_slice()
+                        .iter()
+                        .zip(want.as_slice())
+                        .all(|(g, w)| g.to_bits() == w.to_bits()),
+                    "({m},{k},{n}) t={t}"
+                );
+            }
+        }
     }
 }

@@ -35,6 +35,7 @@ pub mod gemm;
 pub mod init;
 mod mat;
 pub mod ops;
+pub mod par;
 
 pub use error::ShapeError;
 pub use mat::Mat;

@@ -1,0 +1,174 @@
+//! Scoped-thread parallel helpers shared by the GEMM kernels and the
+//! higher-level crates (per-head attention fan-out, design-space sweeps).
+//!
+//! Everything here is built on [`std::thread::scope`] — no external
+//! thread-pool dependency — and is **deterministic**: results are
+//! assembled in input order, so callers observe the same values for any
+//! thread count (including 1).
+//!
+//! The worker count comes from [`threads`], which honours the
+//! `ACCEL_THREADS` environment variable and otherwise falls back to
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the worker-thread count.
+///
+/// Unset, empty, unparsable, or `0` all mean "use the machine's
+/// available parallelism". Values are clamped to [`MAX_THREADS`].
+pub const ENV_THREADS: &str = "ACCEL_THREADS";
+
+/// Upper bound on the worker-thread count (a safety clamp for absurd
+/// `ACCEL_THREADS` values; spawning is per-call, not pooled).
+pub const MAX_THREADS: usize = 256;
+
+/// The worker-thread count used by the parallel kernels.
+///
+/// Reads [`ENV_THREADS`] on every call (cheap, and lets tests or
+/// embedding processes retune without restarting), falling back to
+/// [`std::thread::available_parallelism`] when the variable is unset or
+/// invalid. Always at least 1.
+pub fn threads() -> usize {
+    match std::env::var(ENV_THREADS) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(t) if t > 0 => t.min(MAX_THREADS),
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Order-preserving parallel map over a slice.
+///
+/// Splits `items` into at most [`threads`] contiguous chunks, maps each
+/// chunk on its own scoped thread, and concatenates the results in input
+/// order — so the output is identical to `items.iter().map(f).collect()`
+/// for any thread count. Worker panics propagate to the caller.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_with_threads(items, threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count (1 means run inline).
+pub fn map_with_threads<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let t = threads.min(items.len()).max(1);
+    if t <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(t);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                let f = &f;
+                scope.spawn(move || part.iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+/// Runs `body` over disjoint horizontal bands of a row-major buffer.
+///
+/// `buf` holds `rows` rows of `row_stride` elements each; it is split
+/// into at most `threads` contiguous bands and `body(first_row, band)`
+/// runs on its own scoped thread per band. With `threads <= 1` (or a
+/// degenerate shape) the body runs inline over the whole buffer, so
+/// serial and parallel execution touch identical data. Worker panics
+/// propagate to the caller.
+pub fn row_bands<T, F>(buf: &mut [T], rows: usize, row_stride: usize, threads: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert_eq!(buf.len(), rows * row_stride);
+    let t = threads.min(rows).max(1);
+    if t <= 1 || row_stride == 0 {
+        body(0, buf);
+        return;
+    }
+    let band = rows.div_ceil(t);
+    std::thread::scope(|scope| {
+        for (idx, chunk) in buf.chunks_mut(band * row_stride).enumerate() {
+            let body = &body;
+            scope.spawn(move || body(idx * band, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for t in [1, 2, 3, 7, 16] {
+            assert_eq!(map_with_threads(&items, t, |x| x * x), serial, "t={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(map_with_threads(&empty, 8, |x| *x).is_empty());
+        assert_eq!(map_with_threads(&[41], 8, |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn row_bands_covers_every_row_once() {
+        for rows in [1usize, 2, 5, 64] {
+            for t in [1usize, 2, 3, 8, 100] {
+                let stride = 3;
+                let mut buf = vec![0u32; rows * stride];
+                row_bands(&mut buf, rows, stride, t, |first_row, band| {
+                    for (r, row) in band.chunks_mut(stride).enumerate() {
+                        for v in row {
+                            *v += (first_row + r) as u32 + 1;
+                        }
+                    }
+                });
+                let want: Vec<u32> = (0..rows)
+                    .flat_map(|r| std::iter::repeat_n(r as u32 + 1, stride))
+                    .collect();
+                assert_eq!(buf, want, "rows={rows} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_bands_zero_stride_is_inline() {
+        let mut buf: Vec<u8> = Vec::new();
+        row_bands(&mut buf, 4, 0, 8, |first_row, band| {
+            assert_eq!(first_row, 0);
+            assert!(band.is_empty());
+        });
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+        assert!(threads() <= MAX_THREADS);
+    }
+}

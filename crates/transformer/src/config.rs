@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn serde_impls_exist() {
-        fn assert_both<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        fn assert_both<T: serde::Serialize + serde::Deserialize>() {}
         assert_both::<ModelConfig>();
     }
 }

@@ -1,0 +1,133 @@
+//! Offline vendored stand-in for `bytes`: `Vec<u8>`-backed buffers
+//! with the small builder/read API the workspace uses. There is no
+//! reference-counted zero-copy sharing — `Bytes` owns its storage.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an owned `Vec`.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Byte-appending operations (the tiny slice of `bytes::BufMut` used
+/// here).
+pub trait BufMut {
+    /// Appends one unsigned byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends one signed byte (two's complement).
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]) {
+        for &b in s {
+            self.put_u8(b);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_freeze() {
+        let mut buf = BytesMut::new();
+        buf.put_i8(-1);
+        buf.put_u8(2);
+        buf.put_slice(&[3, 4]);
+        assert_eq!(buf.len(), 4);
+        let b = buf.freeze();
+        assert_eq!(&b[..], &[255, 2, 3, 4]);
+        assert_eq!(b[0], 255);
+        assert_eq!(b.len(), 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotation) backed by a simple
+//! warm-up + timed-batch wall-clock loop. Results print as
+//! `name ... time: [median] thrpt: [elem/s]` lines; there is no
+//! statistical analysis, HTML report, or comparison to saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per benchmark (after warm-up).
+const TARGET: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP: Duration = Duration::from_millis(100);
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Median-of-batches nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records nanoseconds per iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up and estimate a batch size.
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let batch = ((10_000_000.0 / est_ns).ceil() as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::new();
+        let t1 = Instant::now();
+        while t1.elapsed() < TARGET {
+            let tb = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(tb.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, throughput: Option<&Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { ns_per_iter: 0.0 };
+    f(&mut bencher);
+    let mut line = format!("{name:<48} time: [{}]", fmt_ns(bencher.ns_per_iter));
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_s = *n as f64 / (bencher.ns_per_iter / 1e9);
+        line.push_str(&format!("  thrpt: [{:.2} Melem/s]", per_s / 1e6));
+    }
+    println!("{line}");
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id rendered from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The bench context handed to registered bench functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Upstream builder hook; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's fixed sampling ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's fixed sampling ignores it.
+    pub fn measurement_time(&mut self, _dur: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's fixed sampling ignores it.
+    pub fn warm_up_time(&mut self, _dur: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.throughput.as_ref(),
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.throughput.as_ref(),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A resolved bench label (from a `&str` or a [`BenchmarkId`]).
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.id)
+    }
+}
+
+/// Declares a group of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

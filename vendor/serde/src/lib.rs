@@ -1,0 +1,324 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace ships
+//! a much-simplified serialization model with the same *spelling* as
+//! serde: `#[derive(Serialize, Deserialize)]` plus `serde_json`
+//! string round-trips. Instead of upstream serde's visitor machinery,
+//! everything funnels through an owned [`value::Value`] tree:
+//!
+//! * [`Serialize::to_value`] renders a value tree;
+//! * [`Deserialize::from_value`] rebuilds a type from one;
+//! * `serde_json` prints/parses value trees as JSON text.
+//!
+//! Representation conventions match upstream serde's defaults closely
+//! enough for this workspace: structs are JSON objects, newtypes are
+//! transparent, unit enum variants are strings, data-carrying variants
+//! are externally tagged single-entry objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The owned value tree all (de)serialization routes through.
+
+    /// A JSON-shaped value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A signed integer.
+        I64(i64),
+        /// An unsigned integer out of `i64` range (or any non-negative
+        /// literal during parsing).
+        U64(u64),
+        /// A float.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, insertion-ordered.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object entry lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Numeric view widened to `f64`.
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::I64(v) => Some(v as f64),
+                Value::U64(v) => Some(v as f64),
+                Value::F64(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Numeric view as `i128` (integers only).
+        pub fn as_int(&self) -> Option<i128> {
+            match *self {
+                Value::I64(v) => Some(v as i128),
+                Value::U64(v) => Some(v as i128),
+                Value::F64(v) if v.fract() == 0.0 && v.abs() < 9e15 => Some(v as i128),
+                _ => None,
+            }
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization support types.
+
+    use super::value::Value;
+    use std::fmt;
+
+    /// A deserialization error (message only).
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error with `msg`.
+        pub fn new(msg: impl Into<String>) -> Self {
+            Self { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deserialization error: {}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    static NULL: Value = Value::Null;
+
+    /// Looks up `key` in an object value; missing keys (and non-object
+    /// values) resolve to `Null`, which lets `Option` fields default.
+    pub fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+        v.get(key).unwrap_or(&NULL)
+    }
+
+    /// Looks up element `idx` of an array value, `Null` when absent.
+    pub fn index(v: &Value, idx: usize) -> &Value {
+        match v {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+use de::Error;
+use value::Value;
+
+/// Renders `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v < 0 { Value::I64(v as i64) } else if v <= i64::MAX as i128 {
+                    Value::I64(v as i64)
+                } else {
+                    Value::U64(v as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_int().ok_or_else(|| Error::new("expected integer"))?;
+                <$t>::try_from(raw).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::U64(*self)
+    }
+}
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::U64(x) => Ok(x),
+            Value::I64(x) if x >= 0 => Ok(x as u64),
+            _ => Err(Error::new("expected unsigned integer")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::new("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::new("expected number"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident/$idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($name::from_value(crate::de::index(v, $idx))?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_value(&42i32.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<(String, Vec<f32>)> = vec![("a".into(), vec![1.0, 2.0])];
+        assert_eq!(
+            Vec::<(String, Vec<f32>)>::from_value(&v.to_value()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<i32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<i32>::from_value(&Some(3).to_value()).unwrap(),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the vendored `serde` stand-in.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available in the offline build container, so this macro parses the
+//! item with a small hand-rolled scanner over `proc_macro::TokenTree`s
+//! and emits impl blocks as source text. It supports exactly the shapes
+//! this workspace derives on:
+//!
+//! * structs with named fields (optionally generic over type params);
+//! * tuple structs (newtypes serialize transparently);
+//! * enums with unit variants, tuple variants and struct variants
+//!   (externally tagged, like upstream serde's default).
+//!
+//! `#[serde(...)]` attributes are NOT supported (the workspace uses
+//! none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Type-parameter identifiers (lifetimes/consts unsupported).
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Skips attribute pairs (`#` + bracket group) and visibility
+/// (`pub` + optional paren group) at `i`, advancing it.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `<...>` generics at `i` (if present), returning type-param
+/// names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                // lifetime param: consume the following ident, not a
+                // type param
+                expect_param = false;
+            }
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Parses the fields of a brace-delimited (named) field list.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        // skip to the next top-level comma (angle-bracket aware: commas
+        // inside `Vec<(A, B)>`-style types must not split fields)
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts the fields of a paren-delimited (tuple) field list.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Unnamed(count_tuple_fields(g));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // skip an optional discriminant and the separating comma
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Unnamed(count_tuple_fields(g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// `impl<T: serde::Trait, ...>` header + `Name<T, ...>` type for the
+/// item.
+fn impl_header(item: &Item, trait_bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: {trait_bound}"))
+            .collect();
+        (
+            format!("<{}>", bounds.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn fields_to_value(fields: &Fields, access_prefix: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "(String::from(\"{n}\"), serde::Serialize::to_value(&{access_prefix}{n}))"
+                    )
+                })
+                .collect();
+            format!("serde::value::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Fields::Unnamed(1) => {
+            format!("serde::Serialize::to_value(&{access_prefix}0)")
+        }
+        Fields::Unnamed(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&{access_prefix}{k})"))
+                .collect();
+            format!("serde::value::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Fields::Unit => "serde::value::Value::Null".to_string(),
+    }
+}
+
+fn fields_from_value(fields: &Fields, ctor: &str, src: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "{n}: serde::Deserialize::from_value(serde::de::field({src}, \"{n}\"))?"
+                    )
+                })
+                .collect();
+            format!("{ctor} {{ {} }}", inits.join(", "))
+        }
+        Fields::Unnamed(1) => {
+            format!("{ctor}(serde::Deserialize::from_value({src})?)")
+        }
+        Fields::Unnamed(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(serde::de::index({src}, {k}))?"))
+                .collect();
+            format!("{ctor}({})", inits.join(", "))
+        }
+        Fields::Unit => ctor.to_string(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty) = impl_header(&item, "serde::Serialize");
+    let body = match &item.shape {
+        Shape::Struct(fields) => fields_to_value(fields, "self."),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "Self::{vn} => serde::value::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        Fields::Named(names) => {
+                            let pat = names.join(", ");
+                            let entries: Vec<String> = names
+                                .iter()
+                                .map(|n| {
+                                    format!(
+                                        "(String::from(\"{n}\"), serde::Serialize::to_value({n}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {pat} }} => serde::value::Value::Object(vec![(String::from(\"{vn}\"), serde::value::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        Fields::Unnamed(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let pat = binds.join(", ");
+                            let payload = if *n == 1 {
+                                "serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let entries: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::value::Value::Array(vec![{}])", entries.join(", "))
+                            };
+                            format!(
+                                "Self::{vn}({pat}) => serde::value::Value::Object(vec![(String::from(\"{vn}\"), {payload})]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let code = format!(
+        "impl{impl_generics} serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> serde::value::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty) = impl_header(&item, "serde::Deserialize");
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            format!("Ok({})", fields_from_value(fields, "Self", "v"))
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in &variants[..] {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push(format!("\"{vn}\" => return Ok(Self::{vn}),")),
+                    fields => tagged_arms.push(format!(
+                        "\"{vn}\" => return Ok({}),",
+                        fields_from_value(fields, &format!("Self::{vn}"), "payload")
+                    )),
+                }
+            }
+            format!(
+                "if let serde::value::Value::Str(s) = v {{\n\
+                     match s.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 if let serde::value::Value::Object(entries) = v {{\n\
+                     if let Some((tag, payload)) = entries.first() {{\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{ {} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(serde::de::Error::new(\"no matching enum variant\"))",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n"),
+            )
+        }
+    };
+    let code = format!(
+        "impl{impl_generics} serde::Deserialize for {ty} {{\n\
+             fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {{ {body} }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

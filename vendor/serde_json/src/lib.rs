@@ -1,0 +1,415 @@
+//! Offline vendored stand-in for `serde_json`: prints and parses the
+//! vendored serde [`Value`] tree as JSON text.
+//!
+//! Floats are printed with Rust's shortest round-trip formatting, so
+//! `to_string` → `from_str` reproduces every finite `f64`/`f32`
+//! exactly. Non-finite floats print as `null` (as upstream serde_json
+//! refuses them; results data never contains them).
+
+use serde::de::Error as DeError;
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serialization or parse error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+// ---- printing --------------------------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => push_f64(out, *n),
+        Value::Str(s) => push_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                write_value(out, item, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                push_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for value trees this workspace produces; the `Result`
+/// mirrors the upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for value trees this workspace produces.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(0));
+    Ok(out)
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(Error::new("expected ',' or ']'")),
+                    }
+                }
+                Ok(Value::Array(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(Error::new("expected ',' or '}'")),
+                    }
+                }
+                Ok(Value::Object(entries))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected input {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(Error::new("unknown escape")),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // multi-byte UTF-8: re-decode from the raw input
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| Error::new("empty char"))?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("bad float literal '{text}'")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error::new(format!("bad integer literal '{text}'")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::new(format!("bad integer literal '{text}'")))
+        }
+    }
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let v: Vec<(String, Vec<f32>)> = vec![
+            ("layer.0".into(), vec![1.0, -0.25, 3.5e-7]),
+            ("with \"quotes\"\n".into(), vec![]),
+        ];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(String, Vec<f32>)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Vec<(String, Vec<f32>)> = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1f64, 1.0, -2.5e-300, 123456.789, f64::MIN_POSITIVE] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back, x, "{json}");
+        }
+    }
+
+    #[test]
+    fn integers_keep_precision() {
+        let x = u64::MAX;
+        let back: u64 = from_str(&to_string(&x).unwrap()).unwrap();
+        assert_eq!(back, x);
+        let y = -1234567890123i64;
+        let back: i64 = from_str(&to_string(&y).unwrap()).unwrap();
+        assert_eq!(back, y);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<i32>>("[1, 2").is_err());
+        assert!(from_str::<i32>("1 2").is_err());
+    }
+}
