@@ -55,6 +55,37 @@ pub struct EngineStats {
     pub isolated_cycles: Cycle,
 }
 
+impl EngineStats {
+    /// Accumulates another run's statistics into this one — how a batch
+    /// of per-block [`EngineRun`]s (e.g. every ResBlock of one
+    /// continuous-batching decode step) rolls up into one figure.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.gemm_passes += other.gemm_passes;
+        self.macs += other.macs;
+        self.isolated_cycles += other.isolated_cycles;
+    }
+
+    /// Fraction of the array's multiply-accumulate capacity these passes
+    /// actually used: `macs / (isolated_cycles · pe_count)`. Zero when no
+    /// cycles were recorded.
+    pub fn array_utilization(&self, pe_count: u64) -> f64 {
+        let cycles = self.isolated_cycles.get();
+        if cycles == 0 || pe_count == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / (cycles as f64 * pe_count as f64)
+    }
+}
+
+impl std::iter::Sum for EngineStats {
+    fn sum<I: Iterator<Item = EngineStats>>(iter: I) -> Self {
+        iter.fold(EngineStats::default(), |mut acc, s| {
+            acc.merge(&s);
+            acc
+        })
+    }
+}
+
 /// Result of executing a ResBlock on the array.
 #[derive(Debug, Clone)]
 pub struct EngineRun {
@@ -375,6 +406,27 @@ mod tests {
                 assert_eq!(a.stats, b.stats, "s={s}");
             }
         }
+    }
+
+    #[test]
+    fn stats_merge_and_sum_aggregate_batches() {
+        let (qmha, qffn, codes) = setup(8);
+        let mut engine = ArrayEngine::new(8);
+        let a = engine.execute_mha(&qmha, &codes[0], &codes[0], None).stats;
+        let b = engine.execute_ffn(&qffn, &codes[1]).stats;
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.gemm_passes, a.gemm_passes + b.gemm_passes);
+        assert_eq!(merged.macs, a.macs + b.macs);
+        assert_eq!(
+            merged.isolated_cycles,
+            a.isolated_cycles + b.isolated_cycles
+        );
+        let summed: EngineStats = [a, b].into_iter().sum();
+        assert_eq!(summed, merged);
+        let util = merged.array_utilization(8 * 64);
+        assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+        assert_eq!(EngineStats::default().array_utilization(64), 0.0);
     }
 
     #[test]

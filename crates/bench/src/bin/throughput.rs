@@ -1,0 +1,232 @@
+//! E17 — continuous-batching decode throughput.
+//!
+//! Runs the serving layer's [`ContinuousBatcher`] over a paper-shape
+//! decoder (Transformer-base ResBlock dimensions: `d_model = 512`,
+//! `d_ff = 2048`, `h = 8`) at batch sizes 1..64 and reports:
+//!
+//! * measured **tokens/sec** (wall clock, this host's CPU kernels) and
+//!   the speedup over `max_batch = 1` — the continuous-batching win on
+//!   the software side comes from amortizing each layer's weight-panel
+//!   streaming across all in-flight rows;
+//! * modeled **array utilization** of the same decode step on the
+//!   paper's `64 × 64` systolic array ([`accel::EngineStats`], analytic
+//!   wavefront timing): a 1-row decode GEMM leaves almost the entire PE
+//!   grid idle, which is exactly the idle capacity continuous batching
+//!   reclaims.
+//!
+//! Every request decodes a fixed token budget (`ignore_eos`), so each
+//! batch size does identical work. Results land in
+//! `results/BENCH_decode.json`; run with `cargo run --release --bin
+//! throughput`.
+
+use std::time::Instant;
+
+use accel::EngineStats;
+use hwsim::cycles::Cycle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use serving::{ContinuousBatcher, EngineConfig, Request};
+use transformer::config::ModelConfig;
+use transformer::model::Seq2SeqTransformer;
+use transformer::tasks::{Task, TaskGen};
+
+/// The accelerator's array height (and the paper's max sequence length).
+const S_MAX: usize = 64;
+/// Weight-panel width / array column count.
+const PANEL: usize = 64;
+
+/// Requests per batch-size configuration.
+const N_REQUESTS: usize = 48;
+/// Tokens decoded per request (every request decodes exactly this
+/// many). Long enough that the steady-state decode loop — not the
+/// per-request encoder prefill — dominates the wall clock.
+const MAX_NEW: usize = 24;
+
+#[derive(Serialize)]
+struct BatchPoint {
+    max_batch: usize,
+    tokens: usize,
+    elapsed_s: f64,
+    tokens_per_sec: f64,
+    speedup_vs_b1: f64,
+    /// Mean fraction of occupied decode slots across all steps.
+    slot_occupancy: f64,
+    /// Modeled fraction of the `64 × 64` array's MAC capacity used by
+    /// one decode step at this batch size.
+    array_utilization: f64,
+}
+
+#[derive(Serialize)]
+struct DecodeBench {
+    model: String,
+    d_model: usize,
+    d_ff: usize,
+    heads: usize,
+    n_layers: usize,
+    requests: usize,
+    tokens_per_request: usize,
+    pe_count: u64,
+    points: Vec<BatchPoint>,
+}
+
+/// One modeled GEMM pass through the `S_MAX × 64` array: `m × k` times
+/// `k × n`, analytic wavefront timing (`compute = k + m + n − 2`,
+/// `drain = n` — the same closed form as
+/// `accel::systolic::SystolicArray::simulate_analytic`).
+fn pass(m: usize, k: usize, n: usize) -> EngineStats {
+    EngineStats {
+        gemm_passes: 1,
+        macs: (m * k * n) as u64,
+        isolated_cycles: Cycle((k + m + n - 2 + n) as u64),
+    }
+}
+
+/// Models one batched decode step at batch size `b` on the paper array:
+/// the per-layer weight GEMMs run once over all `b` stacked rows, while
+/// the per-request attention passes stay single-row (their cache
+/// lengths differ). `ctx` is the mean self-attention cache length and
+/// `src` the source length the cross-attention attends over.
+fn model_decode_step(cfg: &ModelConfig, b: usize, ctx: usize, src: usize) -> EngineStats {
+    let d = cfg.d_model;
+    let panels = d / PANEL;
+    let mut step = EngineStats::default();
+    for _ in 0..cfg.n_layers {
+        // Self-attention: W_Q, W_K, W_V, W_G batched over all rows.
+        for _ in 0..4 * panels {
+            step.merge(&pass(b, d, PANEL));
+        }
+        // Cross-attention: only W_Q and W_G run per step (the source-side
+        // K/V projections are computed once at admission).
+        for _ in 0..2 * panels {
+            step.merge(&pass(b, d, PANEL));
+        }
+        // Per-request, per-head attention (single query row).
+        for _ in 0..b {
+            for _ in 0..cfg.h {
+                // QK^T score tiles (64-row K tiles), then P·V.
+                for t0 in (0..ctx).step_by(PANEL) {
+                    step.merge(&pass(1, cfg.d_k(), PANEL.min(ctx - t0)));
+                }
+                step.merge(&pass(1, ctx, cfg.d_k()));
+                for t0 in (0..src).step_by(PANEL) {
+                    step.merge(&pass(1, cfg.d_k(), PANEL.min(src - t0)));
+                }
+                step.merge(&pass(1, src, cfg.d_k()));
+            }
+        }
+        // FFN: both sublayers batched.
+        for _ in 0..cfg.d_ff / PANEL {
+            step.merge(&pass(b, d, PANEL));
+        }
+        for _ in 0..panels {
+            step.merge(&pass(b, cfg.d_ff, PANEL));
+        }
+    }
+    step
+}
+
+fn main() {
+    // Paper-shape ResBlocks (Transformer-base row of Table I) with a
+    // small vocabulary and depth so the FP32 calibration stays cheap;
+    // per-step cost is dominated by the 512/2048 weight GEMMs either way.
+    let cfg = ModelConfig {
+        name: "Transformer-base-2L".into(),
+        d_model: 512,
+        d_ff: 2048,
+        h: 8,
+        n_layers: 2,
+        vocab: 64,
+        max_len: S_MAX,
+    };
+    println!(
+        "building {} (d_model={}, d_ff={}, h={}, {} layers)...",
+        cfg.name, cfg.d_model, cfg.d_ff, cfg.h, cfg.n_layers
+    );
+    let mut rng = StdRng::seed_from_u64(0xD0_0DE);
+    let fp32 = Seq2SeqTransformer::new(&cfg, &mut rng);
+    let gen = TaskGen::new(Task::Reverse, cfg.vocab, 3, 6);
+    let calib = gen.corpus(4, &mut StdRng::seed_from_u64(0xCA11B));
+    let q = quantized::QuantSeq2Seq::from_trained(&fp32, &calib, quantized::SoftmaxMode::Hardware);
+
+    let srcs: Vec<Vec<usize>> = gen
+        .corpus(N_REQUESTS, &mut StdRng::seed_from_u64(0xF00D))
+        .into_iter()
+        .map(|(s, _)| s)
+        .collect();
+    let mean_src = srcs.iter().map(Vec::len).sum::<usize>() / srcs.len();
+    let pe_count = (S_MAX * PANEL) as u64;
+
+    let mut points: Vec<BatchPoint> = Vec::new();
+    for &max_batch in &[1usize, 2, 4, 8, 16, 32, 64] {
+        let mut engine = ContinuousBatcher::new(
+            &q,
+            EngineConfig {
+                max_batch,
+                bucket_max_waste: usize::MAX,
+                ignore_eos: true,
+            },
+        );
+        for (id, src) in srcs.iter().enumerate() {
+            engine.submit(Request {
+                id: id as u64,
+                src: src.clone(),
+                max_new_tokens: MAX_NEW,
+            });
+        }
+        let t0 = Instant::now();
+        let responses = engine.run_to_completion();
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), N_REQUESTS);
+        assert!(responses.iter().all(|r| r.tokens.len() == MAX_NEW));
+        let stats = engine.stats();
+        let tokens = stats.tokens_generated;
+        let tokens_per_sec = tokens as f64 / elapsed;
+        let speedup = points
+            .first()
+            .map_or(1.0, |p0: &BatchPoint| tokens_per_sec / p0.tokens_per_sec);
+        // Model the array at this batch size's *typical* step: mean
+        // occupied rows, mid-decode self-attention context.
+        let rows = ((stats.rows as f64 / stats.steps as f64).round() as usize).max(1);
+        let modeled = model_decode_step(&cfg, rows, MAX_NEW / 2 + 1, mean_src);
+        let utilization = modeled.array_utilization(pe_count);
+        println!(
+            "max_batch {max_batch:>2}: {tokens_per_sec:>7.1} tok/s  ({speedup:>4.2}x vs b=1)  \
+             occupancy {:.2}  modeled array utilization {:.1}%",
+            stats.occupancy(max_batch),
+            utilization * 100.0
+        );
+        points.push(BatchPoint {
+            max_batch,
+            tokens,
+            elapsed_s: elapsed,
+            tokens_per_sec,
+            speedup_vs_b1: speedup,
+            slot_occupancy: stats.occupancy(max_batch),
+            array_utilization: utilization,
+        });
+    }
+
+    let b16 = points
+        .iter()
+        .find(|p| p.max_batch == 16)
+        .expect("batch 16 measured");
+    assert!(
+        b16.speedup_vs_b1 >= 4.0,
+        "continuous batching must reach 4x throughput at batch 16 (got {:.2}x)",
+        b16.speedup_vs_b1
+    );
+
+    let report = DecodeBench {
+        model: cfg.name.clone(),
+        d_model: cfg.d_model,
+        d_ff: cfg.d_ff,
+        heads: cfg.h,
+        n_layers: cfg.n_layers,
+        requests: N_REQUESTS,
+        tokens_per_request: MAX_NEW,
+        pe_count,
+        points,
+    };
+    bench_harness::write_json("BENCH_decode", &report);
+}

@@ -7,6 +7,14 @@
 //! recompute (the datapath is row-independent), so decodes are
 //! **bit-identical** to [`QuantSeq2Seq::greedy_decode`] — asserted by
 //! tests — while doing O(L) layer passes instead of O(L²).
+//!
+//! Sessions can also advance **together**: [`QuantSeq2Seq::step_sessions`]
+//! stacks one active row per session and runs each layer's projections,
+//! output matmul and FFN as single multi-row GEMMs (one `matmul_i8` per
+//! weight matrix per step instead of one per request). The GEMM kernels
+//! never reorder a row's accumulation, so every batched row is
+//! bit-identical to the single-session path for any batch composition —
+//! the property the `serving` crate's continuous batcher is built on.
 
 use tensor::{gemm, Mat};
 use transformer::tasks::{BOS, EOS};
@@ -30,19 +38,26 @@ pub struct QuantIncrementalSession {
     memory_rows: usize,
     layers: Vec<QLayerCache>,
     pos: usize,
+    /// Scratch row for the concatenated head outputs `P` — allocated
+    /// once per session and fully overwritten by every ResBlock pass, so
+    /// the per-token hot loop never allocates head panels.
+    p_buf: Mat<i8>,
 }
 
 /// One cached-attention ResBlock applied to a single row of codes.
+/// `p_buf` (1 × d_model) receives the concatenated requantized head
+/// outputs; every column is written, so its previous contents are
+/// irrelevant.
 fn resblock_row(
     block: &QuantMhaResBlock,
     x_row: &Mat<i8>,
     keys: &Mat<i8>,
     vals: &Mat<i8>,
+    p_buf: &mut Mat<i8>,
 ) -> Mat<i8> {
     let (wq, _, _, wo) = block.projections();
     let d_k = block.d_k();
     let q = wq.forward(x_row);
-    let mut p_panels = Vec::with_capacity(block.heads());
     for i in 0..block.heads() {
         let c0 = i * d_k;
         let qi = q.submatrix(0, c0, 1, d_k).expect("head panel");
@@ -51,11 +66,51 @@ fn resblock_row(
         let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
         let probs = scaled_masked_softmax(&d_acc, block.d_scale(), d_k, None, block.softmax_mode());
         let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
-        p_panels.push(p_acc.map(|&a| block.requantize_p(a)));
+        for (slot, &a) in p_buf.row_mut(0)[c0..c0 + d_k].iter_mut().zip(p_acc.row(0)) {
+            *slot = block.requantize_p(a);
+        }
     }
-    let p = Mat::hconcat(&p_panels).expect("heads share rows");
-    let g_matmul = wo.forward(&p);
+    let g_matmul = wo.forward(p_buf);
     let g = residual_add_i8(&g_matmul, x_row);
+    block.layernorm().forward(&g)
+}
+
+/// One cached-attention ResBlock applied to a stack of rows, one row per
+/// session: the `W_Q` and `W_G` matmuls run once over all rows; the
+/// per-head attention (whose K/V lengths differ per session) fans out
+/// across threads per row. Row `r` of the result is bit-identical to
+/// [`resblock_row`] on row `r` alone (integer GEMMs are row-independent).
+fn resblock_rows(block: &QuantMhaResBlock, x: &Mat<i8>, kvs: &[(&Mat<i8>, &Mat<i8>)]) -> Mat<i8> {
+    debug_assert_eq!(x.rows(), kvs.len());
+    let (wq, _, _, wo) = block.projections();
+    let d_k = block.d_k();
+    let d_model = x.cols();
+    let q = wq.forward(x);
+    let rows: Vec<usize> = (0..x.rows()).collect();
+    let p_rows = tensor::par::par_map(&rows, |&r| {
+        let mut p_row = vec![0i8; d_model];
+        let (keys, vals) = kvs[r];
+        for i in 0..block.heads() {
+            let c0 = i * d_k;
+            let qi = q.submatrix(r, c0, 1, d_k).expect("head panel");
+            let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
+            let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
+            let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
+            let probs =
+                scaled_masked_softmax(&d_acc, block.d_scale(), d_k, None, block.softmax_mode());
+            let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
+            for (slot, &a) in p_row[c0..c0 + d_k].iter_mut().zip(p_acc.row(0)) {
+                *slot = block.requantize_p(a);
+            }
+        }
+        p_row
+    });
+    let mut p = Mat::zeros(x.rows(), d_model);
+    for (r, row) in p_rows.iter().enumerate() {
+        p.row_mut(r).copy_from_slice(row);
+    }
+    let g_matmul = wo.forward(&p);
+    let g = residual_add_i8(&g_matmul, x);
     block.layernorm().forward(&g)
 }
 
@@ -87,6 +142,7 @@ impl QuantSeq2Seq {
             memory_rows: memory.rows(),
             layers,
             pos: 0,
+            p_buf: Mat::zeros(1, d_model),
         }
     }
 
@@ -102,10 +158,22 @@ impl QuantSeq2Seq {
             let (_, wk, wv, _) = layer.self_mha.projections();
             let k_new = wk.forward(&x);
             let v_new = wv.forward(&x);
-            cache.self_k = Mat::vconcat(&[cache.self_k.clone(), k_new]).expect("widths");
-            cache.self_v = Mat::vconcat(&[cache.self_v.clone(), v_new]).expect("widths");
-            let a = resblock_row(&layer.self_mha, &x, &cache.self_k, &cache.self_v);
-            let b = resblock_row(&layer.cross_mha, &a, &cache.cross_k, &cache.cross_v);
+            cache.self_k.push_row(k_new.row(0));
+            cache.self_v.push_row(v_new.row(0));
+            let a = resblock_row(
+                &layer.self_mha,
+                &x,
+                &cache.self_k,
+                &cache.self_v,
+                &mut session.p_buf,
+            );
+            let b = resblock_row(
+                &layer.cross_mha,
+                &a,
+                &cache.cross_k,
+                &cache.cross_v,
+                &mut session.p_buf,
+            );
             let (c, _) = layer.ffn.forward(&b);
             x = c;
         }
@@ -113,6 +181,70 @@ impl QuantSeq2Seq {
         let last_ffn = &self.decoder_layers().last().expect("nonempty decoder").ffn;
         let x_f32 = last_ffn.dequantize_output(&x);
         self.output_projection_logits(&x_f32)
+    }
+
+    /// Advances several sessions by one token each, batching the GEMMs:
+    /// the active rows are stacked into one `b × d_model` matrix and each
+    /// layer's `W_K`/`W_V`/`W_Q`/`W_G` projections, FFN sublayers and the
+    /// final output projection run **once** over all rows, while the
+    /// per-session attention (whose cache lengths differ) fans out across
+    /// threads. Row `r`'s logits are bit-identical to
+    /// [`QuantSeq2Seq::step_session`] on session `r` alone — the GEMM
+    /// kernels never reorder a row's accumulation — so continuous
+    /// batching cannot change any decode.
+    ///
+    /// Sessions may sit at different positions; each token is embedded at
+    /// its own session's position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is empty or its length differs from
+    /// `tokens`'.
+    pub fn step_sessions(
+        &self,
+        sessions: &mut [&mut QuantIncrementalSession],
+        tokens: &[usize],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(sessions.len(), tokens.len(), "one token per session");
+        assert!(!sessions.is_empty(), "empty step batch");
+        let b = sessions.len();
+        let d_model = self.tgt_embedding().d_model();
+        let mut emb = Mat::zeros(b, d_model);
+        for (r, (session, &token)) in sessions.iter().zip(tokens).enumerate() {
+            emb.row_mut(r)
+                .copy_from_slice(&self.tgt_embedding().embed_at(token, session.pos));
+        }
+        let mut x = self.decoder_layers()[0].self_mha.quantize_input_q(&emb);
+        for (l, layer) in self.decoder_layers().iter().enumerate() {
+            // Extend every session's projected self-attention cache with
+            // its row of this step's batched K/V projections.
+            let (_, wk, wv, _) = layer.self_mha.projections();
+            let k_new = wk.forward(&x);
+            let v_new = wv.forward(&x);
+            for (r, session) in sessions.iter_mut().enumerate() {
+                session.layers[l].self_k.push_row(k_new.row(r));
+                session.layers[l].self_v.push_row(v_new.row(r));
+            }
+            let self_kvs: Vec<(&Mat<i8>, &Mat<i8>)> = sessions
+                .iter()
+                .map(|s| (&s.layers[l].self_k, &s.layers[l].self_v))
+                .collect();
+            let a = resblock_rows(&layer.self_mha, &x, &self_kvs);
+            let cross_kvs: Vec<(&Mat<i8>, &Mat<i8>)> = sessions
+                .iter()
+                .map(|s| (&s.layers[l].cross_k, &s.layers[l].cross_v))
+                .collect();
+            let bm = resblock_rows(&layer.cross_mha, &a, &cross_kvs);
+            let (c, _) = layer.ffn.forward(&bm);
+            x = c;
+        }
+        for session in sessions.iter_mut() {
+            session.pos += 1;
+        }
+        let last_ffn = &self.decoder_layers().last().expect("nonempty decoder").ffn;
+        let x_f32 = last_ffn.dequantize_output(&x);
+        let logits = self.output_projection_rows(&x_f32);
+        (0..b).map(|r| logits.row(r).to_vec()).collect()
     }
 
     /// Greedy decoding through the INT8 KV cache.
@@ -207,6 +339,50 @@ mod tests {
         assert_eq!(s.memory_rows(), src.len());
         let _ = q.step_session(&mut s, BOS);
         assert_eq!(s.pos(), 1);
+    }
+
+    #[test]
+    fn batched_step_is_bit_identical_to_single_steps() {
+        // Advance the same sources once through step_session and once
+        // through step_sessions (all together): every logit must match
+        // bit for bit, even with sessions at different positions.
+        let (q, corpus) = setup();
+        let srcs: Vec<&Vec<usize>> = corpus.iter().map(|(s, _)| s).collect();
+        let mut singles: Vec<QuantIncrementalSession> =
+            srcs.iter().map(|s| q.start_session(s)).collect();
+        let mut batched: Vec<QuantIncrementalSession> =
+            srcs.iter().map(|s| q.start_session(s)).collect();
+        // Desynchronize positions: pre-step a prefix of the sessions.
+        for (i, (single, batch)) in singles.iter_mut().zip(&mut batched).enumerate().take(2) {
+            let tok = 3 + i;
+            let a = q.step_session(single, tok);
+            let b = q.step_sessions(&mut [batch], &[tok]);
+            assert_eq!(a, b[0]);
+        }
+        let tokens: Vec<usize> = (0..srcs.len()).map(|i| BOS + i % 3).collect();
+        let want: Vec<Vec<f32>> = singles
+            .iter_mut()
+            .zip(&tokens)
+            .map(|(s, &t)| q.step_session(s, t))
+            .collect();
+        let mut refs: Vec<&mut QuantIncrementalSession> = batched.iter_mut().collect();
+        let got = q.step_sessions(&mut refs, &tokens);
+        assert_eq!(want, got);
+        for (s, b) in singles.iter().zip(&batched) {
+            assert_eq!(s.pos(), b.pos());
+            for (lc_s, lc_b) in s.layers.iter().zip(&b.layers) {
+                assert_eq!(lc_s.self_k, lc_b.self_k);
+                assert_eq!(lc_s.self_v, lc_b.self_v);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one token per session")]
+    fn batched_step_rejects_length_mismatch() {
+        let (q, corpus) = setup();
+        let mut s = q.start_session(&corpus[0].0);
+        let _ = q.step_sessions(&mut [&mut s], &[BOS, BOS]);
     }
 
     #[test]

@@ -168,6 +168,14 @@ impl QuantSeq2Seq {
         self.out_proj.forward_inference(x_row).row(0).to_vec()
     }
 
+    /// Applies the FP32 output projection to a stack of decoder rows
+    /// (one logit row per input row). The GEMM is row-independent, so
+    /// row `r` equals [`QuantSeq2Seq::output_projection_logits`] on row
+    /// `r` alone, bit for bit.
+    pub(crate) fn output_projection_rows(&self, x: &Mat<f32>) -> Mat<f32> {
+        self.out_proj.forward_inference(x)
+    }
+
     /// Runs the quantized encoder, returning output codes (scale: last
     /// FFN block's `out_scale`).
     pub fn encode(&self, src: &[usize]) -> Mat<i8> {

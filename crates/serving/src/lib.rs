@@ -1,0 +1,496 @@
+//! Continuous-batching inference over the INT8 KV-cached decoder.
+//!
+//! The paper's accelerator cuts per-block latency; this layer keeps the
+//! array busy across *requests*. A [`ContinuousBatcher`] owns a fixed
+//! number of decode **slots**. Waiting requests queue up, are admitted in
+//! length-sorted buckets ([`PaddedBatch::buckets`]), and every
+//! [`ContinuousBatcher::step`] advances *all* in-flight sessions together
+//! through one batched layer pass
+//! ([`QuantSeq2Seq::step_sessions`]) — one multi-row GEMM per weight
+//! matrix per step instead of one GEMM per request per layer. A request
+//! that emits `EOS` (or exhausts its token budget) retires its slot and
+//! the queue refills it on the next step, so the batch never drains just
+//! because one sentence finished early.
+//!
+//! **Bit-identity guarantee:** the batched datapath is row-independent,
+//! so every response is bit-identical to decoding that request alone
+//! with [`QuantSeq2Seq::greedy_decode_incremental`] — regardless of
+//! batch size, arrival order, or which requests it shared steps with.
+//! Tests (including a property test over random arrival orders) assert
+//! this.
+//!
+//! For multi-instance deployments, [`run_sharded`] fans length buckets
+//! out across `N` engine instances on scoped threads (`tensor::par`),
+//! each running its own continuous batcher over the shared model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use quantized::incremental::QuantIncrementalSession;
+use quantized::QuantSeq2Seq;
+use transformer::batching::PaddedBatch;
+use transformer::tasks::{BOS, EOS};
+
+/// One translation/generation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen identifier; responses are returned sorted by it.
+    pub id: u64,
+    /// Source-token sentence (must be non-empty).
+    pub src: Vec<usize>,
+    /// Maximum number of tokens to generate.
+    pub max_new_tokens: usize,
+}
+
+/// A finished request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request's identifier.
+    pub id: u64,
+    /// Generated tokens (no BOS; no EOS unless EOS is being ignored).
+    pub tokens: Vec<usize>,
+    /// Whether decoding stopped on `EOS` (as opposed to the budget).
+    pub hit_eos: bool,
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of decode slots — the maximum rows stacked per step.
+    pub max_batch: usize,
+    /// Padding-waste budget handed to [`PaddedBatch::buckets`] during
+    /// admission and sharding.
+    pub bucket_max_waste: usize,
+    /// When `true`, `EOS` neither stops a request nor is stripped from
+    /// its output: every request generates exactly `max_new_tokens`
+    /// tokens. Benchmarks use this so each batch size does identical
+    /// work.
+    pub ignore_eos: bool,
+}
+
+impl EngineConfig {
+    /// A config with `max_batch` slots and default policies.
+    pub fn with_max_batch(max_batch: usize) -> Self {
+        Self {
+            max_batch,
+            bucket_max_waste: 4,
+            ignore_eos: false,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::with_max_batch(16)
+    }
+}
+
+/// Counters accumulated across an engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Batched decode steps executed.
+    pub steps: usize,
+    /// Total active rows summed over all steps (`≤ steps · max_batch`).
+    pub rows: usize,
+    /// Tokens appended to responses.
+    pub tokens_generated: usize,
+    /// Largest number of rows any single step carried.
+    pub peak_batch: usize,
+    /// Requests admitted into slots.
+    pub admitted: usize,
+    /// Requests retired (EOS or budget).
+    pub retired: usize,
+}
+
+impl ServingStats {
+    /// Mean slot occupancy: the fraction of the engine's row capacity
+    /// that carried real requests, `rows / (steps · max_batch)`. This is
+    /// the serving-level analogue of array utilization — idle slots are
+    /// idle array rows.
+    pub fn occupancy(&self, max_batch: usize) -> f64 {
+        if self.steps == 0 || max_batch == 0 {
+            return 0.0;
+        }
+        self.rows as f64 / (self.steps * max_batch) as f64
+    }
+
+    /// Accumulates another engine's counters (used to roll up shards).
+    pub fn merge(&mut self, other: &ServingStats) {
+        self.steps += other.steps;
+        self.rows += other.rows;
+        self.tokens_generated += other.tokens_generated;
+        self.peak_batch = self.peak_batch.max(other.peak_batch);
+        self.admitted += other.admitted;
+        self.retired += other.retired;
+    }
+}
+
+/// An in-flight request occupying a decode slot.
+#[derive(Debug, Clone)]
+struct Slot {
+    id: u64,
+    session: QuantIncrementalSession,
+    next_token: usize,
+    out: Vec<usize>,
+    budget: usize,
+}
+
+/// The continuous-batching engine (one model instance).
+#[derive(Debug)]
+pub struct ContinuousBatcher<'m> {
+    model: &'m QuantSeq2Seq,
+    cfg: EngineConfig,
+    pending: VecDeque<Request>,
+    slots: Vec<Option<Slot>>,
+    finished: Vec<Response>,
+    stats: ServingStats,
+}
+
+impl<'m> ContinuousBatcher<'m> {
+    /// Creates an engine with `cfg.max_batch` empty slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.max_batch == 0`.
+    pub fn new(model: &'m QuantSeq2Seq, cfg: EngineConfig) -> Self {
+        assert!(cfg.max_batch > 0, "need at least one decode slot");
+        Self {
+            model,
+            cfg,
+            pending: VecDeque::new(),
+            slots: (0..cfg.max_batch).map(|_| None).collect(),
+            finished: Vec::new(),
+            stats: ServingStats::default(),
+        }
+    }
+
+    /// Queues a request (it enters a slot at the next refill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source sentence is empty.
+    pub fn submit(&mut self, req: Request) {
+        assert!(!req.src.is_empty(), "source must be non-empty");
+        if req.max_new_tokens == 0 {
+            // Nothing to generate; finish without occupying a slot.
+            self.finished.push(Response {
+                id: req.id,
+                tokens: Vec::new(),
+                hit_eos: false,
+            });
+            return;
+        }
+        self.pending.push_back(req);
+    }
+
+    /// Requests waiting for a slot.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Requests currently holding a slot.
+    pub fn active_len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The engine's lifetime counters so far.
+    pub fn stats(&self) -> ServingStats {
+        self.stats
+    }
+
+    /// Length-bucketed admission: fills free slots from the queue,
+    /// admitting the bucket containing the oldest waiting request first
+    /// (so similar-length prefills land together and no request starves).
+    fn refill(&mut self) {
+        while self.pending.front().is_some() {
+            let free: Vec<usize> = (0..self.slots.len())
+                .filter(|&i| self.slots[i].is_none())
+                .collect();
+            if free.is_empty() {
+                return;
+            }
+            let seqs: Vec<Vec<usize>> = self.pending.iter().map(|r| r.src.clone()).collect();
+            let buckets = PaddedBatch::buckets(&seqs, self.cfg.bucket_max_waste);
+            let oldest_bucket = buckets
+                .iter()
+                .find(|b| b.indices.contains(&0))
+                .expect("queue position 0 is in some bucket");
+            // Admit the bucket's members in arrival (queue) order,
+            // bounded by the free slots. Positions are removed ascending,
+            // so each removal shifts the later ones left by one.
+            let whole_bucket = oldest_bucket.indices.len() <= free.len();
+            let mut queue_positions: Vec<usize> = oldest_bucket.indices.clone();
+            queue_positions.sort_unstable();
+            queue_positions.truncate(free.len());
+            for (removed, (slot_i, qpos)) in free.iter().zip(queue_positions).enumerate() {
+                let req = self
+                    .pending
+                    .remove(qpos - removed)
+                    .expect("position in range");
+                self.slots[*slot_i] = Some(Slot {
+                    id: req.id,
+                    session: self.model.start_session(&req.src),
+                    next_token: BOS,
+                    out: Vec::new(),
+                    budget: req.max_new_tokens,
+                });
+                self.stats.admitted += 1;
+            }
+            if whole_bucket {
+                continue; // whole bucket admitted; maybe room for another
+            }
+            return; // slots exhausted mid-bucket
+        }
+    }
+
+    /// Advances every in-flight session by one token (admitting queued
+    /// requests into free slots first). Returns `false` when queue and
+    /// slots are both empty — i.e. there is nothing left to do.
+    pub fn step(&mut self) -> bool {
+        self.refill();
+        let mut active: Vec<(usize, &mut Slot)> = self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|s| (i, s)))
+            .collect();
+        if active.is_empty() {
+            return false;
+        }
+        let tokens: Vec<usize> = active.iter().map(|(_, s)| s.next_token).collect();
+        let mut sessions: Vec<&mut QuantIncrementalSession> =
+            active.iter_mut().map(|(_, s)| &mut s.session).collect();
+        let logits = self.model.step_sessions(&mut sessions, &tokens);
+        drop(sessions);
+        let b = active.len();
+        let mut retire: Vec<usize> = Vec::new();
+        for ((slot_i, slot), row) in active.iter_mut().zip(&logits) {
+            let next = tensor::ops::argmax(row);
+            if next == EOS && !self.cfg.ignore_eos {
+                retire.push(*slot_i);
+                continue;
+            }
+            slot.out.push(next);
+            slot.next_token = next;
+            self.stats.tokens_generated += 1;
+            if slot.out.len() >= slot.budget {
+                retire.push(*slot_i);
+            }
+        }
+        drop(active);
+        for i in retire {
+            let slot = self.slots[i].take().expect("retiring an occupied slot");
+            let hit_eos = slot.out.len() < slot.budget;
+            self.finished.push(Response {
+                id: slot.id,
+                tokens: slot.out,
+                hit_eos,
+            });
+            self.stats.retired += 1;
+        }
+        self.stats.steps += 1;
+        self.stats.rows += b;
+        self.stats.peak_batch = self.stats.peak_batch.max(b);
+        true
+    }
+
+    /// Steps until every submitted request has finished, then returns
+    /// the responses sorted by request id.
+    pub fn run_to_completion(&mut self) -> Vec<Response> {
+        while self.step() {}
+        let mut out = std::mem::take(&mut self.finished);
+        out.sort_by_key(|r| r.id);
+        out
+    }
+}
+
+/// Runs `requests` across `shards` engine instances on scoped threads:
+/// requests are length-bucketed ([`PaddedBatch::buckets`]), buckets are
+/// dealt to the least-loaded shard (by total member count), and each
+/// shard runs its own [`ContinuousBatcher`] over the shared model.
+/// Responses are bit-identical to a single engine (and to sequential
+/// decoding) and are returned sorted by id, alongside each shard's
+/// counters.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn run_sharded(
+    model: &QuantSeq2Seq,
+    cfg: EngineConfig,
+    requests: Vec<Request>,
+    shards: usize,
+) -> (Vec<Response>, Vec<ServingStats>) {
+    assert!(shards > 0, "need at least one shard");
+    if requests.is_empty() {
+        return (Vec::new(), vec![ServingStats::default(); shards]);
+    }
+    let seqs: Vec<Vec<usize>> = requests.iter().map(|r| r.src.clone()).collect();
+    let buckets = PaddedBatch::buckets(&seqs, cfg.bucket_max_waste);
+    let mut workloads: Vec<Vec<Request>> = (0..shards).map(|_| Vec::new()).collect();
+    for bucket in &buckets {
+        let lightest = (0..shards)
+            .min_by_key(|&s| workloads[s].len())
+            .expect("at least one shard");
+        for &i in &bucket.indices {
+            workloads[lightest].push(requests[i].clone());
+        }
+    }
+    let results = tensor::par::map_with_threads(&workloads, shards, |reqs| {
+        let mut engine = ContinuousBatcher::new(model, cfg);
+        for r in reqs {
+            engine.submit(r.clone());
+        }
+        (engine.run_to_completion(), engine.stats())
+    });
+    let mut responses = Vec::with_capacity(requests.len());
+    let mut stats = Vec::with_capacity(shards);
+    for (r, s) in results {
+        responses.extend(r);
+        stats.push(s);
+    }
+    responses.sort_by_key(|r| r.id);
+    (responses, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use transformer::config::ModelConfig;
+    use transformer::model::Seq2SeqTransformer;
+    use transformer::tasks::{Task, TaskGen};
+
+    fn setup(n: usize) -> (QuantSeq2Seq, Vec<Vec<usize>>) {
+        let mut cfg = ModelConfig::tiny_for_tests();
+        cfg.n_layers = 2;
+        let mut rng = StdRng::seed_from_u64(91);
+        let model = Seq2SeqTransformer::new(&cfg, &mut rng);
+        let gen = TaskGen::new(Task::Reverse, cfg.vocab, 3, 7);
+        let corpus = gen.corpus(n, &mut StdRng::seed_from_u64(92));
+        let srcs = corpus.iter().map(|(s, _)| s.clone()).collect();
+        (
+            QuantSeq2Seq::from_trained(&model, &corpus, quantized::SoftmaxMode::Hardware),
+            srcs,
+        )
+    }
+
+    fn requests(srcs: &[Vec<usize>], max_new: usize) -> Vec<Request> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, s)| Request {
+                id: i as u64,
+                src: s.clone(),
+                max_new_tokens: max_new,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn continuous_batch_matches_sequential_greedy() {
+        let (q, srcs) = setup(6);
+        for max_batch in [1usize, 2, 4, 16] {
+            let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(max_batch));
+            for r in requests(&srcs, 8) {
+                engine.submit(r);
+            }
+            let responses = engine.run_to_completion();
+            assert_eq!(responses.len(), srcs.len());
+            for (resp, src) in responses.iter().zip(&srcs) {
+                let want = q.greedy_decode_incremental(src, 8);
+                assert_eq!(resp.tokens, want, "batch {max_batch}, id {}", resp.id);
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_refilled_after_retirement() {
+        let (q, srcs) = setup(6);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(2));
+        for r in requests(&srcs, 8) {
+            engine.submit(r);
+        }
+        let responses = engine.run_to_completion();
+        assert_eq!(responses.len(), 6);
+        let stats = engine.stats();
+        assert_eq!(stats.admitted, 6);
+        assert_eq!(stats.retired, 6);
+        assert!(stats.peak_batch <= 2);
+        // 6 requests through 2 slots requires several waves of admission.
+        assert!(stats.steps >= 3, "steps {}", stats.steps);
+        assert!(stats.occupancy(2) > 0.0);
+    }
+
+    #[test]
+    fn ignore_eos_generates_exactly_the_budget() {
+        let (q, srcs) = setup(3);
+        let mut cfg = EngineConfig::with_max_batch(4);
+        cfg.ignore_eos = true;
+        let mut engine = ContinuousBatcher::new(&q, cfg);
+        for r in requests(&srcs, 5) {
+            engine.submit(r);
+        }
+        for resp in engine.run_to_completion() {
+            assert_eq!(resp.tokens.len(), 5);
+            assert!(!resp.hit_eos);
+        }
+    }
+
+    #[test]
+    fn zero_budget_requests_finish_immediately() {
+        let (q, srcs) = setup(2);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::default());
+        engine.submit(Request {
+            id: 7,
+            src: srcs[0].clone(),
+            max_new_tokens: 0,
+        });
+        let responses = engine.run_to_completion();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].tokens.is_empty());
+        assert_eq!(engine.stats().steps, 0);
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_single_engine() {
+        let (q, srcs) = setup(8);
+        let cfg = EngineConfig::with_max_batch(4);
+        let mut single = ContinuousBatcher::new(&q, cfg);
+        for r in requests(&srcs, 8) {
+            single.submit(r);
+        }
+        let want = single.run_to_completion();
+        for shards in [1usize, 2, 3, 8] {
+            let (got, stats) = run_sharded(&q, cfg, requests(&srcs, 8), shards);
+            assert_eq!(got, want, "shards {shards}");
+            assert_eq!(stats.len(), shards);
+            let mut total = ServingStats::default();
+            for s in &stats {
+                total.merge(s);
+            }
+            assert_eq!(total.retired, srcs.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one decode slot")]
+    fn zero_slots_rejected() {
+        let (q, _) = setup(2);
+        let _ = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_source_rejected() {
+        let (q, _) = setup(2);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::default());
+        engine.submit(Request {
+            id: 0,
+            src: vec![],
+            max_new_tokens: 4,
+        });
+    }
+}

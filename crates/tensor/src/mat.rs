@@ -184,6 +184,26 @@ impl<T: Copy + Default> Mat<T> {
         Ok(out)
     }
 
+    /// Appends one row in place (amortized O(cols) — the backing `Vec`
+    /// grows geometrically, unlike rebuilding through [`Mat::vconcat`]).
+    /// The KV caches of the incremental decoders push one row per token
+    /// through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[T]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "push_row width {} != cols {}",
+            row.len(),
+            self.cols
+        );
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Returns a copy zero-padded (with `T::default()`) to `rows x cols`.
     ///
     /// # Panics
@@ -353,6 +373,26 @@ impl<T: Copy + Default> Default for Mat<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn push_row_matches_vconcat() {
+        let mut grown = Mat::<i8>::zeros(0, 3);
+        let mut parts: Vec<Mat<i8>> = Vec::new();
+        for r in 0..5i8 {
+            let row = Mat::from_vec(1, 3, vec![r, r + 1, r + 2]).unwrap();
+            grown.push_row(row.row(0));
+            parts.push(row);
+        }
+        assert_eq!(grown, Mat::vconcat(&parts).unwrap());
+        assert_eq!(grown.shape(), (5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row width")]
+    fn push_row_rejects_wrong_width() {
+        let mut m = Mat::<i8>::zeros(0, 3);
+        m.push_row(&[1, 2]);
+    }
 
     #[test]
     fn zeros_and_shape() {

@@ -7,6 +7,30 @@ use tensor::{ops, Mat};
 
 use crate::tasks::PAD;
 
+/// One length bucket produced by [`PaddedBatch::buckets`]: a padded
+/// batch of similar-length sequences plus the positions they came from
+/// in the original slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    /// Index of each bucket member in the original `seqs` slice, in
+    /// ascending length order (ties in input order).
+    pub indices: Vec<usize>,
+    /// The members, padded to the bucket's longest sequence.
+    pub batch: PaddedBatch,
+}
+
+impl Bucket {
+    /// Padded rows wasted by this bucket:
+    /// `Σ (padded_len − len_i)` over its members.
+    pub fn waste(&self) -> usize {
+        self.batch
+            .lengths
+            .iter()
+            .map(|&l| self.batch.padded_len - l)
+            .sum()
+    }
+}
+
 /// A padded batch: token matrix rows plus per-sequence valid lengths.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PaddedBatch {
@@ -48,6 +72,56 @@ impl PaddedBatch {
             tokens,
             lengths: seqs.iter().map(|s| s.len()).collect(),
             padded_len,
+        }
+    }
+
+    /// Splits `seqs` into length-sorted buckets, greedily growing each
+    /// bucket while its total padding waste (padded rows that carry no
+    /// real tokens) stays at most `max_waste`. With `max_waste = 0` every
+    /// bucket holds sequences of exactly one length; a huge `max_waste`
+    /// reproduces a single [`PaddedBatch::new`] over everything. Every
+    /// input index appears in exactly one bucket.
+    ///
+    /// Ragged traffic padded naively wastes array rows on every padded
+    /// position; bucketing bounds that waste per admitted batch, which is
+    /// how the serving layer keeps the `s × 64` array busy with real
+    /// rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs` is empty or contains an empty sequence.
+    pub fn buckets(seqs: &[Vec<usize>], max_waste: usize) -> Vec<Bucket> {
+        assert!(!seqs.is_empty(), "empty batch");
+        assert!(
+            seqs.iter().all(|s| !s.is_empty()),
+            "empty sequence in batch"
+        );
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        order.sort_by_key(|&i| seqs[i].len());
+        let mut out = Vec::new();
+        let mut members: Vec<usize> = Vec::new();
+        let mut len_sum = 0usize;
+        for &i in &order {
+            let len = seqs[i].len();
+            // Sorted ascending: `len` is the candidate bucket's padded
+            // length, so its waste is `len * |members| - Σ lengths`.
+            let waste = len * members.len() - len_sum;
+            if !members.is_empty() && waste > max_waste {
+                out.push(Self::close_bucket(seqs, std::mem::take(&mut members)));
+                len_sum = 0;
+            }
+            members.push(i);
+            len_sum += len;
+        }
+        out.push(Self::close_bucket(seqs, members));
+        out
+    }
+
+    fn close_bucket(seqs: &[Vec<usize>], indices: Vec<usize>) -> Bucket {
+        let picked: Vec<Vec<usize>> = indices.iter().map(|&i| seqs[i].clone()).collect();
+        Bucket {
+            batch: PaddedBatch::new(&picked, 0),
+            indices,
         }
     }
 
@@ -169,5 +243,73 @@ mod tests {
     #[should_panic(expected = "empty batch")]
     fn empty_batch_rejected() {
         let _ = PaddedBatch::new(&[], 0);
+    }
+
+    /// A pathological mix: a pile of tiny sequences plus one huge one.
+    fn ragged() -> Vec<Vec<usize>> {
+        let mut seqs: Vec<Vec<usize>> = (0..6).map(|i| vec![3 + i; 2]).collect();
+        seqs.push(vec![7; 40]); // the outlier
+        seqs.push(vec![8; 3]);
+        seqs
+    }
+
+    #[test]
+    fn buckets_cover_every_index_exactly_once() {
+        let seqs = ragged();
+        for max_waste in [0usize, 1, 4, 1000] {
+            let buckets = PaddedBatch::buckets(&seqs, max_waste);
+            let mut seen: Vec<usize> = buckets.iter().flat_map(|b| b.indices.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..seqs.len()).collect::<Vec<_>>(), "{max_waste}");
+            for b in &buckets {
+                assert_eq!(b.indices.len(), b.batch.len());
+                for (&i, &l) in b.indices.iter().zip(&b.batch.lengths) {
+                    assert_eq!(seqs[i].len(), l, "length bookkeeping");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_respect_the_waste_bound() {
+        let seqs = ragged();
+        for max_waste in [0usize, 1, 4, 10] {
+            for b in PaddedBatch::buckets(&seqs, max_waste) {
+                assert!(
+                    b.waste() <= max_waste,
+                    "bucket wastes {} > {max_waste}",
+                    b.waste()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucketing_beats_naive_padding_on_pathological_mixes() {
+        // Naively padding the ragged mix to the outlier's length wastes
+        // 38 rows per 2-token sequence; the bucketed waste must be far
+        // smaller (and zero at max_waste = 0).
+        let seqs = ragged();
+        let naive = PaddedBatch::new(&seqs, 0);
+        let naive_waste: usize = naive.lengths.iter().map(|&l| naive.padded_len - l).sum();
+        let tight: usize = PaddedBatch::buckets(&seqs, 0)
+            .iter()
+            .map(Bucket::waste)
+            .sum();
+        assert_eq!(tight, 0, "equal-length buckets waste nothing");
+        assert!(naive_waste > 200, "mix is pathological: {naive_waste}");
+        // An infinite budget degenerates to the naive single batch.
+        let loose = PaddedBatch::buckets(&seqs, usize::MAX);
+        assert_eq!(loose.len(), 1);
+        assert_eq!(loose[0].batch.padded_len, naive.padded_len);
+    }
+
+    #[test]
+    fn buckets_sort_by_length_with_stable_ties() {
+        let seqs = vec![vec![1; 3], vec![2; 2], vec![3; 3], vec![4; 2]];
+        let buckets = PaddedBatch::buckets(&seqs, 0);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].indices, vec![1, 3]); // the 2-length pair, input order
+        assert_eq!(buckets[1].indices, vec![0, 2]);
     }
 }

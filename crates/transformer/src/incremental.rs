@@ -66,6 +66,39 @@ fn resblock_row(
     block.layernorm().forward_inference(&res)
 }
 
+/// Applies a full MHA ResBlock to a stack of rows, one per session: the
+/// `W_Q` and `W_O` projections run once over all rows; the per-session
+/// attention (different cache lengths) fans out across threads. The GEMM
+/// kernels never reorder a row's accumulation, so row `r` is
+/// bit-identical to [`resblock_row`] on row `r` alone.
+fn resblock_rows(block: &MhaResBlock, x: &Mat<f32>, kvs: &[(&Mat<f32>, &Mat<f32>)]) -> Mat<f32> {
+    debug_assert_eq!(x.rows(), kvs.len());
+    let mha = block.mha();
+    let (wq, _, _, wo) = mha.projections();
+    let h = mha.heads();
+    let d_k = wq.d_in() / h;
+    let scale = 1.0 / (d_k as f32).sqrt();
+    let q = wq.forward_inference(x);
+    let rows: Vec<usize> = (0..x.rows()).collect();
+    let att_rows = tensor::par::par_map(&rows, |&r| {
+        let (keys, vals) = kvs[r];
+        let mut heads = Vec::with_capacity(h);
+        for i in 0..h {
+            let c0 = i * d_k;
+            let qi = q.submatrix(r, c0, 1, d_k).expect("head panel");
+            let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
+            let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
+            let (out, _) = attention_forward(&qi, &ki, &vi, None, scale);
+            heads.push(out);
+        }
+        Mat::hconcat(&heads).expect("heads share rows")
+    });
+    let concat = Mat::vconcat(&att_rows).expect("rows share width");
+    let sub = wo.forward_inference(&concat);
+    let res = ops::add(x, &sub).expect("residual shape");
+    block.layernorm().forward_inference(&res)
+}
+
 impl IncrementalSession {
     /// Encodes `src` and prepares per-layer caches.
     ///
@@ -115,8 +148,8 @@ impl IncrementalSession {
             let (_, wk, wv, _) = self_blk.mha().projections();
             let k_new = wk.forward_inference(&x);
             let v_new = wv.forward_inference(&x);
-            cache.self_k = Mat::vconcat(&[cache.self_k.clone(), k_new]).expect("widths match");
-            cache.self_v = Mat::vconcat(&[cache.self_v.clone(), v_new]).expect("widths match");
+            cache.self_k.push_row(k_new.row(0));
+            cache.self_v.push_row(v_new.row(0));
             // Causal self-attention over the cache (past + current only).
             let a = resblock_row(self_blk, &x, &cache.self_k, &cache.self_v);
             // Cross-attention over the fixed encoder K/V.
@@ -129,6 +162,60 @@ impl IncrementalSession {
         let logits = ops::add_row_bias(&logits, model.output_projection().bias()).expect("bias");
         logits.row(0).to_vec()
     }
+}
+
+/// Advances several sessions by one token each, batching the GEMMs: the
+/// active rows are stacked into one `b × d_model` matrix, and each
+/// layer's projections, FFN sublayers and the output projection run once
+/// over all rows. Row `r`'s logits are bit-identical to
+/// [`IncrementalSession::step`] on session `r` alone (the GEMM kernels
+/// never reorder a row's accumulation), for any batch composition.
+/// Sessions may sit at different positions.
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty or its length differs from `tokens`'.
+pub fn step_batch(
+    model: &Seq2SeqTransformer,
+    sessions: &mut [&mut IncrementalSession],
+    tokens: &[usize],
+) -> Vec<Vec<f32>> {
+    assert_eq!(sessions.len(), tokens.len(), "one token per session");
+    assert!(!sessions.is_empty(), "empty step batch");
+    let b = sessions.len();
+    let d_model = model.config().d_model;
+    let mut x = Mat::zeros(b, d_model);
+    for (r, (session, &token)) in sessions.iter().zip(tokens).enumerate() {
+        x.row_mut(r)
+            .copy_from_slice(&model.tgt_embedding().embed_at(token, session.pos));
+    }
+    for (l, layer) in model.decoder().layers().iter().enumerate() {
+        let (self_blk, cross_blk, ffn_blk) = layer.blocks();
+        let (_, wk, wv, _) = self_blk.mha().projections();
+        let k_new = wk.forward_inference(&x);
+        let v_new = wv.forward_inference(&x);
+        for (r, session) in sessions.iter_mut().enumerate() {
+            session.layers[l].self_k.push_row(k_new.row(r));
+            session.layers[l].self_v.push_row(v_new.row(r));
+        }
+        let self_kvs: Vec<(&Mat<f32>, &Mat<f32>)> = sessions
+            .iter()
+            .map(|s| (&s.layers[l].self_k, &s.layers[l].self_v))
+            .collect();
+        let a = resblock_rows(self_blk, &x, &self_kvs);
+        let cross_kvs: Vec<(&Mat<f32>, &Mat<f32>)> = sessions
+            .iter()
+            .map(|s| (&s.layers[l].cross_k, &s.layers[l].cross_v))
+            .collect();
+        let bm = resblock_rows(cross_blk, &a, &cross_kvs);
+        x = ffn_blk.forward_inference(&bm);
+    }
+    for session in sessions.iter_mut() {
+        session.pos += 1;
+    }
+    let logits = gemm::matmul(&x, model.output_projection().weight()).expect("widths match");
+    let logits = ops::add_row_bias(&logits, model.output_projection().bias()).expect("bias");
+    (0..b).map(|r| logits.row(r).to_vec()).collect()
 }
 
 /// Greedy decoding through the KV cache — output-equivalent to
@@ -200,6 +287,42 @@ mod tests {
             let inc = greedy_decode_incremental(&m, &src, BOS, EOS, 8);
             assert_eq!(full, inc, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn batched_step_is_bit_identical_to_single_steps() {
+        let m = model(8);
+        let srcs: [&[usize]; 3] = [&[3, 7, 4], &[5, 6], &[9, 2, 4, 6]];
+        let mut singles: Vec<IncrementalSession> = srcs
+            .iter()
+            .map(|s| IncrementalSession::new(&m, s))
+            .collect();
+        let mut batched: Vec<IncrementalSession> = srcs
+            .iter()
+            .map(|s| IncrementalSession::new(&m, s))
+            .collect();
+        // Desynchronize: advance the first session one extra step.
+        let a = singles[0].step(&m, BOS);
+        let got = step_batch(&m, &mut [&mut batched[0]], &[BOS]);
+        assert_eq!(a, got[0], "single-session batch must match step()");
+        for tokens in [[1usize, 5, 8], [2, 6, 4]] {
+            let want: Vec<Vec<f32>> = singles
+                .iter_mut()
+                .zip(&tokens)
+                .map(|(s, &t)| s.step(&m, t))
+                .collect();
+            let mut refs: Vec<&mut IncrementalSession> = batched.iter_mut().collect();
+            let got = step_batch(&m, &mut refs, &tokens);
+            assert_eq!(want, got, "batched logits must be bit-identical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one token per session")]
+    fn batched_step_rejects_length_mismatch() {
+        let m = model(9);
+        let mut s = IncrementalSession::new(&m, &[3, 4]);
+        let _ = step_batch(&m, &mut [&mut s], &[BOS, BOS]);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | [`fixedmath`] | INT8 quantizers, shift-add EXP/LN units, rsqrt ROM |
 //! | [`transformer`] | FP32 reference model + training + BLEU |
 //! | [`quantized`] | bit-exact INT8 datapath (softmax Fig. 6, LayerNorm Fig. 8) |
+//! | [`serving`] | continuous-batching inference engine over the INT8 decoder |
 //! | [`hwsim`] | cycle-level simulation framework + FPGA resource vocab |
 //! | [`accel`] | the paper's accelerator: SA, scheduler (Algorithm 1), area model |
 //! | [`baseline`] | calibrated V100/PyTorch latency model + CPU baseline |
@@ -41,5 +42,6 @@ pub use baseline;
 pub use fixedmath;
 pub use hwsim;
 pub use quantized;
+pub use serving;
 pub use tensor;
 pub use transformer;
