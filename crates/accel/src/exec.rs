@@ -1,0 +1,361 @@
+//! Lowering from the ResBlock operator graphs to the accelerator ISA,
+//! plus an [`Executor`] that runs a graph on the command-stream
+//! interpreter.
+//!
+//! [`lower_mha`] / [`lower_ffn`] walk a [`Graph`] in plan order and emit
+//! [`Command`]s; [`crate::isa::mha_program`] and
+//! [`crate::isa::ffn_program`] are now thin wrappers over this lowering,
+//! so the static schedule the timing model runs is *derived from the
+//! same dataflow description* every software backend executes. Nodes the
+//! hardware fuses into a neighbouring unit (ReLU into the bias adders,
+//! the residual add into the output drain) lower to no command at all —
+//! the convention documented on [`Op`].
+//!
+//! [`AccelExec`] closes the loop: `run` lowers the graph, drives the
+//! bit-exact ISA interpreter ([`crate::isa::execute_mha`] /
+//! [`crate::isa::execute_ffn`]), and accumulates the timing
+//! interpretation of the very same program into its [`ExecStats`].
+
+use graph::{Env, ExecStats, Executor, Graph, GraphKind, Node, Op, WeightId};
+use quantized::{QuantFfnResBlock, QuantMhaResBlock};
+use tensor::Mat;
+
+use crate::config::AccelConfig;
+use crate::isa::{execute_ffn, execute_mha, schedule_program, Command};
+use crate::partition::{qk_plan, PANEL_COLS};
+
+fn producer<'g>(g: &'g Graph, name: &str) -> Option<&'g Node> {
+    g.nodes.iter().find(|n| n.output == name)
+}
+
+/// Lowers the [`GraphKind::Mha`] graph to the Algorithm-1 command
+/// stream at key/value length `s_kv`.
+///
+/// The per-head projections run inside the hardware's head loop, so
+/// each `SplitHeads` node — not the full-width `Linear` that feeds it —
+/// lowers to the `Project{Q,K,V}` command of its producer's weight.
+/// `Concat` and the residual `Add` are free (panel writeback and the
+/// output drain); `Linear(W_G)` lowers to one `OutputPanel` per head.
+///
+/// # Panics
+///
+/// Panics if the graph is not an MHA graph or a `SplitHeads` input is
+/// not produced by a projection (e.g. the cached-KV graph, whose K/V
+/// live in a cache the accelerator model does not stream).
+pub fn lower_mha(g: &Graph, s_kv: usize) -> Vec<Command> {
+    assert_eq!(g.kind, GraphKind::Mha, "lower_mha lowers the MHA graph");
+    let tiles = qk_plan(s_kv).tiles;
+    let mut prog = Vec::new();
+    for node in &g.nodes {
+        match node.op {
+            // Full-width projections are realised per head (below).
+            Op::Linear(WeightId::Wq | WeightId::Wk | WeightId::Wv) => {}
+            Op::SplitHeads => {
+                let head = node.head.expect("SplitHeads carries a head index");
+                let src = producer(g, &node.inputs[0]).unwrap_or_else(|| {
+                    panic!(
+                        "SplitHeads input {:?} has no producer; cached graphs are not lowerable",
+                        node.inputs[0]
+                    )
+                });
+                match src.op {
+                    Op::Linear(WeightId::Wq) => prog.push(Command::ProjectQ { head }),
+                    Op::Linear(WeightId::Wk) => prog.push(Command::ProjectK { head }),
+                    Op::Linear(WeightId::Wv) => prog.push(Command::ProjectV { head }),
+                    ref other => panic!("SplitHeads fed by {other:?}, not a projection"),
+                }
+            }
+            Op::HeadMatmul {
+                transpose_rhs: true,
+            } => {
+                let head = node.head.expect("score matmul is per head");
+                for tile in 0..tiles {
+                    prog.push(Command::ScoreTile { head, tile });
+                }
+            }
+            Op::ScaledMaskedSoftmax => {
+                let head = node.head.expect("softmax is per head");
+                prog.push(Command::Softmax { head });
+            }
+            Op::HeadMatmul {
+                transpose_rhs: false,
+            } => {
+                let head = node.head.expect("context matmul is per head");
+                prog.push(Command::Context { head });
+            }
+            // Panel writeback into data memory; no command.
+            Op::Concat => {}
+            Op::Linear(WeightId::Wo) => {
+                for panel in 0..g.cfg.h {
+                    prog.push(Command::OutputPanel { panel });
+                }
+            }
+            // Residual add is fused into the output drain; no command.
+            Op::Add => {}
+            Op::LayerNorm => prog.push(Command::LayerNorm),
+            ref other => panic!("{other:?} is not part of the MHA dataflow"),
+        }
+    }
+    prog
+}
+
+/// Lowers the [`GraphKind::Ffn`] graph to the Algorithm-1 command
+/// stream (lines 14–22): one `FfnHidden` per 64-column hidden panel,
+/// one `FfnOutput` per output panel, then `LayerNorm`. ReLU and the
+/// residual add are fused into neighbouring units and lower to nothing.
+///
+/// # Panics
+///
+/// Panics if the graph is not an FFN graph.
+pub fn lower_ffn(g: &Graph) -> Vec<Command> {
+    assert_eq!(g.kind, GraphKind::Ffn, "lower_ffn lowers the FFN graph");
+    let mut prog = Vec::new();
+    for node in &g.nodes {
+        match node.op {
+            Op::Linear(WeightId::W1) => {
+                for panel in 0..g.cfg.d_ff.div_ceil(PANEL_COLS) {
+                    prog.push(Command::FfnHidden { panel });
+                }
+            }
+            // Fused into the bias adders (Fig. 5); no command.
+            Op::Relu => {}
+            Op::Linear(WeightId::W2) => {
+                for panel in 0..g.cfg.d_model.div_ceil(PANEL_COLS) {
+                    prog.push(Command::FfnOutput { panel });
+                }
+            }
+            // Residual add is fused into the output drain; no command.
+            Op::Add => {}
+            Op::LayerNorm => prog.push(Command::LayerNorm),
+            ref other => panic!("{other:?} is not part of the FFN dataflow"),
+        }
+    }
+    prog
+}
+
+/// Which quantized ResBlock an [`AccelExec`] runs against.
+#[derive(Debug, Clone, Copy)]
+pub enum AccelBlock<'a> {
+    /// The MHA ResBlock (Algorithm 1, lines 1–13).
+    Mha(&'a QuantMhaResBlock),
+    /// The FFN ResBlock (lines 14–22).
+    Ffn(&'a QuantFfnResBlock),
+}
+
+/// Graph executor backed by the accelerator's ISA interpreter: lowers
+/// the graph to a command stream, executes it bit-exactly, and
+/// accumulates the program's cycle count (under the configuration's
+/// scheduling policy) into [`ExecStats::cycles`].
+#[derive(Debug)]
+pub struct AccelExec<'a> {
+    block: AccelBlock<'a>,
+    cfg: &'a AccelConfig,
+    stats: ExecStats,
+}
+
+impl<'a> AccelExec<'a> {
+    /// Executor over a quantized block under a timing configuration.
+    pub fn new(block: AccelBlock<'a>, cfg: &'a AccelConfig) -> Self {
+        Self {
+            block,
+            cfg,
+            stats: ExecStats::default(),
+        }
+    }
+}
+
+impl Executor for AccelExec<'_> {
+    type Value = Mat<i8>;
+
+    fn run(
+        &mut self,
+        graph: &Graph,
+        inputs: Vec<(&str, Mat<i8>)>,
+        mask: Option<&Mat<bool>>,
+    ) -> Env<Mat<i8>> {
+        let mut env = Env::new(graph.plan().slot_names);
+        for (name, value) in inputs {
+            let slot = env.slot(name);
+            env.set(slot, value);
+        }
+        let (y, prog, s_kv) = match (graph.kind, self.block) {
+            (GraphKind::Mha, AccelBlock::Mha(block)) => {
+                let xq = env.take("x_q");
+                let xk = env.take("x_k");
+                let xv = env.take("x_v");
+                // The hardware streams one KV operand; self-attention
+                // feeds the same codes to both projections.
+                debug_assert_eq!(xk, xv, "accelerator streams a single KV input");
+                let s_kv = xk.rows();
+                let prog = lower_mha(graph, s_kv);
+                let y = execute_mha(&prog, block, &xq, &xk, mask);
+                (y, prog, s_kv)
+            }
+            (GraphKind::Ffn, AccelBlock::Ffn(block)) => {
+                let x = env.take("x");
+                let s_kv = x.rows();
+                let prog = lower_ffn(graph);
+                let y = execute_ffn(&prog, block, &x);
+                (y, prog, s_kv)
+            }
+            (GraphKind::MhaCached, _) => {
+                panic!("the accelerator model has no cached-KV schedule")
+            }
+            (kind, _) => panic!("graph kind {kind:?} does not match the bound block"),
+        };
+        let cycles = schedule_program(self.cfg, &prog, s_kv);
+        self.stats.nodes += graph.nodes.len();
+        self.stats.cycles = Some(self.stats.cycles.unwrap_or(0) + cycles.0);
+        let out = env.slot("y");
+        env.set(out, y);
+        env
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::{ffn_graph, mha_graph, GraphConfig};
+    use quantized::SoftmaxMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use transformer::config::ModelConfig;
+    use transformer::ffn::FfnResBlock;
+    use transformer::mha::MhaResBlock;
+
+    fn blocks(cfg: &ModelConfig, s: usize) -> (QuantMhaResBlock, QuantFfnResBlock, Mat<i8>) {
+        let mut rng = StdRng::seed_from_u64(0xACCE);
+        let mha = MhaResBlock::new(cfg, &mut rng);
+        let ffn = FfnResBlock::new(cfg, &mut rng);
+        let calib: Vec<Mat<f32>> = (0..3)
+            .map(|_| tensor::init::normal(&mut rng, s, cfg.d_model, 1.0))
+            .collect();
+        let qmha = QuantMhaResBlock::from_f32(&mha, &calib, &calib, SoftmaxMode::Hardware);
+        let qffn = QuantFfnResBlock::from_f32(&ffn, &calib);
+        let xq = qmha.quantize_input_q(&calib[0]);
+        (qmha, qffn, xq)
+    }
+
+    /// The pre-refactor hand-written Algorithm-1 loops — frozen here as
+    /// the golden reference the lowering must reproduce exactly.
+    fn handwritten_mha(h: usize, s_kv: usize) -> Vec<Command> {
+        let mut prog = Vec::new();
+        let tiles = qk_plan(s_kv).tiles;
+        for head in 0..h {
+            prog.push(Command::ProjectQ { head });
+            prog.push(Command::ProjectK { head });
+            for tile in 0..tiles {
+                prog.push(Command::ScoreTile { head, tile });
+            }
+            prog.push(Command::Softmax { head });
+            prog.push(Command::ProjectV { head });
+            prog.push(Command::Context { head });
+        }
+        for panel in 0..h {
+            prog.push(Command::OutputPanel { panel });
+        }
+        prog.push(Command::LayerNorm);
+        prog
+    }
+
+    fn handwritten_ffn(d_model: usize, d_ff: usize) -> Vec<Command> {
+        let mut prog = Vec::new();
+        for panel in 0..d_ff.div_ceil(PANEL_COLS) {
+            prog.push(Command::FfnHidden { panel });
+        }
+        for panel in 0..d_model.div_ceil(PANEL_COLS) {
+            prog.push(Command::FfnOutput { panel });
+        }
+        prog.push(Command::LayerNorm);
+        prog
+    }
+
+    #[test]
+    fn lowered_mha_program_matches_handwritten() {
+        for (h, s_kv) in [(8, 64), (2, 8), (4, 128)] {
+            let g = mha_graph(&GraphConfig {
+                d_model: h * PANEL_COLS,
+                d_ff: 0,
+                h,
+            });
+            assert_eq!(lower_mha(&g, s_kv), handwritten_mha(h, s_kv));
+            assert_eq!(crate::isa::mha_program(h, s_kv), handwritten_mha(h, s_kv));
+        }
+    }
+
+    #[test]
+    fn lowered_ffn_program_matches_handwritten() {
+        for (d_model, d_ff) in [(512, 2048), (64, 256), (100, 300)] {
+            let g = ffn_graph(&GraphConfig {
+                d_model,
+                d_ff,
+                h: 1,
+            });
+            assert_eq!(lower_ffn(&g), handwritten_ffn(d_model, d_ff));
+            assert_eq!(
+                crate::isa::ffn_program(d_model, d_ff),
+                handwritten_ffn(d_model, d_ff)
+            );
+        }
+    }
+
+    #[test]
+    fn accel_exec_is_bit_identical_and_counts_cycles() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let (qmha, qffn, xq) = blocks(&cfg, 8);
+        let acfg = AccelConfig::paper_default();
+        let gcfg = GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: cfg.d_ff,
+            h: cfg.h,
+        };
+
+        let g = mha_graph(&gcfg);
+        let mut exec = AccelExec::new(AccelBlock::Mha(&qmha), &acfg);
+        let mut env = exec.run(
+            &g,
+            vec![
+                ("x_q", xq.clone()),
+                ("x_k", xq.clone()),
+                ("x_v", xq.clone()),
+            ],
+            None,
+        );
+        let (want, _) = qmha.forward(&xq, &xq, None);
+        assert_eq!(env.take("y"), want);
+        let mha_cycles = schedule_program(&acfg, &lower_mha(&g, 8), 8);
+        assert_eq!(exec.stats().cycles, Some(mha_cycles.0));
+
+        let g = ffn_graph(&gcfg);
+        let x = qffn.quantize_input(&tensor::init::normal(
+            &mut StdRng::seed_from_u64(9),
+            8,
+            cfg.d_model,
+            1.0,
+        ));
+        let mut exec = AccelExec::new(AccelBlock::Ffn(&qffn), &acfg);
+        let mut env = exec.run(&g, vec![("x", x.clone())], None);
+        let (want, _) = qffn.forward(&x);
+        assert_eq!(env.take("y"), want);
+        assert!(exec.stats().cycles.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no cached-KV schedule")]
+    fn cached_graph_is_rejected() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let (qmha, _, xq) = blocks(&cfg, 8);
+        let acfg = AccelConfig::paper_default();
+        let g = graph::mha_cached_graph(&GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: 0,
+            h: cfg.h,
+        });
+        let mut exec = AccelExec::new(AccelBlock::Mha(&qmha), &acfg);
+        let _ = exec.run(&g, vec![("x", xq)], None);
+    }
+}

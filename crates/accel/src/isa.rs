@@ -85,38 +85,29 @@ pub enum Command {
 }
 
 /// The Algorithm-1 command stream for the MHA ResBlock at key/value
-/// length `s_kv`.
+/// length `s_kv` — lowered from the [`graph::mha_graph`] dataflow by
+/// [`crate::exec::lower_mha`], so the schedule and every software
+/// backend share one operator-graph description. The lowering only
+/// reads the graph's *shape* (`h` and the node order), so `d_model` is
+/// pinned to `h` panels of 64.
 pub fn mha_program(h: usize, s_kv: usize) -> Vec<Command> {
-    let mut prog = Vec::new();
-    let tiles = qk_plan(s_kv).tiles;
-    for head in 0..h {
-        prog.push(Command::ProjectQ { head });
-        prog.push(Command::ProjectK { head });
-        for tile in 0..tiles {
-            prog.push(Command::ScoreTile { head, tile });
-        }
-        prog.push(Command::Softmax { head });
-        prog.push(Command::ProjectV { head });
-        prog.push(Command::Context { head });
-    }
-    for panel in 0..h {
-        prog.push(Command::OutputPanel { panel });
-    }
-    prog.push(Command::LayerNorm);
-    prog
+    let g = graph::mha_graph(&graph::GraphConfig {
+        d_model: h * PANEL_COLS,
+        d_ff: 0,
+        h,
+    });
+    crate::exec::lower_mha(&g, s_kv)
 }
 
-/// The Algorithm-1 command stream for the FFN ResBlock.
+/// The Algorithm-1 command stream for the FFN ResBlock — lowered from
+/// the [`graph::ffn_graph`] dataflow by [`crate::exec::lower_ffn`].
 pub fn ffn_program(d_model: usize, d_ff: usize) -> Vec<Command> {
-    let mut prog = Vec::new();
-    for panel in 0..d_ff.div_ceil(PANEL_COLS) {
-        prog.push(Command::FfnHidden { panel });
-    }
-    for panel in 0..d_model.div_ceil(PANEL_COLS) {
-        prog.push(Command::FfnOutput { panel });
-    }
-    prog.push(Command::LayerNorm);
-    prog
+    let g = graph::ffn_graph(&graph::GraphConfig {
+        d_model,
+        d_ff,
+        h: 1,
+    });
+    crate::exec::lower_ffn(&g)
 }
 
 /// A slice of a quantized linear layer restricted to columns

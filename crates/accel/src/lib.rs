@@ -45,6 +45,7 @@ pub mod area;
 pub mod config;
 pub mod datamem;
 pub mod engine;
+pub mod exec;
 pub mod isa;
 pub mod layernorm_module;
 pub mod partition;
@@ -59,5 +60,6 @@ pub mod weights;
 
 pub use config::{AccelConfig, LayerNormMode, SchedPolicy};
 pub use engine::{ArrayEngine, EngineRun, EngineStats, Fidelity};
+pub use exec::{lower_ffn, lower_mha, AccelBlock, AccelExec};
 pub use scheduler::ScheduleReport;
 pub use top::Accelerator;

@@ -1,0 +1,39 @@
+//! Operator-graph IR for the paper's two ResBlocks, plus the pluggable
+//! [`Executor`] layer that every forward path in the workspace runs
+//! through.
+//!
+//! The paper's core claim is that **one** shared `s × 64` systolic array
+//! executes both the MHA and FFN ResBlocks under a single Algorithm-1
+//! schedule. This crate makes that "one dataflow, many backends" idea
+//! first-class in software: the ResBlock dataflow is written down once
+//! as a small graph of named-tensor operators ([`mha_graph`],
+//! [`ffn_graph`], [`mha_cached_graph`]), and each backend — FP32
+//! reference, INT8 datapath, KV-cached row decoding, and the
+//! accelerator's command stream — is an [`Executor`] that interprets or
+//! lowers the same graph:
+//!
+//! | Executor | Crate | Interprets the graph as |
+//! |---|---|---|
+//! | `FloatExec` | `transformer` | FP32 reference ops |
+//! | `QuantExec` | `quantized` | bit-exact INT8/fixed-point ops |
+//! | `RowExec` / `QuantRowExec` | `transformer` / `quantized` | cached-KV multi-row decode |
+//! | `AccelExec` | `accel` | `isa::Command` streams + cycle counts |
+//!
+//! The non-negotiable invariant is **bit-identity**: every executor
+//! produces exactly the bits its hand-rolled predecessor produced, so
+//! the graph refactor can never silently change a decode, a BLEU score
+//! or a cycle count. Differential tests in each crate (and at the
+//! workspace root) enforce this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod graph;
+mod op;
+
+pub use exec::{Env, ExecStats, Executor};
+pub use graph::{
+    ffn_graph, mha_cached_graph, mha_graph, ExecPlan, Graph, GraphConfig, GraphKind, Node, PlanStep,
+};
+pub use op::{Op, WeightId};

@@ -1,0 +1,64 @@
+//! The operator vocabulary of the ResBlock graphs.
+
+/// Identifies one of the six weight matrices a ResBlock owns. Executors
+/// resolve a [`WeightId`] to their own parameter representation (FP32
+/// `Linear`, INT8 `QLinear`, or a weight-memory panel on the
+/// accelerator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightId {
+    /// MHA query projection `W_Q`.
+    Wq,
+    /// MHA key projection `W_K`.
+    Wk,
+    /// MHA value projection `W_V`.
+    Wv,
+    /// MHA output projection (`W_G` in the paper, `W^O` in Vaswani et
+    /// al.).
+    Wo,
+    /// FFN first sublayer `W_1`.
+    W1,
+    /// FFN second sublayer `W_2`.
+    W2,
+}
+
+/// One operator over named tensors.
+///
+/// Operators carry **dataflow** semantics only; every numeric detail
+/// (FP32 vs INT8, requantization points, drain fusion) belongs to the
+/// executor interpreting the node. Two conventions executors share:
+///
+/// * the *context* matmul (`HeadMatmul` with `transpose_rhs == false`)
+///   is where the INT8 backends requantize the accumulator into `P`
+///   codes — hardware does this in the systolic array's output drain
+///   (Algorithm 1 line 7), so the graph has no separate requantize node;
+/// * `Relu` and `Add` are *fused* ops on the accelerator (the ReLU block
+///   and residual adders of Fig. 5 live on the drain path), so the ISA
+///   lowering emits no commands for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Affine projection `y = x W + b` with the named weight.
+    Linear(WeightId),
+    /// The 64-column panel of the node's head (`head * d_k ..
+    /// head * d_k + d_k`) — the Fig. 4 partitioning step that turns a
+    /// full-width tensor into one head's view.
+    SplitHeads,
+    /// Per-head matmul: scores (`Q_i K_iᵀ`, `transpose_rhs == true`) or
+    /// context (`probs × V_i`, `transpose_rhs == false`).
+    HeadMatmul {
+        /// When `true` the right operand is used transposed (`A Bᵀ`).
+        transpose_rhs: bool,
+    },
+    /// Scale by `1/sqrt(d_k)`, apply the optional run-time mask, and
+    /// softmax each row (Eq. (4); the hardware softmax module folds all
+    /// three into one streaming pass).
+    ScaledMaskedSoftmax,
+    /// Reassemble per-head panels into a full-width tensor, in head
+    /// order.
+    Concat,
+    /// Elementwise `max(0, x)`.
+    Relu,
+    /// Elementwise residual addition.
+    Add,
+    /// Row-wise layer normalization (Eq. (6)).
+    LayerNorm,
+}

@@ -1,0 +1,624 @@
+//! INT8 executors for the ResBlock operator graphs.
+//!
+//! [`QuantExec`] interprets a graph with the bit-accurate INT8
+//! primitives — it is what [`QuantMhaResBlock::forward`] and
+//! [`QuantFfnResBlock::forward`] run through. Per-head groups fan out
+//! across threads exactly as the hand-rolled loop did; the datapath is
+//! bit-exact integer arithmetic and panels are merged in head order, so
+//! the result is identical for any thread count.
+//!
+//! [`QuantRowExec`] executes the cached-KV graph for incremental INT8
+//! decoding. In the single-row hot path it writes the requantized head
+//! outputs straight into a caller-provided scratch row (the session's
+//! `p_buf`), so the per-token loop never allocates head panels.
+
+use graph::{Env, ExecStats, Executor, Graph, GraphKind, Node, Op, PlanStep, WeightId};
+use tensor::{gemm, Mat};
+
+use crate::ffn::QuantFfnResBlock;
+use crate::mha::QuantMhaResBlock;
+use crate::qlinear::{residual_add_i8, QLinear};
+use crate::softmax::scaled_masked_softmax;
+
+/// Value domain of [`QuantExec`]: INT8 code matrices on the wires,
+/// INT32 accumulators between a GEMM (or residual adder) and the module
+/// that consumes it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QVal {
+    /// INT8 codes.
+    I8(Mat<i8>),
+    /// INT32 accumulators.
+    I32(Mat<i32>),
+}
+
+impl QVal {
+    /// Unwraps the INT8 variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this value holds accumulators.
+    pub fn into_i8(self) -> Mat<i8> {
+        match self {
+            QVal::I8(m) => m,
+            QVal::I32(_) => panic!("expected i8 codes, found i32 accumulators"),
+        }
+    }
+
+    fn as_i8(&self) -> &Mat<i8> {
+        match self {
+            QVal::I8(m) => m,
+            QVal::I32(_) => panic!("expected i8 codes, found i32 accumulators"),
+        }
+    }
+
+    fn as_i32(&self) -> &Mat<i32> {
+        match self {
+            QVal::I32(m) => m,
+            QVal::I8(_) => panic!("expected i32 accumulators, found i8 codes"),
+        }
+    }
+}
+
+/// Slot lookup that layers a head group's not-yet-merged outputs over
+/// the shared environment, so steps inside a group can read their own
+/// group's earlier results while other groups run concurrently.
+struct Scope<'e> {
+    env: &'e Env<QVal>,
+    local: &'e [(usize, QVal)],
+}
+
+impl Scope<'_> {
+    fn value(&self, slot: usize) -> &QVal {
+        self.local
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == slot)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| self.env.value(slot))
+    }
+}
+
+/// Which quantized ResBlock a [`QuantExec`] draws parameters from.
+#[derive(Debug, Clone, Copy)]
+enum QuantBlock<'a> {
+    Mha(&'a QuantMhaResBlock),
+    Ffn(&'a QuantFfnResBlock),
+}
+
+/// INT8 graph interpreter over a quantized ResBlock's parameters.
+#[derive(Debug)]
+pub struct QuantExec<'a> {
+    block: QuantBlock<'a>,
+    stats: ExecStats,
+}
+
+impl<'a> QuantExec<'a> {
+    /// Executor over a quantized MHA ResBlock.
+    pub fn mha(block: &'a QuantMhaResBlock) -> Self {
+        Self {
+            block: QuantBlock::Mha(block),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Executor over a quantized FFN ResBlock.
+    pub fn ffn(block: &'a QuantFfnResBlock) -> Self {
+        Self {
+            block: QuantBlock::Ffn(block),
+            stats: ExecStats::default(),
+        }
+    }
+
+    fn weight(&self, id: WeightId) -> &'a QLinear {
+        match (self.block, id) {
+            (QuantBlock::Mha(b), WeightId::Wq) => b.projections().0,
+            (QuantBlock::Mha(b), WeightId::Wk) => b.projections().1,
+            (QuantBlock::Mha(b), WeightId::Wv) => b.projections().2,
+            (QuantBlock::Mha(b), WeightId::Wo) => b.projections().3,
+            (QuantBlock::Ffn(b), WeightId::W1) => b.sublayers().0,
+            (QuantBlock::Ffn(b), WeightId::W2) => b.sublayers().1,
+            (_, id) => panic!("no {id:?} bound to this executor"),
+        }
+    }
+
+    fn eval(
+        &self,
+        node: &Node,
+        step: &PlanStep,
+        scope: &Scope<'_>,
+        mask: Option<&Mat<bool>>,
+    ) -> QVal {
+        let input = |i: usize| scope.value(step.inputs[i]);
+        match node.op {
+            Op::Linear(id) => QVal::I8(self.weight(id).forward(input(0).as_i8())),
+            Op::SplitHeads => {
+                let (d_k, head) = match self.block {
+                    QuantBlock::Mha(b) => (b.d_k(), node.head.expect("head group")),
+                    QuantBlock::Ffn(_) => panic!("SplitHeads in an FFN graph"),
+                };
+                let x = input(0).as_i8();
+                QVal::I8(
+                    x.submatrix(0, head * d_k, x.rows(), d_k)
+                        .expect("head panel"),
+                )
+            }
+            Op::HeadMatmul {
+                transpose_rhs: true,
+            } => QVal::I32(
+                gemm::matmul_i8_nt(input(0).as_i8(), input(1).as_i8()).expect("head shapes"),
+            ),
+            Op::HeadMatmul {
+                transpose_rhs: false,
+            } => {
+                // Context matmul: the accumulators are requantized into P
+                // codes in the systolic array's output drain (Algorithm 1
+                // line 7), so this node produces codes, not accumulators.
+                let block = match self.block {
+                    QuantBlock::Mha(b) => b,
+                    QuantBlock::Ffn(_) => panic!("HeadMatmul in an FFN graph"),
+                };
+                let p_acc =
+                    gemm::matmul_i8(input(0).as_i8(), input(1).as_i8()).expect("head shapes");
+                QVal::I8(p_acc.map(|&a| block.requantize_p(a)))
+            }
+            Op::ScaledMaskedSoftmax => {
+                let block = match self.block {
+                    QuantBlock::Mha(b) => b,
+                    QuantBlock::Ffn(_) => panic!("softmax in an FFN graph"),
+                };
+                QVal::I8(scaled_masked_softmax(
+                    input(0).as_i32(),
+                    block.d_scale(),
+                    block.d_k(),
+                    mask,
+                    block.softmax_mode(),
+                ))
+            }
+            Op::Concat => {
+                let panels: Vec<Mat<i8>> = step
+                    .inputs
+                    .iter()
+                    .map(|&s| scope.value(s).as_i8().clone())
+                    .collect();
+                QVal::I8(Mat::hconcat(&panels).expect("heads share rows"))
+            }
+            Op::Relu => QVal::I8(input(0).as_i8().map(|&v| v.max(0))),
+            // Residual add on codes widens to i32 accumulators; argument
+            // order (sublayer, residual) mirrors the pre-refactor calls —
+            // integer addition is exact and symmetric either way.
+            Op::Add => QVal::I32(residual_add_i8(input(1).as_i8(), input(0).as_i8())),
+            Op::LayerNorm => {
+                let ln = match self.block {
+                    QuantBlock::Mha(b) => b.layernorm(),
+                    QuantBlock::Ffn(b) => b.layernorm(),
+                };
+                QVal::I8(ln.forward(input(0).as_i32()))
+            }
+        }
+    }
+}
+
+impl Executor for QuantExec<'_> {
+    type Value = QVal;
+
+    fn run(
+        &mut self,
+        graph: &Graph,
+        inputs: Vec<(&str, QVal)>,
+        mask: Option<&Mat<bool>>,
+    ) -> Env<QVal> {
+        let plan = graph.plan();
+        let mut env = Env::new(plan.slot_names.clone());
+        for (name, value) in inputs {
+            let slot = env.slot(name);
+            env.set(slot, value);
+        }
+        // Split the plan into the pre-head prefix, the contiguous per-head
+        // region, and the post-head suffix (the graph validator guarantees
+        // this shape). Heads fan out across threads — Algorithm 1's first
+        // loop — everything else runs in plan order.
+        let is_head = |s: usize| graph.nodes[plan.steps[s].node].head.is_some();
+        let pre_end = (0..plan.steps.len())
+            .find(|&s| is_head(s))
+            .unwrap_or(plan.steps.len());
+        let post_start = (pre_end..plan.steps.len())
+            .find(|&s| !is_head(s))
+            .unwrap_or(plan.steps.len());
+        for step in &plan.steps[..pre_end] {
+            let scope = Scope {
+                env: &env,
+                local: &[],
+            };
+            let out = self.eval(&graph.nodes[step.node], step, &scope, mask);
+            env.set(step.output, out);
+        }
+        if pre_end < post_start {
+            let mut head_groups: Vec<Vec<usize>> = Vec::new();
+            for s in pre_end..post_start {
+                let h = graph.nodes[plan.steps[s].node].head.expect("head region");
+                if h >= head_groups.len() {
+                    head_groups.push(Vec::new());
+                }
+                head_groups[h].push(s);
+            }
+            let computed = tensor::par::par_map(&head_groups, |group| {
+                let mut local: Vec<(usize, QVal)> = Vec::with_capacity(group.len());
+                for &s in group {
+                    let step = &plan.steps[s];
+                    let scope = Scope {
+                        env: &env,
+                        local: &local,
+                    };
+                    let out = self.eval(&graph.nodes[step.node], step, &scope, mask);
+                    local.push((step.output, out));
+                }
+                local
+            });
+            for (slot, value) in computed.into_iter().flatten() {
+                env.set(slot, value);
+            }
+        }
+        for step in &plan.steps[post_start..] {
+            let scope = Scope {
+                env: &env,
+                local: &[],
+            };
+            let out = self.eval(&graph.nodes[step.node], step, &scope, mask);
+            env.set(step.output, out);
+        }
+        self.stats.nodes += plan.steps.len();
+        env
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+}
+
+/// Value domain of [`QuantRowExec`]: INT8 row stacks or per-session
+/// borrowed code caches.
+#[derive(Debug)]
+pub enum QRowVal<'a> {
+    /// A `b × d_model` matrix of per-session code rows.
+    Codes(Mat<i8>),
+    /// One borrowed projected-K/V cache per session.
+    Caches(Vec<&'a Mat<i8>>),
+}
+
+impl QRowVal<'_> {
+    /// Unwraps the code-rows variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this value holds caches.
+    pub fn into_codes(self) -> Mat<i8> {
+        match self {
+            QRowVal::Codes(m) => m,
+            QRowVal::Caches(_) => panic!("expected code rows, found per-session caches"),
+        }
+    }
+}
+
+/// Cached-KV INT8 executor for the [`GraphKind::MhaCached`] graph.
+///
+/// Each of the `b` input rows attends over its own session's key/value
+/// code cache. With a scratch row attached ([`QuantRowExec::with_scratch`])
+/// and `b == 1`, the requantized head outputs are written directly into
+/// the scratch's column panels — the zero-allocation single-token decode
+/// hot path. Multi-row batches fan rows out across threads; row `r` is
+/// bit-identical to a single-row run on row `r` alone (integer GEMMs are
+/// row-independent).
+#[derive(Debug)]
+pub struct QuantRowExec<'a> {
+    block: &'a QuantMhaResBlock,
+    scratch: Option<&'a mut Mat<i8>>,
+    stats: ExecStats,
+}
+
+impl<'a> QuantRowExec<'a> {
+    /// Executor over one quantized MHA ResBlock.
+    pub fn new(block: &'a QuantMhaResBlock) -> Self {
+        Self {
+            block,
+            scratch: None,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Attaches a `1 × d_model` scratch row that single-row runs write
+    /// the concatenated `P` codes into (every column is overwritten, so
+    /// its previous contents are irrelevant).
+    pub fn with_scratch(block: &'a QuantMhaResBlock, scratch: &'a mut Mat<i8>) -> Self {
+        Self {
+            block,
+            scratch: Some(scratch),
+            stats: ExecStats::default(),
+        }
+    }
+}
+
+/// Computes row `r`'s concatenated requantized head outputs into `out`
+/// (one full `d_model` row) — the SplitHeads → score → softmax →
+/// context → requantize section of the cached graph.
+fn head_section(
+    block: &QuantMhaResBlock,
+    q: &Mat<i8>,
+    r: usize,
+    keys: &Mat<i8>,
+    vals: &Mat<i8>,
+    out: &mut [i8],
+) {
+    let d_k = block.d_k();
+    for i in 0..block.heads() {
+        let c0 = i * d_k;
+        let qi = q.submatrix(r, c0, 1, d_k).expect("head panel");
+        let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
+        let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
+        let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
+        let probs = scaled_masked_softmax(&d_acc, block.d_scale(), d_k, None, block.softmax_mode());
+        let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
+        for (slot, &a) in out[c0..c0 + d_k].iter_mut().zip(p_acc.row(0)) {
+            *slot = block.requantize_p(a);
+        }
+    }
+}
+
+impl<'a> Executor for QuantRowExec<'a> {
+    type Value = QRowVal<'a>;
+
+    fn run(
+        &mut self,
+        graph: &Graph,
+        inputs: Vec<(&str, QRowVal<'a>)>,
+        mask: Option<&Mat<bool>>,
+    ) -> Env<QRowVal<'a>> {
+        assert_eq!(
+            graph.kind,
+            GraphKind::MhaCached,
+            "QuantRowExec executes the cached-KV MHA graph only"
+        );
+        debug_assert!(
+            mask.is_none(),
+            "cached decoding is causal by construction; no run-time mask"
+        );
+        let plan = graph.plan();
+        let mut env = Env::new(plan.slot_names.clone());
+        for (name, value) in inputs {
+            let slot = env.slot(name);
+            env.set(slot, value);
+        }
+        let x = match env.take("x") {
+            QRowVal::Codes(m) => m,
+            QRowVal::Caches(_) => panic!("input \"x\" must be code rows"),
+        };
+        let (keys, vals) = match (env.take("keys"), env.take("vals")) {
+            (QRowVal::Caches(k), QRowVal::Caches(v)) => (k, v),
+            _ => panic!("inputs \"keys\"/\"vals\" must be per-session caches"),
+        };
+        assert_eq!(x.rows(), keys.len(), "one key cache per row");
+        assert_eq!(x.rows(), vals.len(), "one value cache per row");
+
+        let block = self.block;
+        let (wq, _, _, wo) = block.projections();
+        let q = wq.forward(&x);
+        let g_matmul = if x.rows() == 1 {
+            if let Some(p_buf) = self.scratch.as_deref_mut() {
+                head_section(block, &q, 0, keys[0], vals[0], &mut p_buf.row_mut(0)[..]);
+                wo.forward(p_buf)
+            } else {
+                let mut p = Mat::zeros(1, x.cols());
+                head_section(block, &q, 0, keys[0], vals[0], &mut p.row_mut(0)[..]);
+                wo.forward(&p)
+            }
+        } else {
+            let rows: Vec<usize> = (0..x.rows()).collect();
+            let p_rows = tensor::par::par_map(&rows, |&r| {
+                let mut p_row = vec![0i8; x.cols()];
+                head_section(block, &q, r, keys[r], vals[r], &mut p_row);
+                p_row
+            });
+            let mut p = Mat::zeros(x.rows(), x.cols());
+            for (r, row) in p_rows.iter().enumerate() {
+                p.row_mut(r).copy_from_slice(row);
+            }
+            wo.forward(&p)
+        };
+        let g = residual_add_i8(&g_matmul, &x);
+        let y = block.layernorm().forward(&g);
+        self.stats.nodes += graph.nodes.len();
+        let out_slot = env.slot("y");
+        env.set(out_slot, QRowVal::Codes(y));
+        env
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax::SoftmaxMode;
+    use graph::{mha_cached_graph, mha_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use transformer::config::ModelConfig;
+    use transformer::mha::MhaResBlock;
+
+    fn setup() -> (QuantMhaResBlock, Vec<Mat<f32>>, ModelConfig) {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(33);
+        let block = MhaResBlock::new(&cfg, &mut rng);
+        let calib: Vec<Mat<f32>> = (0..4)
+            .map(|_| tensor::init::normal(&mut rng, 6, cfg.d_model, 1.0))
+            .collect();
+        let q = QuantMhaResBlock::from_f32(&block, &calib, &calib, SoftmaxMode::Hardware);
+        (q, calib, cfg)
+    }
+
+    /// Frozen copy of the pre-refactor `QuantMhaResBlock::forward` —
+    /// the golden reference the graph path must reproduce bit for bit.
+    fn mha_reference(
+        block: &QuantMhaResBlock,
+        xq: &Mat<i8>,
+        xkv: &Mat<i8>,
+        mask: Option<&Mat<bool>>,
+    ) -> (Mat<i8>, Mat<i8>) {
+        let (wq, wk, wv, wo) = block.projections();
+        let d_k = block.d_k();
+        let q = wq.forward(xq);
+        let k = wk.forward(xkv);
+        let v = wv.forward(xkv);
+        let mut panels = Vec::with_capacity(block.heads());
+        for i in 0..block.heads() {
+            let c0 = i * d_k;
+            let qi = q.submatrix(0, c0, q.rows(), d_k).unwrap();
+            let ki = k.submatrix(0, c0, k.rows(), d_k).unwrap();
+            let vi = v.submatrix(0, c0, v.rows(), d_k).unwrap();
+            let d_acc = gemm::matmul_i8_nt(&qi, &ki).unwrap();
+            let probs =
+                scaled_masked_softmax(&d_acc, block.d_scale(), d_k, mask, block.softmax_mode());
+            let p_acc = gemm::matmul_i8(&probs, &vi).unwrap();
+            panels.push(p_acc.map(|&a| block.requantize_p(a)));
+        }
+        let p = Mat::hconcat(&panels).unwrap();
+        let g = residual_add_i8(&wo.forward(&p), xq);
+        (block.layernorm().forward(&g), p)
+    }
+
+    #[test]
+    fn quant_exec_matches_reference_bitwise() {
+        let (q, calib, _) = setup();
+        let xq = q.quantize_input_q(&calib[0]);
+        let (want_y, want_p) = mha_reference(&q, &xq, &xq, None);
+        let (got_y, got_p) = q.forward(&xq, &xq, None);
+        assert_eq!(got_y, want_y);
+        assert_eq!(got_p, want_p);
+    }
+
+    #[test]
+    fn quant_exec_matches_reference_with_mask() {
+        let (q, calib, _) = setup();
+        let xq = q.quantize_input_q(&calib[1]);
+        let mask = tensor::ops::causal_mask(xq.rows());
+        let (want_y, want_p) = mha_reference(&q, &xq, &xq, Some(&mask));
+        let (got_y, got_p) = q.forward(&xq, &xq, Some(&mask));
+        assert_eq!(got_y, want_y);
+        assert_eq!(got_p, want_p);
+    }
+
+    #[test]
+    fn quant_exec_exposes_intermediates() {
+        let (q, calib, cfg) = setup();
+        let xq = q.quantize_input_q(&calib[2]);
+        let g = mha_graph(&graph::GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: 0,
+            h: cfg.h,
+        });
+        let mut exec = QuantExec::mha(&q);
+        let mut env = exec.run(
+            &g,
+            vec![
+                ("x_q", QVal::I8(xq.clone())),
+                ("x_k", QVal::I8(xq.clone())),
+                ("x_v", QVal::I8(xq.clone())),
+            ],
+            None,
+        );
+        assert_eq!(exec.stats().nodes, g.nodes.len());
+        let p = env.take("p").into_i8();
+        assert_eq!(p.shape(), xq.shape());
+        // per-head probs survive in the environment too
+        assert!(env.get("probs.0").is_some());
+    }
+
+    #[test]
+    fn row_exec_scratch_and_alloc_paths_agree() {
+        let (q, calib, cfg) = setup();
+        let (_, wk, wv, _) = q.projections();
+        let xq = q.quantize_input_q(&calib[0]);
+        let keys = wk.forward(&xq);
+        let vals = wv.forward(&xq);
+        let row = xq.submatrix(2, 0, 1, cfg.d_model).unwrap();
+        let g = mha_cached_graph(&graph::GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: 0,
+            h: cfg.h,
+        });
+        let run = |scratch: Option<&mut Mat<i8>>| -> Mat<i8> {
+            let mut exec = match scratch {
+                Some(s) => QuantRowExec::with_scratch(&q, s),
+                None => QuantRowExec::new(&q),
+            };
+            let mut env = exec.run(
+                &g,
+                vec![
+                    ("x", QRowVal::Codes(row.clone())),
+                    ("keys", QRowVal::Caches(vec![&keys])),
+                    ("vals", QRowVal::Caches(vec![&vals])),
+                ],
+                None,
+            );
+            env.take("y").into_codes()
+        };
+        let mut p_buf = Mat::zeros(1, cfg.d_model);
+        let with_scratch = run(Some(&mut p_buf));
+        let without = run(None);
+        assert_eq!(with_scratch, without);
+        // scratch received the concatenated P codes
+        assert!(p_buf.as_slice().iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn row_exec_batch_rows_match_single_rows() {
+        let (q, calib, cfg) = setup();
+        let (_, wk, wv, _) = q.projections();
+        let xq = q.quantize_input_q(&calib[3]);
+        let caches: Vec<(Mat<i8>, Mat<i8>)> = (0..3)
+            .map(|i| {
+                let m = xq.submatrix(0, 0, 2 + i, cfg.d_model).unwrap();
+                (wk.forward(&m), wv.forward(&m))
+            })
+            .collect();
+        let x = xq.submatrix(0, 0, 3, cfg.d_model).unwrap();
+        let g = mha_cached_graph(&graph::GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: 0,
+            h: cfg.h,
+        });
+        let mut batched = QuantRowExec::new(&q);
+        let mut env = batched.run(
+            &g,
+            vec![
+                ("x", QRowVal::Codes(x.clone())),
+                (
+                    "keys",
+                    QRowVal::Caches(caches.iter().map(|c| &c.0).collect()),
+                ),
+                (
+                    "vals",
+                    QRowVal::Caches(caches.iter().map(|c| &c.1).collect()),
+                ),
+            ],
+            None,
+        );
+        let got = env.take("y").into_codes();
+        for (r, cache) in caches.iter().enumerate() {
+            let row = x.submatrix(r, 0, 1, cfg.d_model).unwrap();
+            let mut single = QuantRowExec::new(&q);
+            let mut env = single.run(
+                &g,
+                vec![
+                    ("x", QRowVal::Codes(row)),
+                    ("keys", QRowVal::Caches(vec![&cache.0])),
+                    ("vals", QRowVal::Caches(vec![&cache.1])),
+                ],
+                None,
+            );
+            let want = env.take("y").into_codes();
+            assert_eq!(got.row(r), want.row(0), "row {r}");
+        }
+    }
+}

@@ -2,13 +2,14 @@
 //! Algorithm 1 lines 14–22.
 
 use fixedmath::quant::QuantParams;
+use graph::Executor;
+use tensor::norm::{layernorm_rows, LAYERNORM_EPS};
 use tensor::{ops, Mat};
 use transformer::ffn::FfnResBlock;
-use transformer::functional::{layernorm_rows, LAYERNORM_EPS};
 
 use crate::calib::{linear_f32, FfnScales};
 use crate::layernorm::HwLayerNorm;
-use crate::qlinear::{residual_add_i8, QLinear, QuantScheme};
+use crate::qlinear::{QLinear, QuantScheme};
 
 /// Quantized position-wise feed-forward ResBlock.
 #[derive(Debug, Clone)]
@@ -110,12 +111,25 @@ impl QuantFfnResBlock {
     /// codes)`; the post-ReLU hidden matrix is the `P` the accelerator
     /// stores between the two Algorithm-1 loops.
     pub fn forward(&self, x: &Mat<i8>) -> (Mat<i8>, Mat<i8>) {
-        // ReLU on symmetric INT8 codes is a plain max(0, ·), fused into
-        // the output of the s bias adders (Fig. 5's ReLU block).
-        let hidden = self.lin1.forward(x).map(|&v| v.max(0));
-        let g_matmul = self.lin2.forward(&hidden);
-        let g = residual_add_i8(&g_matmul, x);
-        (self.ln.forward(&g), hidden)
+        // Runs the [`graph::ffn_graph`] dataflow through
+        // [`crate::exec::QuantExec`]. ReLU on symmetric INT8 codes is a
+        // plain max(0, ·), fused into the output of the bias adders
+        // (Fig. 5's ReLU block).
+        let g = graph::ffn_graph(&self.graph_config());
+        let mut exec = crate::exec::QuantExec::ffn(self);
+        let mut env = exec.run(&g, vec![("x", crate::exec::QVal::I8(x.clone()))], None);
+        let hidden = env.take("hidden").into_i8();
+        (env.take("y").into_i8(), hidden)
+    }
+
+    /// The graph-shape parameters of this block (`h` is not an FFN
+    /// concern and is left at one).
+    pub fn graph_config(&self) -> graph::GraphConfig {
+        graph::GraphConfig {
+            d_model: self.lin1.weight_q().rows(),
+            d_ff: self.lin1.weight_q().cols(),
+            h: 1,
+        }
     }
 
     /// Convenience wrapper: quantize FP32 input, run, dequantize.

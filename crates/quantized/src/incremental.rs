@@ -16,13 +16,13 @@
 //! bit-identical to the single-session path for any batch composition —
 //! the property the `serving` crate's continuous batcher is built on.
 
-use tensor::{gemm, Mat};
+use graph::{Executor, Graph};
+use tensor::Mat;
 use transformer::tasks::{BOS, EOS};
 
+use crate::exec::{QRowVal, QuantRowExec};
 use crate::mha::QuantMhaResBlock;
 use crate::model::QuantSeq2Seq;
-use crate::qlinear::residual_add_i8;
-use crate::softmax::scaled_masked_softmax;
 
 #[derive(Debug, Clone)]
 struct QLayerCache {
@@ -44,74 +44,60 @@ pub struct QuantIncrementalSession {
     p_buf: Mat<i8>,
 }
 
-/// One cached-attention ResBlock applied to a single row of codes.
-/// `p_buf` (1 × d_model) receives the concatenated requantized head
-/// outputs; every column is written, so its previous contents are
-/// irrelevant.
+/// The cached-KV operator graph shared by every decoder MHA ResBlock
+/// (all layers have the same `d_model`/`h`, so one graph serves all).
+fn cached_graph(block: &QuantMhaResBlock) -> Graph {
+    graph::mha_cached_graph(&block.graph_config())
+}
+
+/// One cached-attention ResBlock applied to a single row of codes,
+/// through [`QuantRowExec`]'s zero-allocation scratch path. `p_buf`
+/// (1 × d_model) receives the concatenated requantized head outputs;
+/// every column is written, so its previous contents are irrelevant.
 fn resblock_row(
+    g: &Graph,
     block: &QuantMhaResBlock,
     x_row: &Mat<i8>,
     keys: &Mat<i8>,
     vals: &Mat<i8>,
     p_buf: &mut Mat<i8>,
 ) -> Mat<i8> {
-    let (wq, _, _, wo) = block.projections();
-    let d_k = block.d_k();
-    let q = wq.forward(x_row);
-    for i in 0..block.heads() {
-        let c0 = i * d_k;
-        let qi = q.submatrix(0, c0, 1, d_k).expect("head panel");
-        let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
-        let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
-        let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
-        let probs = scaled_masked_softmax(&d_acc, block.d_scale(), d_k, None, block.softmax_mode());
-        let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
-        for (slot, &a) in p_buf.row_mut(0)[c0..c0 + d_k].iter_mut().zip(p_acc.row(0)) {
-            *slot = block.requantize_p(a);
-        }
-    }
-    let g_matmul = wo.forward(p_buf);
-    let g = residual_add_i8(&g_matmul, x_row);
-    block.layernorm().forward(&g)
+    let mut exec = QuantRowExec::with_scratch(block, p_buf);
+    let mut env = exec.run(
+        g,
+        vec![
+            ("x", QRowVal::Codes(x_row.clone())),
+            ("keys", QRowVal::Caches(vec![keys])),
+            ("vals", QRowVal::Caches(vec![vals])),
+        ],
+        None,
+    );
+    env.take("y").into_codes()
 }
 
 /// One cached-attention ResBlock applied to a stack of rows, one row per
-/// session: the `W_Q` and `W_G` matmuls run once over all rows; the
-/// per-head attention (whose K/V lengths differ per session) fans out
-/// across threads per row. Row `r` of the result is bit-identical to
-/// [`resblock_row`] on row `r` alone (integer GEMMs are row-independent).
-fn resblock_rows(block: &QuantMhaResBlock, x: &Mat<i8>, kvs: &[(&Mat<i8>, &Mat<i8>)]) -> Mat<i8> {
-    debug_assert_eq!(x.rows(), kvs.len());
-    let (wq, _, _, wo) = block.projections();
-    let d_k = block.d_k();
-    let d_model = x.cols();
-    let q = wq.forward(x);
-    let rows: Vec<usize> = (0..x.rows()).collect();
-    let p_rows = tensor::par::par_map(&rows, |&r| {
-        let mut p_row = vec![0i8; d_model];
-        let (keys, vals) = kvs[r];
-        for i in 0..block.heads() {
-            let c0 = i * d_k;
-            let qi = q.submatrix(r, c0, 1, d_k).expect("head panel");
-            let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
-            let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
-            let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
-            let probs =
-                scaled_masked_softmax(&d_acc, block.d_scale(), d_k, None, block.softmax_mode());
-            let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
-            for (slot, &a) in p_row[c0..c0 + d_k].iter_mut().zip(p_acc.row(0)) {
-                *slot = block.requantize_p(a);
-            }
-        }
-        p_row
-    });
-    let mut p = Mat::zeros(x.rows(), d_model);
-    for (r, row) in p_rows.iter().enumerate() {
-        p.row_mut(r).copy_from_slice(row);
-    }
-    let g_matmul = wo.forward(&p);
-    let g = residual_add_i8(&g_matmul, x);
-    block.layernorm().forward(&g)
+/// session, through [`QuantRowExec`]'s batched path: the `W_Q` and `W_G`
+/// matmuls run once over all rows; the per-head attention (whose K/V
+/// lengths differ per session) fans out across threads per row. Row `r`
+/// of the result is bit-identical to [`resblock_row`] on row `r` alone
+/// (integer GEMMs are row-independent).
+fn resblock_rows(
+    g: &Graph,
+    block: &QuantMhaResBlock,
+    x: &Mat<i8>,
+    kvs: &[(&Mat<i8>, &Mat<i8>)],
+) -> Mat<i8> {
+    let mut exec = QuantRowExec::new(block);
+    let mut env = exec.run(
+        g,
+        vec![
+            ("x", QRowVal::Codes(x.clone())),
+            ("keys", QRowVal::Caches(kvs.iter().map(|kv| kv.0).collect())),
+            ("vals", QRowVal::Caches(kvs.iter().map(|kv| kv.1).collect())),
+        ],
+        None,
+    );
+    env.take("y").into_codes()
 }
 
 impl QuantSeq2Seq {
@@ -153,6 +139,7 @@ impl QuantSeq2Seq {
         let emb = self.tgt_embedding().embed_at(token, session.pos);
         let emb_row = Mat::from_vec(1, emb.len(), emb).expect("row");
         let mut x = self.decoder_layers()[0].self_mha.quantize_input_q(&emb_row);
+        let g = cached_graph(&self.decoder_layers()[0].self_mha);
         for (layer, cache) in self.decoder_layers().iter().zip(&mut session.layers) {
             // Extend the projected self-attention cache with this row.
             let (_, wk, wv, _) = layer.self_mha.projections();
@@ -161,6 +148,7 @@ impl QuantSeq2Seq {
             cache.self_k.push_row(k_new.row(0));
             cache.self_v.push_row(v_new.row(0));
             let a = resblock_row(
+                &g,
                 &layer.self_mha,
                 &x,
                 &cache.self_k,
@@ -168,6 +156,7 @@ impl QuantSeq2Seq {
                 &mut session.p_buf,
             );
             let b = resblock_row(
+                &g,
                 &layer.cross_mha,
                 &a,
                 &cache.cross_k,
@@ -215,6 +204,7 @@ impl QuantSeq2Seq {
                 .copy_from_slice(&self.tgt_embedding().embed_at(token, session.pos));
         }
         let mut x = self.decoder_layers()[0].self_mha.quantize_input_q(&emb);
+        let g = cached_graph(&self.decoder_layers()[0].self_mha);
         for (l, layer) in self.decoder_layers().iter().enumerate() {
             // Extend every session's projected self-attention cache with
             // its row of this step's batched K/V projections.
@@ -229,12 +219,12 @@ impl QuantSeq2Seq {
                 .iter()
                 .map(|s| (&s.layers[l].self_k, &s.layers[l].self_v))
                 .collect();
-            let a = resblock_rows(&layer.self_mha, &x, &self_kvs);
+            let a = resblock_rows(&g, &layer.self_mha, &x, &self_kvs);
             let cross_kvs: Vec<(&Mat<i8>, &Mat<i8>)> = sessions
                 .iter()
                 .map(|s| (&s.layers[l].cross_k, &s.layers[l].cross_v))
                 .collect();
-            let bm = resblock_rows(&layer.cross_mha, &a, &cross_kvs);
+            let bm = resblock_rows(&g, &layer.cross_mha, &a, &cross_kvs);
             let (c, _) = layer.ffn.forward(&bm);
             x = c;
         }

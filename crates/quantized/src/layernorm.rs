@@ -89,8 +89,7 @@ impl HwLayerNorm {
         // ε lives in the code² domain: ε / s_in²; at least one LSB so the
         // rsqrt ROM never sees zero.
         let s_in = in_scale.scale() as f64;
-        let eps_fx = ((transformer::functional::LAYERNORM_EPS as f64 / (s_in * s_in))
-            * (1i64 << FRAC) as f64)
+        let eps_fx = ((tensor::norm::LAYERNORM_EPS as f64 / (s_in * s_in)) * (1i64 << FRAC) as f64)
             .round()
             .max(1.0) as i64;
         Self {
@@ -174,7 +173,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use transformer::functional::{layernorm_rows, LAYERNORM_EPS};
+    use tensor::norm::{layernorm_rows, LAYERNORM_EPS};
 
     fn reference(g_codes: &Mat<i32>, in_scale: f32, gamma: &[f32], beta: &[f32]) -> Mat<f32> {
         let g_real = g_codes.map(|&c| c as f32 * in_scale);

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+pub mod exec;
 pub mod ffn;
 pub mod incremental;
 pub mod layernorm;
@@ -49,6 +50,7 @@ pub mod qlinear;
 pub mod softmax;
 pub mod sqnr;
 
+pub use exec::{QRowVal, QVal, QuantExec, QuantRowExec};
 pub use ffn::QuantFfnResBlock;
 pub use mha::QuantMhaResBlock;
 pub use model::QuantSeq2Seq;

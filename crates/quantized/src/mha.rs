@@ -2,14 +2,16 @@
 //! Algorithm 1 lines 1–13, bit-exact with the accelerator.
 
 use fixedmath::quant::{QuantParams, Requantizer};
+use graph::Executor;
+use tensor::norm::{layernorm_rows, LAYERNORM_EPS};
 use tensor::{gemm, ops, Mat};
-use transformer::functional::{layernorm_rows, softmax_rows, LAYERNORM_EPS};
+use transformer::functional::softmax_rows;
 use transformer::mha::MhaResBlock;
 
 use crate::calib::{linear_f32, MhaScales};
 use crate::layernorm::HwLayerNorm;
-use crate::qlinear::{residual_add_i8, QLinear, QuantScheme};
-use crate::softmax::{prob_scale, scaled_masked_softmax, SoftmaxMode};
+use crate::qlinear::{QLinear, QuantScheme};
+use crate::softmax::{prob_scale, SoftmaxMode};
 
 /// Quantized multi-head-attention ResBlock.
 #[derive(Debug, Clone)]
@@ -276,30 +278,33 @@ impl QuantMhaResBlock {
         xkv: &Mat<i8>,
         mask: Option<&Mat<bool>>,
     ) -> (Mat<i8>, Mat<i8>) {
-        // Algorithm 1, first loop: per-head projections and attention.
-        // Heads are independent, so they fan out across threads
-        // (`tensor::par`); each head's datapath is bit-exact integer
-        // arithmetic and the panels are reassembled in head order, so
-        // the result is identical for any thread count.
-        let q = self.wq.forward(xq);
-        let k = self.wk.forward(xkv);
-        let v = self.wv.forward(xkv);
-        let heads: Vec<usize> = (0..self.h).collect();
-        let p_panels = tensor::par::par_map(&heads, |&i| {
-            let c0 = i * self.d_k;
-            let qi = q.submatrix(0, c0, q.rows(), self.d_k).expect("panel");
-            let ki = k.submatrix(0, c0, k.rows(), self.d_k).expect("panel");
-            let vi = v.submatrix(0, c0, v.rows(), self.d_k).expect("panel");
-            let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
-            let probs = scaled_masked_softmax(&d_acc, self.d_scale, self.d_k, mask, self.mode);
-            let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
-            p_acc.map(|&a| self.p_requant.apply_sat_i8(a))
-        });
-        let p = Mat::hconcat(&p_panels).expect("heads share rows");
-        // Second loop: G = P W_G + bias (+ residual), then LayerNorm.
-        let g_matmul = self.wo.forward(&p);
-        let g = residual_add_i8(&g_matmul, xq);
-        (self.ln.forward(&g), p)
+        // Runs the [`graph::mha_graph`] dataflow through
+        // [`crate::exec::QuantExec`]: Algorithm 1's first loop fans out
+        // per head across threads, the second loop (W_G, residual,
+        // LayerNorm) runs in plan order.
+        let g = graph::mha_graph(&self.graph_config());
+        let mut exec = crate::exec::QuantExec::mha(self);
+        let mut env = exec.run(
+            &g,
+            vec![
+                ("x_q", crate::exec::QVal::I8(xq.clone())),
+                ("x_k", crate::exec::QVal::I8(xkv.clone())),
+                ("x_v", crate::exec::QVal::I8(xkv.clone())),
+            ],
+            mask,
+        );
+        let p = env.take("p").into_i8();
+        (env.take("y").into_i8(), p)
+    }
+
+    /// The graph-shape parameters of this block (`d_ff` is not an MHA
+    /// concern and is left at zero).
+    pub fn graph_config(&self) -> graph::GraphConfig {
+        graph::GraphConfig {
+            d_model: self.h * self.d_k,
+            d_ff: 0,
+            h: self.h,
+        }
     }
 
     /// Convenience wrapper: quantize FP32 inputs, run, dequantize.

@@ -22,6 +22,14 @@
 //! For multi-instance deployments, [`run_sharded`] fans length buckets
 //! out across `N` engine instances on scoped threads (`tensor::par`),
 //! each running its own continuous batcher over the shared model.
+//!
+//! Under the hood every decode step runs the shared cached-KV operator
+//! graph (`graph::mha_cached_graph`) through the `Executor` seam:
+//! [`QuantSeq2Seq::step_sessions`] drives `quantized::QuantRowExec`
+//! over one stacked row per slot, so this layer is a *consumer* of the
+//! executor abstraction rather than a fifth hand-written forward path —
+//! swapping in another `graph::Executor` backend would not change any
+//! scheduling logic here.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -34,6 +34,7 @@ mod error;
 pub mod gemm;
 pub mod init;
 mod mat;
+pub mod norm;
 pub mod ops;
 pub mod par;
 

@@ -1,0 +1,143 @@
+//! Row-wise layer normalization (Eq. (6) of the paper), shared by every
+//! consumer in the workspace: the FP32 reference path, the trainable
+//! `LayerNorm` module, and the FP32 calibration replay inside the INT8
+//! quantizer all call into this one core so their outputs are
+//! bit-identical by construction.
+
+use crate::mat::Mat;
+
+/// The LayerNorm ε used throughout the paper (Eq. (6)).
+pub const LAYERNORM_EPS: f32 = 1e-8;
+
+/// Mean and reciprocal standard deviation of one row, using the
+/// *population* variance (divisor `row.len()`), matching Ba et al. 2016
+/// and Eq. (8).
+fn row_moments(row: &[f32], eps: f32) -> (f32, f32) {
+    let n = row.len() as f32;
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    (mean, 1.0 / (var + eps).sqrt())
+}
+
+/// Row-wise layer normalization with affine parameters (Eq. (6)):
+/// `y[i][j] = (x[i][j] - mean_i) / sqrt(var_i + eps) * gamma[j] + beta[j]`.
+///
+/// `var` is the *population* variance over the row (divisor the row
+/// width), matching Ba et al. 2016 and Eq. (8).
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layernorm_rows(x: &Mat<f32>, gamma: &[f32], beta: &[f32], eps: f32) -> Mat<f32> {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let (rows, cols) = x.shape();
+    let mut out = Mat::zeros(rows, cols);
+    for r in 0..rows {
+        let row = x.row(r);
+        let (mean, rstd) = row_moments(row, eps);
+        for c in 0..cols {
+            out[(r, c)] = (row[c] - mean) * rstd * gamma[c] + beta[c];
+        }
+    }
+    out
+}
+
+/// [`layernorm_rows`] that additionally returns the normalized
+/// activations `x_hat` and per-row `1/std`, the cache a trainable
+/// LayerNorm needs for its backward pass. The output is bit-identical
+/// to [`layernorm_rows`]: `x̂ * gamma + beta` associates the same way as
+/// the fused expression.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layernorm_rows_stats(
+    x: &Mat<f32>,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> (Mat<f32>, Mat<f32>, Vec<f32>) {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let (rows, cols) = x.shape();
+    let mut out = Mat::zeros(rows, cols);
+    let mut xhat = Mat::zeros(rows, cols);
+    let mut rstds = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = x.row(r);
+        let (mean, rstd) = row_moments(row, eps);
+        rstds.push(rstd);
+        for c in 0..cols {
+            let xh = (row[c] - mean) * rstd;
+            xhat[(r, c)] = xh;
+            out[(r, c)] = xh * gamma[c] + beta[c];
+        }
+    }
+    (out, xhat, rstds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows_to_zero_mean_unit_variance() {
+        let x = Mat::from_fn(2, 8, |r, c| (r * 8 + c) as f32);
+        let y = layernorm_rows(&x, &[1.0; 8], &[0.0; 8], LAYERNORM_EPS);
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn stats_variant_is_bit_identical_to_fused() {
+        let x = Mat::from_fn(3, 5, |r, c| (r as f32 + 1.3) * (c as f32 - 2.7));
+        let gamma = [1.0, 2.0, 0.5, -1.0, 0.1];
+        let beta = [0.1, -0.2, 0.0, 0.3, 1.0];
+        let fused = layernorm_rows(&x, &gamma, &beta, LAYERNORM_EPS);
+        let (out, xhat, rstds) = layernorm_rows_stats(&x, &gamma, &beta, LAYERNORM_EPS);
+        assert_eq!(fused.as_slice(), out.as_slice());
+        assert_eq!(rstds.len(), 3);
+        assert_eq!(xhat.shape(), x.shape());
+    }
+
+    #[test]
+    fn matches_preexisting_inline_loop_bitwise() {
+        // Frozen copy of the loop this module replaced (formerly
+        // duplicated in transformer::functional and
+        // transformer::LayerNorm::forward) — pins the refactor to the
+        // exact pre-refactor bits.
+        let x = Mat::from_fn(4, 7, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.37 - 2.0);
+        let gamma: Vec<f32> = (0..7).map(|c| 1.0 + 0.1 * c as f32).collect();
+        let beta: Vec<f32> = (0..7).map(|c| 0.05 * c as f32 - 0.1).collect();
+        let (rows, cols) = x.shape();
+        let mut want = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let rstd = 1.0 / (var + LAYERNORM_EPS).sqrt();
+            for c in 0..cols {
+                want[(r, c)] = (row[c] - mean) * rstd * gamma[c] + beta[c];
+            }
+        }
+        let got = layernorm_rows(&x, &gamma, &beta, LAYERNORM_EPS);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma length mismatch")]
+    fn rejects_mismatched_gamma() {
+        let x = Mat::zeros(1, 4);
+        let _ = layernorm_rows(&x, &[1.0; 3], &[0.0; 4], LAYERNORM_EPS);
+    }
+}

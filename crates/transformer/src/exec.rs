@@ -1,0 +1,499 @@
+//! FP32 executors for the ResBlock operator graphs.
+//!
+//! [`FloatExec`] interprets a graph node-by-node with the reference FP32
+//! primitives — it is what [`crate::mha::MhaResBlock::forward_inference`],
+//! [`crate::mha::MultiHeadAttention::forward_inference`] and
+//! [`crate::ffn::FfnResBlock::forward_inference`] run through.
+//! [`RowExec`] executes the cached-KV graph for incremental decoding,
+//! where every session attends over its own cache length; it fuses the
+//! per-head group into a per-row kernel and fans rows out across threads.
+//!
+//! Both are **bit-identical** to the hand-rolled loops they replaced:
+//! they call the same primitives (`gemm`, `ops`, `softmax_rows`,
+//! `layernorm_rows`) in the same order, and the GEMM kernels never
+//! reorder a row's accumulation.
+
+use graph::{Env, ExecStats, Executor, Graph, GraphKind, Node, Op, PlanStep, WeightId};
+use tensor::{gemm, ops, Mat};
+
+use crate::attention::attention_forward;
+use crate::ffn::FfnResBlock;
+use crate::functional::softmax_rows;
+use crate::layernorm::LayerNorm;
+use crate::linear::Linear;
+use crate::mha::{MhaResBlock, MultiHeadAttention};
+
+fn weight_index(id: WeightId) -> usize {
+    match id {
+        WeightId::Wq => 0,
+        WeightId::Wk => 1,
+        WeightId::Wv => 2,
+        WeightId::Wo => 3,
+        WeightId::W1 => 4,
+        WeightId::W2 => 5,
+    }
+}
+
+/// FP32 graph interpreter over a ResBlock's parameters.
+///
+/// Binds borrowed [`Linear`] layers to [`WeightId`] slots plus an
+/// optional [`LayerNorm`]; [`Executor::run`] then walks the plan
+/// sequentially, evaluating each node with the reference primitives.
+#[derive(Debug)]
+pub struct FloatExec<'a> {
+    weights: [Option<&'a Linear>; 6],
+    ln: Option<&'a LayerNorm>,
+    stats: ExecStats,
+}
+
+impl<'a> FloatExec<'a> {
+    /// Executor over a full MHA ResBlock (all four projections + LayerNorm).
+    pub fn mha_res(block: &'a MhaResBlock) -> Self {
+        let mut e = Self::mha(block.mha());
+        e.ln = Some(block.layernorm());
+        e
+    }
+
+    /// Executor over a bare attention block (no LayerNorm bound; graphs
+    /// must be truncated before any `LayerNorm` node).
+    pub fn mha(mha: &'a MultiHeadAttention) -> Self {
+        let (wq, wk, wv, wo) = mha.projections();
+        Self {
+            weights: [Some(wq), Some(wk), Some(wv), Some(wo), None, None],
+            ln: None,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Executor over an FFN ResBlock (both sublayers + LayerNorm).
+    pub fn ffn_res(block: &'a FfnResBlock) -> Self {
+        let (lin1, lin2) = block.sublayers();
+        Self {
+            weights: [None, None, None, None, Some(lin1), Some(lin2)],
+            ln: Some(block.layernorm()),
+            stats: ExecStats::default(),
+        }
+    }
+
+    fn weight(&self, id: WeightId) -> &'a Linear {
+        self.weights[weight_index(id)].unwrap_or_else(|| panic!("no {id:?} bound to this executor"))
+    }
+
+    fn eval(
+        &self,
+        graph: &Graph,
+        node: &Node,
+        step: &PlanStep,
+        env: &Env<Mat<f32>>,
+        mask: Option<&Mat<bool>>,
+    ) -> Mat<f32> {
+        let input = |i: usize| env.value(step.inputs[i]);
+        match node.op {
+            Op::Linear(id) => self.weight(id).forward_inference(input(0)),
+            Op::SplitHeads => {
+                let d_k = graph.cfg.d_k();
+                let c0 = node.head.expect("SplitHeads outside a head group") * d_k;
+                let x = input(0);
+                x.submatrix(0, c0, x.rows(), d_k).expect("head panel")
+            }
+            Op::HeadMatmul { transpose_rhs } => {
+                let (a, b) = (input(0), input(1));
+                if transpose_rhs {
+                    gemm::matmul_nt(a, b).expect("head shapes")
+                } else {
+                    gemm::matmul(a, b).expect("head shapes")
+                }
+            }
+            Op::ScaledMaskedSoftmax => {
+                let scale = 1.0 / (graph.cfg.d_k() as f32).sqrt();
+                let scores = ops::scale(input(0), scale);
+                let masked = match mask {
+                    Some(m) => ops::mask_scores(&scores, m).expect("mask shape"),
+                    None => scores,
+                };
+                softmax_rows(&masked, None)
+            }
+            Op::Concat => {
+                let panels: Vec<Mat<f32>> =
+                    step.inputs.iter().map(|&s| env.value(s).clone()).collect();
+                Mat::hconcat(&panels).expect("heads share row count")
+            }
+            Op::Relu => ops::relu(input(0)),
+            Op::Add => ops::add(input(0), input(1)).expect("residual shape invariant"),
+            Op::LayerNorm => self
+                .ln
+                .expect("no layernorm bound to this executor")
+                .forward_inference(input(0)),
+        }
+    }
+}
+
+impl Executor for FloatExec<'_> {
+    type Value = Mat<f32>;
+
+    fn run(
+        &mut self,
+        graph: &Graph,
+        inputs: Vec<(&str, Mat<f32>)>,
+        mask: Option<&Mat<bool>>,
+    ) -> Env<Mat<f32>> {
+        let plan = graph.plan();
+        let mut env = Env::new(plan.slot_names.clone());
+        for (name, value) in inputs {
+            let slot = env.slot(name);
+            env.set(slot, value);
+        }
+        for step in &plan.steps {
+            let out = self.eval(graph, &graph.nodes[step.node], step, &env, mask);
+            env.set(step.output, out);
+            self.stats.nodes += 1;
+        }
+        env
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+}
+
+/// Value domain of [`RowExec`]: either a stack of active rows (one per
+/// session) or the per-session projected K/V caches those rows attend
+/// over.
+#[derive(Debug)]
+pub enum RowVal<'a> {
+    /// A `b × d_model` matrix of per-session rows.
+    Rows(Mat<f32>),
+    /// One borrowed cache matrix per session (lengths may differ).
+    Caches(Vec<&'a Mat<f32>>),
+}
+
+impl RowVal<'_> {
+    /// Unwraps the row-stack variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this value holds caches.
+    pub fn into_rows(self) -> Mat<f32> {
+        match self {
+            RowVal::Rows(m) => m,
+            RowVal::Caches(_) => panic!("expected a row tensor, found per-session caches"),
+        }
+    }
+}
+
+/// Cached-KV executor for the [`GraphKind::MhaCached`] graph: each of
+/// the `b` input rows attends over its own session's key/value cache.
+///
+/// The per-head group is fused into one per-row kernel (the caches have
+/// different lengths, so heads cannot be batched across sessions); rows
+/// fan out across threads via [`tensor::par::par_map`] when `b > 1` and
+/// run inline when `b == 1` (the single-token decode hot path). Row `r`
+/// of the output is bit-identical to running the executor on row `r`
+/// alone, for any batch composition.
+#[derive(Debug)]
+pub struct RowExec<'a> {
+    block: &'a MhaResBlock,
+    stats: ExecStats,
+}
+
+impl<'a> RowExec<'a> {
+    /// Executor over one MHA ResBlock's parameters.
+    pub fn new(block: &'a MhaResBlock) -> Self {
+        Self {
+            block,
+            stats: ExecStats::default(),
+        }
+    }
+}
+
+impl<'a> Executor for RowExec<'a> {
+    type Value = RowVal<'a>;
+
+    fn run(
+        &mut self,
+        graph: &Graph,
+        inputs: Vec<(&str, RowVal<'a>)>,
+        mask: Option<&Mat<bool>>,
+    ) -> Env<RowVal<'a>> {
+        assert_eq!(
+            graph.kind,
+            GraphKind::MhaCached,
+            "RowExec executes the cached-KV MHA graph only"
+        );
+        debug_assert!(
+            mask.is_none(),
+            "cached decoding is causal by construction; no run-time mask"
+        );
+        let plan = graph.plan();
+        let mut env = Env::new(plan.slot_names.clone());
+        for (name, value) in inputs {
+            let slot = env.slot(name);
+            env.set(slot, value);
+        }
+        let x = match env.take("x") {
+            RowVal::Rows(m) => m,
+            RowVal::Caches(_) => panic!("input \"x\" must be a row tensor"),
+        };
+        let (keys, vals) = match (env.take("keys"), env.take("vals")) {
+            (RowVal::Caches(k), RowVal::Caches(v)) => (k, v),
+            _ => panic!("inputs \"keys\"/\"vals\" must be per-session caches"),
+        };
+        assert_eq!(x.rows(), keys.len(), "one key cache per row");
+        assert_eq!(x.rows(), vals.len(), "one value cache per row");
+
+        let mha = self.block.mha();
+        let (wq, _, _, wo) = mha.projections();
+        let h = mha.heads();
+        debug_assert_eq!(h, graph.cfg.h, "executor/graph head count mismatch");
+        let d_k = wq.d_in() / h;
+        let scale = 1.0 / (d_k as f32).sqrt();
+        let q = wq.forward_inference(&x);
+        let attend = |r: usize| -> Mat<f32> {
+            let (keys, vals) = (keys[r], vals[r]);
+            let mut heads = Vec::with_capacity(h);
+            for i in 0..h {
+                let c0 = i * d_k;
+                let qi = q.submatrix(r, c0, 1, d_k).expect("head panel");
+                let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
+                let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
+                let (out, _) = attention_forward(&qi, &ki, &vi, None, scale);
+                heads.push(out);
+            }
+            Mat::hconcat(&heads).expect("heads share rows")
+        };
+        let att_rows: Vec<Mat<f32>> = if x.rows() == 1 {
+            vec![attend(0)]
+        } else {
+            let rows: Vec<usize> = (0..x.rows()).collect();
+            tensor::par::par_map(&rows, |&r| attend(r))
+        };
+        let concat = Mat::vconcat(&att_rows).expect("rows share width");
+        let sub = wo.forward_inference(&concat);
+        let res = ops::add(&x, &sub).expect("residual shape");
+        let y = self.block.layernorm().forward_inference(&res);
+        self.stats.nodes += graph.nodes.len();
+        let out_slot = env.slot("y");
+        env.set(out_slot, RowVal::Rows(y));
+        env
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use graph::{ffn_graph, mha_cached_graph, mha_graph, GraphConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gcfg(cfg: &ModelConfig) -> GraphConfig {
+        GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: cfg.d_ff,
+            h: cfg.h,
+        }
+    }
+
+    /// Frozen copy of the pre-refactor `MhaResBlock::forward_inference`
+    /// loop — the golden reference the graph path must reproduce bit for
+    /// bit.
+    fn mha_res_reference(
+        block: &MhaResBlock,
+        xq: &Mat<f32>,
+        xkv: &Mat<f32>,
+        mask: Option<&Mat<bool>>,
+    ) -> Mat<f32> {
+        let mha = block.mha();
+        let (wq, wk, wv, wo) = mha.projections();
+        let h = mha.heads();
+        let d_k = wq.d_in() / h;
+        let q = wq.forward_inference(xq);
+        let k = wk.forward_inference(xkv);
+        let v = wv.forward_inference(xkv);
+        let scale = 1.0 / (d_k as f32).sqrt();
+        let mut heads = Vec::with_capacity(h);
+        for i in 0..h {
+            let c0 = i * d_k;
+            let qi = q.submatrix(0, c0, q.rows(), d_k).unwrap();
+            let ki = k.submatrix(0, c0, k.rows(), d_k).unwrap();
+            let vi = v.submatrix(0, c0, v.rows(), d_k).unwrap();
+            let (out, _) = attention_forward(&qi, &ki, &vi, mask, scale);
+            heads.push(out);
+        }
+        let concat = Mat::hconcat(&heads).unwrap();
+        let sub = wo.forward_inference(&concat);
+        let res = ops::add(xq, &sub).unwrap();
+        block.layernorm().forward_inference(&res)
+    }
+
+    #[test]
+    fn float_exec_matches_reference_bitwise() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(11);
+        let block = MhaResBlock::new(&cfg, &mut rng);
+        let x = tensor::init::normal(&mut rng, 5, cfg.d_model, 1.0);
+        let want = mha_res_reference(&block, &x, &x, None);
+        let got = block.forward_inference(&x, &x, &x, None);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn float_exec_matches_reference_with_mask() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(12);
+        let block = MhaResBlock::new(&cfg, &mut rng);
+        let x = tensor::init::normal(&mut rng, 4, cfg.d_model, 1.0);
+        let mask = Mat::from_fn(4, 4, |r, c| c > r);
+        let want = mha_res_reference(&block, &x, &x, Some(&mask));
+        let got = block.forward_inference(&x, &x, &x, Some(&mask));
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn truncated_graph_yields_pre_residual_attention() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(13);
+        let block = MhaResBlock::new(&cfg, &mut rng);
+        let x = tensor::init::normal(&mut rng, 3, cfg.d_model, 1.0);
+        let attn = block.mha().forward_inference(&x, &x, &x, None);
+        let full = block.forward_inference(&x, &x, &x, None);
+        let res = ops::add(&x, &attn).unwrap();
+        let want = block.layernorm().forward_inference(&res);
+        assert_eq!(full.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn ffn_exec_matches_reference_bitwise() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(14);
+        let block = FfnResBlock::new(&cfg, &mut rng);
+        let x = tensor::init::normal(&mut rng, 5, cfg.d_model, 1.0);
+        // frozen pre-refactor loop
+        let (lin1, lin2) = block.sublayers();
+        let pre = lin1.forward_inference(&x);
+        let hidden = ops::relu(&pre);
+        let sub = lin2.forward_inference(&hidden);
+        let res = ops::add(&x, &sub).unwrap();
+        let want = block.layernorm().forward_inference(&res);
+        let got = block.forward_inference(&x);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn exec_reports_node_counts() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(15);
+        let block = FfnResBlock::new(&cfg, &mut rng);
+        let x = tensor::init::normal(&mut rng, 2, cfg.d_model, 1.0);
+        let g = ffn_graph(&gcfg(&cfg));
+        let mut exec = FloatExec::ffn_res(&block);
+        let mut env = exec.run(&g, vec![("x", x)], None);
+        let _ = env.take("y");
+        assert_eq!(exec.stats().nodes, g.nodes.len());
+        assert_eq!(exec.stats().cycles, None);
+    }
+
+    #[test]
+    fn row_exec_single_row_matches_full_graph() {
+        // One row attending over a cache equals the full MHA graph on the
+        // same data when the cache holds the projected K/V of the whole
+        // prefix and the query is the last row.
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(16);
+        let block = MhaResBlock::new(&cfg, &mut rng);
+        let x = tensor::init::normal(&mut rng, 4, cfg.d_model, 1.0);
+        let (_, wk, wv, _) = block.mha().projections();
+        let keys = wk.forward_inference(&x);
+        let vals = wv.forward_inference(&x);
+        let last = x.submatrix(3, 0, 1, cfg.d_model).unwrap();
+
+        let g = mha_cached_graph(&gcfg(&cfg));
+        let mut exec = RowExec::new(&block);
+        let mut env = exec.run(
+            &g,
+            vec![
+                ("x", RowVal::Rows(last.clone())),
+                ("keys", RowVal::Caches(vec![&keys])),
+                ("vals", RowVal::Caches(vec![&vals])),
+            ],
+            None,
+        );
+        let got = env.take("y").into_rows();
+
+        // Full graph on the whole prefix; causal row 3 sees all 4 keys.
+        let full = block.forward_inference(&x, &x, &x, None);
+        for c in 0..cfg.d_model {
+            assert_eq!(got[(0, c)], full[(3, c)]);
+        }
+    }
+
+    #[test]
+    fn row_exec_batch_rows_are_independent() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(17);
+        let block = MhaResBlock::new(&cfg, &mut rng);
+        let x = tensor::init::normal(&mut rng, 3, cfg.d_model, 1.0);
+        let caches: Vec<(Mat<f32>, Mat<f32>)> = (0..3)
+            .map(|i| {
+                let m = tensor::init::normal(&mut rng, 2 + i, cfg.d_model, 1.0);
+                let (_, wk, wv, _) = block.mha().projections();
+                (wk.forward_inference(&m), wv.forward_inference(&m))
+            })
+            .collect();
+        let g = mha_cached_graph(&gcfg(&cfg));
+
+        let mut batched = RowExec::new(&block);
+        let mut env = batched.run(
+            &g,
+            vec![
+                ("x", RowVal::Rows(x.clone())),
+                (
+                    "keys",
+                    RowVal::Caches(caches.iter().map(|c| &c.0).collect()),
+                ),
+                (
+                    "vals",
+                    RowVal::Caches(caches.iter().map(|c| &c.1).collect()),
+                ),
+            ],
+            None,
+        );
+        let got = env.take("y").into_rows();
+
+        for (r, cache) in caches.iter().enumerate() {
+            let row = x.submatrix(r, 0, 1, cfg.d_model).unwrap();
+            let mut single = RowExec::new(&block);
+            let mut env = single.run(
+                &g,
+                vec![
+                    ("x", RowVal::Rows(row)),
+                    ("keys", RowVal::Caches(vec![&cache.0])),
+                    ("vals", RowVal::Caches(vec![&cache.1])),
+                ],
+                None,
+            );
+            let want = env.take("y").into_rows();
+            assert_eq!(got.row(r), want.row(0), "row {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no layernorm bound")]
+    fn bare_attention_executor_rejects_layernorm_nodes() {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(18);
+        let block = MhaResBlock::new(&cfg, &mut rng);
+        let x = tensor::init::normal(&mut rng, 2, cfg.d_model, 1.0);
+        let g = mha_graph(&gcfg(&cfg));
+        let mut exec = FloatExec::mha(block.mha());
+        let _ = exec.run(
+            &g,
+            vec![("x_q", x.clone()), ("x_k", x.clone()), ("x_v", x)],
+            None,
+        );
+    }
+}

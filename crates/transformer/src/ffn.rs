@@ -1,6 +1,7 @@
 //! The position-wise feed-forward ResBlock (Eq. (2) of the paper):
 //! `LayerNorm(x + ReLU(x W1 + b1) W2 + b2)`.
 
+use graph::Executor;
 use rand::Rng;
 use tensor::{ops, Mat};
 
@@ -61,13 +62,24 @@ impl FfnResBlock {
         self.ln.forward(&res)
     }
 
-    /// Inference-only forward (no gradient caches touched).
+    /// Inference-only forward (no gradient caches touched). Runs the
+    /// [`graph::ffn_graph`] dataflow through
+    /// [`crate::exec::FloatExec`].
     pub fn forward_inference(&self, x: &Mat<f32>) -> Mat<f32> {
-        let pre = self.lin1.forward_inference(x);
-        let hidden = ops::relu(&pre);
-        let sub = self.lin2.forward_inference(&hidden);
-        let res = ops::add(x, &sub).expect("residual shape invariant");
-        self.ln.forward_inference(&res)
+        let g = graph::ffn_graph(&self.graph_config());
+        let mut exec = crate::exec::FloatExec::ffn_res(self);
+        let mut env = exec.run(&g, vec![("x", x.clone())], None);
+        env.take("y")
+    }
+
+    /// The graph-shape parameters of this block (`h` is not an FFN
+    /// concern and is left at one).
+    pub fn graph_config(&self) -> graph::GraphConfig {
+        graph::GraphConfig {
+            d_model: self.lin1.d_in(),
+            d_ff: self.lin1.d_out(),
+            h: 1,
+        }
     }
 
     /// Backward: returns `dX` (residual path included).

@@ -63,34 +63,10 @@ pub fn softmax_rows_backward(p: &Mat<f32>, dp: &Mat<f32>) -> Mat<f32> {
     out
 }
 
-/// Row-wise layer normalization with affine parameters (Eq. (6)):
-/// `y[i][j] = (x[i][j] - mean_i) / sqrt(var_i + eps) * gamma[j] + beta[j]`.
-///
-/// `var` is the *population* variance over the row (divisor `d_model`),
-/// matching Ba et al. 2016 and Eq. (8).
-///
-/// # Panics
-///
-/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
-pub fn layernorm_rows(x: &Mat<f32>, gamma: &[f32], beta: &[f32], eps: f32) -> Mat<f32> {
-    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
-    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
-    let (rows, cols) = x.shape();
-    let mut out = Mat::zeros(rows, cols);
-    for r in 0..rows {
-        let row = x.row(r);
-        let mean = row.iter().sum::<f32>() / cols as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-        let rstd = 1.0 / (var + eps).sqrt();
-        for c in 0..cols {
-            out[(r, c)] = (row[c] - mean) * rstd * gamma[c] + beta[c];
-        }
-    }
-    out
-}
-
-/// The LayerNorm ε used throughout the paper (Eq. (6)).
-pub const LAYERNORM_EPS: f32 = 1e-8;
+// The layer-normalization core now lives in `tensor::norm` so the FP32
+// reference, the trainable module and the INT8 calibration replay all
+// share one routine; re-exported here to keep the historical paths.
+pub use tensor::norm::{layernorm_rows, LAYERNORM_EPS};
 
 #[cfg(test)]
 mod tests {

@@ -8,9 +8,10 @@
 //! Results are equivalent to full recomputation (causal masking makes
 //! position `t` independent of positions `> t`); tests assert agreement.
 
+use graph::{Executor, Graph, GraphConfig};
 use tensor::{gemm, ops, Mat};
 
-use crate::attention::attention_forward;
+use crate::exec::{RowExec, RowVal};
 use crate::mha::MhaResBlock;
 use crate::model::Seq2SeqTransformer;
 
@@ -31,72 +32,41 @@ pub struct IncrementalSession {
     pos: usize,
 }
 
-/// Multi-head attention of a single query row against cached projected
-/// keys/values.
-fn attend_row(block: &MhaResBlock, q_row: &Mat<f32>, keys: &Mat<f32>, vals: &Mat<f32>) -> Mat<f32> {
-    let mha = block.mha();
-    let (wq, _, _, wo) = mha.projections();
-    let h = mha.heads();
-    let d_k = wq.d_in() / h;
-    let scale = 1.0 / (d_k as f32).sqrt();
-    let q = wq.forward_inference(q_row);
-    let mut heads = Vec::with_capacity(h);
-    for i in 0..h {
-        let c0 = i * d_k;
-        let qi = q.submatrix(0, c0, 1, d_k).expect("head panel");
-        let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
-        let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
-        let (out, _) = attention_forward(&qi, &ki, &vi, None, scale);
-        heads.push(out);
-    }
-    let concat = Mat::hconcat(&heads).expect("heads share rows");
-    wo.forward_inference(&concat)
+/// The cached-KV graph for this model's decoder blocks, built once per
+/// step and shared by the self- and cross-attention ResBlocks (same
+/// shape parameters).
+fn cached_graph(model: &Seq2SeqTransformer) -> Graph {
+    graph::mha_cached_graph(&GraphConfig {
+        d_model: model.config().d_model,
+        d_ff: 0,
+        h: model.config().h,
+    })
 }
 
-/// Applies a full MHA ResBlock to one cached-attention row:
-/// `LayerNorm(x + attend(x))`.
-fn resblock_row(
+/// Applies a full MHA ResBlock to a stack of rows, one per session, by
+/// running the cached-KV graph through [`RowExec`]: the `W_Q` and `W_O`
+/// projections run once over all rows; the per-session attention
+/// (different cache lengths) fans out across threads. The GEMM kernels
+/// never reorder a row's accumulation, so row `r` is bit-identical to a
+/// single-row run on row `r` alone.
+fn resblock_rows(
+    g: &Graph,
     block: &MhaResBlock,
-    x_row: &Mat<f32>,
-    keys: &Mat<f32>,
-    vals: &Mat<f32>,
+    x: &Mat<f32>,
+    kvs: &[(&Mat<f32>, &Mat<f32>)],
 ) -> Mat<f32> {
-    let sub = attend_row(block, x_row, keys, vals);
-    let res = ops::add(x_row, &sub).expect("residual shape");
-    block.layernorm().forward_inference(&res)
-}
-
-/// Applies a full MHA ResBlock to a stack of rows, one per session: the
-/// `W_Q` and `W_O` projections run once over all rows; the per-session
-/// attention (different cache lengths) fans out across threads. The GEMM
-/// kernels never reorder a row's accumulation, so row `r` is
-/// bit-identical to [`resblock_row`] on row `r` alone.
-fn resblock_rows(block: &MhaResBlock, x: &Mat<f32>, kvs: &[(&Mat<f32>, &Mat<f32>)]) -> Mat<f32> {
     debug_assert_eq!(x.rows(), kvs.len());
-    let mha = block.mha();
-    let (wq, _, _, wo) = mha.projections();
-    let h = mha.heads();
-    let d_k = wq.d_in() / h;
-    let scale = 1.0 / (d_k as f32).sqrt();
-    let q = wq.forward_inference(x);
-    let rows: Vec<usize> = (0..x.rows()).collect();
-    let att_rows = tensor::par::par_map(&rows, |&r| {
-        let (keys, vals) = kvs[r];
-        let mut heads = Vec::with_capacity(h);
-        for i in 0..h {
-            let c0 = i * d_k;
-            let qi = q.submatrix(r, c0, 1, d_k).expect("head panel");
-            let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
-            let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
-            let (out, _) = attention_forward(&qi, &ki, &vi, None, scale);
-            heads.push(out);
-        }
-        Mat::hconcat(&heads).expect("heads share rows")
-    });
-    let concat = Mat::vconcat(&att_rows).expect("rows share width");
-    let sub = wo.forward_inference(&concat);
-    let res = ops::add(x, &sub).expect("residual shape");
-    block.layernorm().forward_inference(&res)
+    let mut exec = RowExec::new(block);
+    let mut env = exec.run(
+        g,
+        vec![
+            ("x", RowVal::Rows(x.clone())),
+            ("keys", RowVal::Caches(kvs.iter().map(|kv| kv.0).collect())),
+            ("vals", RowVal::Caches(kvs.iter().map(|kv| kv.1).collect())),
+        ],
+        None,
+    );
+    env.take("y").into_rows()
 }
 
 impl IncrementalSession {
@@ -140,6 +110,7 @@ impl IncrementalSession {
     ///
     /// Panics if the token is out of vocabulary.
     pub fn step(&mut self, model: &Seq2SeqTransformer, token: usize) -> Vec<f32> {
+        let g = cached_graph(model);
         let emb = model.tgt_embedding().embed_at(token, self.pos);
         let mut x = Mat::from_vec(1, emb.len(), emb).expect("row");
         for (layer, cache) in model.decoder().layers().iter().zip(&mut self.layers) {
@@ -151,9 +122,9 @@ impl IncrementalSession {
             cache.self_k.push_row(k_new.row(0));
             cache.self_v.push_row(v_new.row(0));
             // Causal self-attention over the cache (past + current only).
-            let a = resblock_row(self_blk, &x, &cache.self_k, &cache.self_v);
+            let a = resblock_rows(&g, self_blk, &x, &[(&cache.self_k, &cache.self_v)]);
             // Cross-attention over the fixed encoder K/V.
-            let b = resblock_row(cross_blk, &a, &cache.cross_k, &cache.cross_v);
+            let b = resblock_rows(&g, cross_blk, &a, &[(&cache.cross_k, &cache.cross_v)]);
             // Position-wise FFN on the single row.
             x = ffn_blk.forward_inference(&b);
         }
@@ -182,6 +153,7 @@ pub fn step_batch(
 ) -> Vec<Vec<f32>> {
     assert_eq!(sessions.len(), tokens.len(), "one token per session");
     assert!(!sessions.is_empty(), "empty step batch");
+    let g = cached_graph(model);
     let b = sessions.len();
     let d_model = model.config().d_model;
     let mut x = Mat::zeros(b, d_model);
@@ -202,12 +174,12 @@ pub fn step_batch(
             .iter()
             .map(|s| (&s.layers[l].self_k, &s.layers[l].self_v))
             .collect();
-        let a = resblock_rows(self_blk, &x, &self_kvs);
+        let a = resblock_rows(&g, self_blk, &x, &self_kvs);
         let cross_kvs: Vec<(&Mat<f32>, &Mat<f32>)> = sessions
             .iter()
             .map(|s| (&s.layers[l].cross_k, &s.layers[l].cross_v))
             .collect();
-        let bm = resblock_rows(cross_blk, &a, &cross_kvs);
+        let bm = resblock_rows(&g, cross_blk, &a, &cross_kvs);
         x = ffn_blk.forward_inference(&bm);
     }
     for session in sessions.iter_mut() {

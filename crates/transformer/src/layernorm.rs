@@ -75,22 +75,8 @@ impl LayerNorm {
     /// Panics if `x.cols() != self.dim()`.
     pub fn forward(&mut self, x: &Mat<f32>) -> Mat<f32> {
         assert_eq!(x.cols(), self.dim(), "layernorm width mismatch");
-        let (rows, cols) = x.shape();
-        let mut xhat = Mat::zeros(rows, cols);
-        let mut rstds = Vec::with_capacity(rows);
-        let mut out = Mat::zeros(rows, cols);
-        for r in 0..rows {
-            let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / cols as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-            let rstd = 1.0 / (var + self.eps).sqrt();
-            rstds.push(rstd);
-            for c in 0..cols {
-                let xh = (row[c] - mean) * rstd;
-                xhat[(r, c)] = xh;
-                out[(r, c)] = xh * self.gamma[c] + self.beta[c];
-            }
-        }
+        let (out, xhat, rstds) =
+            tensor::norm::layernorm_rows_stats(x, &self.gamma, &self.beta, self.eps);
         self.cache = Some((xhat, rstds));
         out
     }

@@ -44,6 +44,7 @@ pub mod decode;
 pub mod decoder;
 pub mod embedding;
 pub mod encoder;
+pub mod exec;
 pub mod ffn;
 pub mod functional;
 pub mod incremental;

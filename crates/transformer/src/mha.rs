@@ -4,6 +4,7 @@
 //! head uses a 64-column panel, exactly the layout the accelerator's
 //! partitioning scheme (Fig. 4) exploits.
 
+use graph::Executor;
 use rand::Rng;
 use tensor::{ops, Mat};
 
@@ -87,7 +88,9 @@ impl MultiHeadAttention {
         self.wo.forward(&concat)
     }
 
-    /// Inference-only forward (no gradient caches touched).
+    /// Inference-only forward (no gradient caches touched). Runs the
+    /// [`graph::mha_graph`] dataflow truncated at the pre-residual
+    /// attention output, interpreted by [`crate::exec::FloatExec`].
     pub fn forward_inference(
         &self,
         xq: &Mat<f32>,
@@ -95,21 +98,28 @@ impl MultiHeadAttention {
         xv: &Mat<f32>,
         mask: Option<&Mat<bool>>,
     ) -> Mat<f32> {
-        let q = self.wq.forward_inference(xq);
-        let k = self.wk.forward_inference(xk);
-        let v = self.wv.forward_inference(xv);
-        let scale = 1.0 / (self.d_k as f32).sqrt();
-        let mut heads = Vec::with_capacity(self.h);
-        for i in 0..self.h {
-            let c0 = i * self.d_k;
-            let qi = q.submatrix(0, c0, q.rows(), self.d_k).expect("head panel");
-            let ki = k.submatrix(0, c0, k.rows(), self.d_k).expect("head panel");
-            let vi = v.submatrix(0, c0, v.rows(), self.d_k).expect("head panel");
-            let (out, _) = attention_forward(&qi, &ki, &vi, mask, scale);
-            heads.push(out);
+        let g = graph::mha_graph(&self.graph_config()).truncated("attn_out");
+        let mut exec = crate::exec::FloatExec::mha(self);
+        let mut env = exec.run(
+            &g,
+            vec![
+                ("x_q", xq.clone()),
+                ("x_k", xk.clone()),
+                ("x_v", xv.clone()),
+            ],
+            mask,
+        );
+        env.take("attn_out")
+    }
+
+    /// The graph-shape parameters of this block (`d_ff` is not an MHA
+    /// concern and is left zero).
+    pub fn graph_config(&self) -> graph::GraphConfig {
+        graph::GraphConfig {
+            d_model: self.wq.d_in(),
+            d_ff: 0,
+            h: self.h,
         }
-        let concat = Mat::hconcat(&heads).expect("heads share row count");
-        self.wo.forward_inference(&concat)
     }
 
     /// Backward pass: returns `(dxq, dxk, dxv)`.
@@ -203,7 +213,10 @@ impl MhaResBlock {
         self.ln.forward(&res)
     }
 
-    /// Inference-only forward (no gradient caches touched).
+    /// Inference-only forward (no gradient caches touched). Runs the
+    /// full [`graph::mha_graph`] dataflow — projections, heads, concat,
+    /// output projection, residual and LayerNorm — through
+    /// [`crate::exec::FloatExec`].
     pub fn forward_inference(
         &self,
         xq: &Mat<f32>,
@@ -211,9 +224,18 @@ impl MhaResBlock {
         xv: &Mat<f32>,
         mask: Option<&Mat<bool>>,
     ) -> Mat<f32> {
-        let sub = self.mha.forward_inference(xq, xk, xv, mask);
-        let res = ops::add(xq, &sub).expect("residual shape invariant");
-        self.ln.forward_inference(&res)
+        let g = graph::mha_graph(&self.mha.graph_config());
+        let mut exec = crate::exec::FloatExec::mha_res(self);
+        let mut env = exec.run(
+            &g,
+            vec![
+                ("x_q", xq.clone()),
+                ("x_k", xk.clone()),
+                ("x_v", xv.clone()),
+            ],
+            mask,
+        );
+        env.take("y")
     }
 
     /// Backward: returns `(dxq, dxk, dxv)` with the residual path folded

@@ -40,6 +40,7 @@
 pub use accel;
 pub use baseline;
 pub use fixedmath;
+pub use graph;
 pub use hwsim;
 pub use quantized;
 pub use serving;

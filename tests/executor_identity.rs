@@ -1,0 +1,155 @@
+//! The pre-refactor forward paths, frozen here as golden references:
+//! every executor that now runs the shared operator graph
+//! (`FloatExec`, `QuantExec` — and, transitively, the accelerator's
+//! command-stream interpreter) must reproduce them **bit for bit**
+//! through the public block APIs. This is the refactor's
+//! non-negotiable invariant: one dataflow description, many backends,
+//! zero numeric drift.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{ops, Mat};
+use transformer_accel::quantized::qlinear::residual_add_i8;
+use transformer_accel::quantized::softmax::scaled_masked_softmax;
+use transformer_accel::quantized::{QuantFfnResBlock, QuantMhaResBlock, SoftmaxMode};
+use transformer_accel::transformer::attention::attention_forward;
+use transformer_accel::transformer::config::ModelConfig;
+use transformer_accel::transformer::ffn::FfnResBlock;
+use transformer_accel::transformer::mha::MhaResBlock;
+
+fn mini_cfg() -> ModelConfig {
+    ModelConfig {
+        name: "mini64h".into(),
+        d_model: 128,
+        d_ff: 512,
+        h: 4,
+        n_layers: 1,
+        vocab: 16,
+        max_len: 16,
+    }
+}
+
+/// The original hand-rolled FP32 MHA ResBlock forward (per-head
+/// attention over projected panels, concat, output projection,
+/// residual, LayerNorm) — exactly the code the graph path replaced.
+fn float_mha_reference(block: &MhaResBlock, x: &Mat<f32>, mask: Option<&Mat<bool>>) -> Mat<f32> {
+    let mha = block.mha();
+    let (wq, wk, wv, wo) = mha.projections();
+    let h = mha.heads();
+    let q = wq.forward_inference(x);
+    let k = wk.forward_inference(x);
+    let v = wv.forward_inference(x);
+    let d_k = q.cols() / h;
+    let scale = 1.0 / (d_k as f32).sqrt();
+    let mut panels = Vec::with_capacity(h);
+    for i in 0..h {
+        let c0 = i * d_k;
+        let qi = q.submatrix(0, c0, q.rows(), d_k).unwrap();
+        let ki = k.submatrix(0, c0, k.rows(), d_k).unwrap();
+        let vi = v.submatrix(0, c0, v.rows(), d_k).unwrap();
+        let (out, _) = attention_forward(&qi, &ki, &vi, mask, scale);
+        panels.push(out);
+    }
+    let concat = Mat::hconcat(&panels).unwrap();
+    let sub = wo.forward_inference(&concat);
+    let res = ops::add(x, &sub).unwrap();
+    block.layernorm().forward_inference(&res)
+}
+
+/// The original hand-rolled FP32 FFN ResBlock forward.
+fn float_ffn_reference(block: &FfnResBlock, x: &Mat<f32>) -> Mat<f32> {
+    let (lin1, lin2) = block.sublayers();
+    let hidden = ops::relu(&lin1.forward_inference(x));
+    let sub = lin2.forward_inference(&hidden);
+    let res = ops::add(x, &sub).unwrap();
+    block.layernorm().forward_inference(&res)
+}
+
+/// The original hand-rolled INT8 MHA ResBlock forward.
+fn quant_mha_reference(
+    block: &QuantMhaResBlock,
+    xq: &Mat<i8>,
+    xkv: &Mat<i8>,
+    mask: Option<&Mat<bool>>,
+) -> (Mat<i8>, Mat<i8>) {
+    let (wq, wk, wv, wo) = block.projections();
+    let d_k = block.d_k();
+    let q = wq.forward(xq);
+    let k = wk.forward(xkv);
+    let v = wv.forward(xkv);
+    let mut panels = Vec::with_capacity(block.heads());
+    for i in 0..block.heads() {
+        let c0 = i * d_k;
+        let qi = q.submatrix(0, c0, q.rows(), d_k).unwrap();
+        let ki = k.submatrix(0, c0, k.rows(), d_k).unwrap();
+        let vi = v.submatrix(0, c0, v.rows(), d_k).unwrap();
+        let d_acc = tensor::gemm::matmul_i8_nt(&qi, &ki).unwrap();
+        let probs = scaled_masked_softmax(&d_acc, block.d_scale(), d_k, mask, block.softmax_mode());
+        let p_acc = tensor::gemm::matmul_i8(&probs, &vi).unwrap();
+        panels.push(p_acc.map(|&a| block.requantize_p(a)));
+    }
+    let p = Mat::hconcat(&panels).unwrap();
+    let g = residual_add_i8(&wo.forward(&p), xq);
+    (block.layernorm().forward(&g), p)
+}
+
+/// The original hand-rolled INT8 FFN ResBlock forward.
+fn quant_ffn_reference(block: &QuantFfnResBlock, x: &Mat<i8>) -> (Mat<i8>, Mat<i8>) {
+    let (lin1, lin2) = block.sublayers();
+    let hidden = lin1.forward(x).map(|&v| v.max(0));
+    let g = residual_add_i8(&lin2.forward(&hidden), x);
+    (block.layernorm().forward(&g), hidden)
+}
+
+#[test]
+fn float_executor_reproduces_prerefactor_mha_bitwise() {
+    let cfg = mini_cfg();
+    let mut rng = StdRng::seed_from_u64(0xE1D);
+    let block = MhaResBlock::new(&cfg, &mut rng);
+    let x = tensor::init::normal(&mut rng, 10, cfg.d_model, 1.0);
+    assert_eq!(
+        block.forward_inference(&x, &x, &x, None),
+        float_mha_reference(&block, &x, None)
+    );
+    let mask = ops::causal_mask(10);
+    assert_eq!(
+        block.forward_inference(&x, &x, &x, Some(&mask)),
+        float_mha_reference(&block, &x, Some(&mask))
+    );
+}
+
+#[test]
+fn float_executor_reproduces_prerefactor_ffn_bitwise() {
+    let cfg = mini_cfg();
+    let mut rng = StdRng::seed_from_u64(0xE2D);
+    let block = FfnResBlock::new(&cfg, &mut rng);
+    let x = tensor::init::normal(&mut rng, 7, cfg.d_model, 1.0);
+    assert_eq!(block.forward_inference(&x), float_ffn_reference(&block, &x));
+}
+
+#[test]
+fn quant_executor_reproduces_prerefactor_blocks_bitwise() {
+    let cfg = mini_cfg();
+    let mut rng = StdRng::seed_from_u64(0xE3D);
+    let mha = MhaResBlock::new(&cfg, &mut rng);
+    let ffn = FfnResBlock::new(&cfg, &mut rng);
+    let calib: Vec<Mat<f32>> = (0..3)
+        .map(|_| tensor::init::normal(&mut rng, 9, cfg.d_model, 1.0))
+        .collect();
+    for mode in [SoftmaxMode::Fp32, SoftmaxMode::Hardware] {
+        let qmha = QuantMhaResBlock::from_f32(&mha, &calib, &calib, mode);
+        let xq = qmha.quantize_input_q(&calib[0]);
+        assert_eq!(
+            qmha.forward(&xq, &xq, None),
+            quant_mha_reference(&qmha, &xq, &xq, None)
+        );
+        let mask = ops::causal_mask(9);
+        assert_eq!(
+            qmha.forward(&xq, &xq, Some(&mask)),
+            quant_mha_reference(&qmha, &xq, &xq, Some(&mask))
+        );
+    }
+    let qffn = QuantFfnResBlock::from_f32(&ffn, &calib);
+    let x = qffn.quantize_input(&calib[1]);
+    assert_eq!(qffn.forward(&x), quant_ffn_reference(&qffn, &x));
+}

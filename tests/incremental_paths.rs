@@ -1,0 +1,91 @@
+//! Cross-crate differential decode: the same prompts pushed through the
+//! single-row and batched incremental paths — both now driven by the
+//! shared cached-KV operator graph through `RowExec` (FP32) and
+//! `QuantRowExec` (INT8) — must produce bit-identical logits and the
+//! same greedy decodes as the full-prefix recompute, every CI run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transformer_accel::quantized::incremental::QuantIncrementalSession;
+use transformer_accel::quantized::{QuantSeq2Seq, SoftmaxMode};
+use transformer_accel::transformer::config::ModelConfig;
+use transformer_accel::transformer::incremental::{
+    greedy_decode_incremental, step_batch, IncrementalSession,
+};
+use transformer_accel::transformer::model::Seq2SeqTransformer;
+use transformer_accel::transformer::tasks::{Task, TaskGen, BOS, EOS};
+
+fn setup() -> (Seq2SeqTransformer, QuantSeq2Seq, Vec<Vec<usize>>) {
+    let mut cfg = ModelConfig::tiny_for_tests();
+    cfg.n_layers = 2;
+    let mut rng = StdRng::seed_from_u64(0x1DE);
+    let model = Seq2SeqTransformer::new(&cfg, &mut rng);
+    let gen = TaskGen::new(Task::Reverse, cfg.vocab, 3, 7);
+    let corpus = gen.corpus(4, &mut StdRng::seed_from_u64(0x1DF));
+    let quant = QuantSeq2Seq::from_trained(&model, &corpus, SoftmaxMode::Hardware);
+    let srcs = corpus.into_iter().map(|(s, _)| s).collect();
+    (model, quant, srcs)
+}
+
+#[test]
+fn float_single_row_and_batched_decodes_agree() {
+    let (mut model, _, srcs) = setup();
+    // Full-prefix recompute vs single-row cached decode per prompt.
+    for src in &srcs {
+        assert_eq!(
+            model.greedy_decode(src, BOS, EOS, 8),
+            greedy_decode_incremental(&model, src, BOS, EOS, 8),
+            "src {src:?}"
+        );
+    }
+    // Single-row vs batched: advance every prompt in lockstep and
+    // compare each step's logits bit for bit.
+    let mut singles: Vec<IncrementalSession> = srcs
+        .iter()
+        .map(|s| IncrementalSession::new(&model, s))
+        .collect();
+    let mut batched: Vec<IncrementalSession> = srcs
+        .iter()
+        .map(|s| IncrementalSession::new(&model, s))
+        .collect();
+    let mut tokens: Vec<usize> = vec![BOS; srcs.len()];
+    for _ in 0..6 {
+        let want: Vec<Vec<f32>> = singles
+            .iter_mut()
+            .zip(&tokens)
+            .map(|(s, &t)| s.step(&model, t))
+            .collect();
+        let mut refs: Vec<&mut IncrementalSession> = batched.iter_mut().collect();
+        let got = step_batch(&model, &mut refs, &tokens);
+        assert_eq!(want, got, "batched logits must be bit-identical");
+        tokens = want.iter().map(|l| tensor::ops::argmax(l)).collect();
+    }
+}
+
+#[test]
+fn quant_single_row_and_batched_decodes_agree() {
+    let (_, quant, srcs) = setup();
+    for src in &srcs {
+        assert_eq!(
+            quant.greedy_decode(src, BOS, EOS, 8),
+            quant.greedy_decode_incremental(src, 8),
+            "src {src:?}"
+        );
+    }
+    let mut singles: Vec<QuantIncrementalSession> =
+        srcs.iter().map(|s| quant.start_session(s)).collect();
+    let mut batched: Vec<QuantIncrementalSession> =
+        srcs.iter().map(|s| quant.start_session(s)).collect();
+    let mut tokens: Vec<usize> = vec![BOS; srcs.len()];
+    for _ in 0..6 {
+        let want: Vec<Vec<f32>> = singles
+            .iter_mut()
+            .zip(&tokens)
+            .map(|(s, &t)| quant.step_session(s, t))
+            .collect();
+        let mut refs: Vec<&mut QuantIncrementalSession> = batched.iter_mut().collect();
+        let got = quant.step_sessions(&mut refs, &tokens);
+        assert_eq!(want, got, "batched logits must be bit-identical");
+        tokens = want.iter().map(|l| tensor::ops::argmax(l)).collect();
+    }
+}
