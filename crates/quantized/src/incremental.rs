@@ -111,14 +111,21 @@ impl QuantSeq2Seq {
         assert!(!src.is_empty(), "source must be non-empty");
         let memory = self.encode(src);
         let d_model = memory.cols();
+        let max_len = self.max_len();
         let layers = self
             .decoder_layers()
             .iter()
             .map(|layer| {
                 let (_, wk, wv, _) = layer.cross_mha.projections();
+                // Reserve the whole decode horizon up front so the
+                // per-token push_row never reallocates mid-sequence.
+                let mut self_k = Mat::zeros(0, d_model);
+                self_k.reserve_rows(max_len);
+                let mut self_v = Mat::zeros(0, d_model);
+                self_v.reserve_rows(max_len);
                 QLayerCache {
-                    self_k: Mat::zeros(0, d_model),
-                    self_v: Mat::zeros(0, d_model),
+                    self_k,
+                    self_v,
                     cross_k: wk.forward(&memory),
                     cross_v: wv.forward(&memory),
                 }
@@ -329,6 +336,16 @@ mod tests {
         assert_eq!(s.memory_rows(), src.len());
         let _ = q.step_session(&mut s, BOS);
         assert_eq!(s.pos(), 1);
+    }
+
+    #[test]
+    fn kv_caches_reserve_decode_horizon() {
+        let (q, corpus) = setup();
+        let s = q.start_session(&corpus[0].0);
+        for cache in &s.layers {
+            assert!(cache.self_k.row_capacity() >= q.max_len());
+            assert!(cache.self_v.row_capacity() >= q.max_len());
+        }
     }
 
     #[test]

@@ -156,6 +156,12 @@ impl QuantSeq2Seq {
         &self.dec_layers
     }
 
+    /// Maximum decode length (from the source model's configuration) —
+    /// the horizon incremental sessions reserve their KV caches for.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
     /// The (FP32) target embedding — incremental decoding embeds single
     /// tokens at absolute positions through it.
     pub fn tgt_embedding(&self) -> &transformer::embedding::Embedding {

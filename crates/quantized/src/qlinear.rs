@@ -15,7 +15,8 @@
 use fixedmath::quant::{QuantParams, Requantizer};
 use fixedmath::sat::sat_i8;
 use serde::{Deserialize, Serialize};
-use tensor::{gemm, Mat};
+use tensor::prepack::{self, PackedI8};
+use tensor::Mat;
 use transformer::linear::Linear;
 
 /// Weight-quantization granularity.
@@ -28,9 +29,16 @@ pub enum QuantScheme {
 }
 
 /// A quantized linear layer `y = requant(x_q W_q + b_q)`.
+///
+/// The quantized weights are frozen at construction, so the matrix is
+/// also **prepacked** once into the GEMM microkernel's tile layout
+/// (`w_packed`) — the software analogue of the paper's weights staying
+/// resident beside the systolic array; every forward call streams only
+/// the activations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QLinear {
     w_q: Mat<i8>,
+    w_packed: PackedI8,
     bias_q: Vec<i32>,
     in_scale: QuantParams,
     w_scales: Vec<QuantParams>,
@@ -83,8 +91,10 @@ impl QLinear {
                 )
             })
             .collect();
+        let w_packed = PackedI8::from_i8(&w_q);
         Self {
             w_q,
+            w_packed,
             bias_q,
             in_scale,
             w_scales,
@@ -147,7 +157,8 @@ impl QLinear {
     ///
     /// Panics if `x.cols() != d_in`.
     pub fn forward_acc(&self, x: &Mat<i8>) -> Mat<i32> {
-        let mut acc = gemm::matmul_i8(x, &self.w_q).expect("qlinear width mismatch");
+        let mut acc =
+            prepack::matmul_i8_prepacked(x, &self.w_packed).expect("qlinear width mismatch");
         for r in 0..acc.rows() {
             for (v, b) in acc.row_mut(r).iter_mut().zip(&self.bias_q) {
                 *v += b;

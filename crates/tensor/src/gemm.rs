@@ -11,11 +11,16 @@
 //! # Kernel structure
 //!
 //! The four public entry points ([`matmul`], [`matmul_nt`], [`matmul_i8`],
-//! [`matmul_i8_nt`]) are parallelised over horizontal output bands with
-//! [`std::thread::scope`] (worker count from [`crate::par::threads`],
-//! i.e. the `ACCEL_THREADS` environment variable or the machine's
-//! available parallelism). Small problems below [`SERIAL_CUTOFF_MACS`]
-//! run on the calling thread to avoid spawn overhead.
+//! [`matmul_i8_nt`]) are parallelised over horizontal output bands on the
+//! persistent worker pool in [`crate::par`] (worker count from
+//! [`crate::par::threads`], i.e. the `ACCEL_THREADS` environment variable
+//! or the machine's available parallelism). Small problems below
+//! [`SERIAL_CUTOFF_MACS`] run on the calling thread to avoid dispatch
+//! overhead. The INT8 band kernel dispatches to the AVX2 microkernels in
+//! [`crate::simd`] when the hardware supports them (bit-identical either
+//! way); single-row INT8 GEMMs use a dedicated GEMV kernel. Weight
+//! matrices that are multiplied repeatedly should be packed once via
+//! [`crate::prepack`] instead of paying [`pack_tiles`] per call.
 //!
 //! The non-transposed kernels pack `B` once into `NR`-lane column tiles
 //! (`[tile][k][lane]` layout, integer operands widened to `i32` during
@@ -45,10 +50,10 @@ use crate::{par, Mat, ShapeError};
 
 /// Column-tile width of the register microkernel (one 512-bit vector of
 /// `i32`/`f32` lanes; also vectorises as two 256-bit ops on AVX2).
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 /// Rows of `A` processed together by the register microkernel — each
 /// packed `B` vector load feeds `MR` rows' accumulators.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Output-column block size for the `*_nt` dot-product kernels: how many
 /// rows of `B` stay hot in cache while a band of `A` rows streams by.
 const BJ: usize = 32;
@@ -72,7 +77,7 @@ pub const SERIAL_CUTOFF_MACS: usize = 1 << 16;
 /// tile is zero-padded to `NR`; padded lanes are computed and discarded,
 /// which cannot perturb real lanes (lanes are independent). The packed
 /// buffer is built once per GEMM and shared read-only by every band.
-fn pack_tiles<T: Copy, U: Copy + Default>(b: &Mat<T>, widen: impl Fn(T) -> U) -> Vec<U> {
+pub(crate) fn pack_tiles<T: Copy, U: Copy + Default>(b: &Mat<T>, widen: impl Fn(T) -> U) -> Vec<U> {
     let (k, n) = b.shape();
     let tiles = n.div_ceil(NR);
     let mut packed = vec![U::default(); tiles * k * NR];
@@ -174,14 +179,57 @@ band_kernel!(band_i8, i8, i32, widen_i8);
 
 /// Identity widening for the `f32` dot-product kernel.
 #[inline]
-fn widen_f32(v: f32) -> f32 {
+pub(crate) fn widen_f32(v: f32) -> f32 {
     v
 }
 
 /// `i8 -> i32` widening for the integer dot-product kernel.
 #[inline]
-fn widen_i8(v: i8) -> i32 {
+pub(crate) fn widen_i8(v: i8) -> i32 {
     i32::from(v)
+}
+
+/// Runs the `f32` band kernel over prepacked tiles (scalar only — float
+/// SIMD would reassociate sums and break bit-identity; the scalar loop
+/// auto-vectorises under `target-cpu=native` within those constraints).
+#[inline]
+pub(crate) fn run_band_f32(
+    a: &Mat<f32>,
+    packed: &[f32],
+    first_row: usize,
+    out_band: &mut [f32],
+    n: usize,
+) {
+    band_f32(a, packed, first_row, out_band, n);
+}
+
+/// Runs the INT8 band kernel over prepacked tiles: the AVX2 microkernel
+/// from [`crate::simd`] when available/enabled, otherwise the scalar
+/// kernel. Both are bit-identical, so dispatch only affects speed.
+#[inline]
+pub(crate) fn run_band_i8(
+    a: &Mat<i8>,
+    packed: &[i32],
+    first_row: usize,
+    out_band: &mut [i32],
+    n: usize,
+) {
+    if crate::simd::band_i8(a, packed, first_row, out_band, n) {
+        return;
+    }
+    band_i8(a, packed, first_row, out_band, n);
+}
+
+/// Runs the single-row INT8 GEMV over prepacked tiles: the dedicated
+/// AVX2 kernel when available/enabled, otherwise the scalar band kernel
+/// restricted to one row. Bit-identical either way.
+#[inline]
+pub(crate) fn run_gemv_i8(a: &Mat<i8>, packed: &[i32], out: &mut [i32], n: usize) {
+    debug_assert_eq!(a.rows(), 1);
+    if crate::simd::gemv_i8(a.row(0), packed, n, out) {
+        return;
+    }
+    band_i8(a, packed, 0, out, n);
 }
 
 macro_rules! band_kernel_nt {
@@ -221,7 +269,7 @@ band_kernel_nt!(band_nt_i8, i8, i32, 0i32, widen_i8);
 
 /// Worker count for an `m x k x n` problem: serial below the cutoff,
 /// otherwise [`par::threads`].
-fn auto_threads(m: usize, k: usize, n: usize) -> usize {
+pub(crate) fn auto_threads(m: usize, k: usize, n: usize) -> usize {
     if m * k * n <= SERIAL_CUTOFF_MACS {
         1
     } else {
@@ -276,7 +324,7 @@ pub fn matmul_with_threads(
     let mut out = Mat::zeros(m, n);
     let packed = pack_tiles(b, widen_f32);
     par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
-        band_f32(a, &packed, first_row, band, n);
+        run_band_f32(a, &packed, first_row, band, n);
     });
     Ok(out)
 }
@@ -361,8 +409,12 @@ pub fn matmul_i8_with_threads(
     let (m, n) = (a.rows(), b.cols());
     let mut out = Mat::<i32>::zeros(m, n);
     let packed = pack_tiles(b, widen_i8);
+    if m == 1 {
+        run_gemv_i8(a, &packed, out.as_mut_slice(), n);
+        return Ok(out);
+    }
     par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
-        band_i8(a, &packed, first_row, band, n);
+        run_band_i8(a, &packed, first_row, band, n);
     });
     Ok(out)
 }

@@ -204,6 +204,24 @@ impl<T: Copy + Default> Mat<T> {
         self.rows += 1;
     }
 
+    /// Reserves backing storage for at least `additional` more rows, so
+    /// subsequent [`Mat::push_row`] calls up to that count never
+    /// reallocate. The incremental decoders reserve `max_len` rows per
+    /// KV cache at session creation instead of growing geometrically
+    /// token by token.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols);
+    }
+
+    /// Number of rows the backing storage can hold without reallocating
+    /// (equals [`Mat::rows`] rounded up to the current capacity).
+    pub fn row_capacity(&self) -> usize {
+        self.data
+            .capacity()
+            .checked_div(self.cols)
+            .unwrap_or(usize::MAX)
+    }
+
     /// Returns a copy zero-padded (with `T::default()`) to `rows x cols`.
     ///
     /// # Panics
@@ -385,6 +403,19 @@ mod tests {
         }
         assert_eq!(grown, Mat::vconcat(&parts).unwrap());
         assert_eq!(grown.shape(), (5, 3));
+    }
+
+    #[test]
+    fn reserve_rows_prevents_push_row_reallocation() {
+        let mut m = Mat::<i8>::zeros(0, 4);
+        m.reserve_rows(16);
+        assert!(m.row_capacity() >= 16);
+        let before = m.row_capacity();
+        for r in 0..16i8 {
+            m.push_row(&[r, r, r, r]);
+        }
+        assert_eq!(m.row_capacity(), before, "push_row must not reallocate");
+        assert_eq!(m.rows(), 16);
     }
 
     #[test]

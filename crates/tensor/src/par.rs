@@ -1,41 +1,85 @@
-//! Scoped-thread parallel helpers shared by the GEMM kernels and the
-//! higher-level crates (per-head attention fan-out, design-space sweeps).
+//! Parallel helpers shared by the GEMM kernels and the higher-level
+//! crates (per-head attention fan-out, design-space sweeps), backed by a
+//! **persistent worker pool**.
 //!
-//! Everything here is built on [`std::thread::scope`] — no external
-//! thread-pool dependency — and is **deterministic**: results are
-//! assembled in input order, so callers observe the same values for any
-//! thread count (including 1).
+//! Earlier revisions spawned fresh [`std::thread::scope`] threads on
+//! every parallel GEMM; at decode batch sizes that spawn latency rivals
+//! the multiply-accumulate work itself. The pool here is spawned lazily
+//! on first use, kept warm for the life of the process, and fed through
+//! a channel — mirroring how the paper's accelerator keeps its systolic
+//! array powered between passes instead of re-configuring it per GEMM.
 //!
-//! The worker count comes from [`threads`], which honours the
-//! `ACCEL_THREADS` environment variable and otherwise falls back to
-//! [`std::thread::available_parallelism`].
+//! Everything stays **deterministic**: each task writes to a
+//! pre-assigned disjoint output region (or slot), so callers observe the
+//! same values for any worker count (including 1) regardless of which
+//! thread executes which task in what order. Small problems run inline
+//! on the calling thread; nested parallel sections executing *inside* a
+//! pool worker also run inline, which both avoids oversubscription and
+//! makes pool-worker deadlock impossible (no worker ever blocks on
+//! another batch).
+//!
+//! The worker count comes from [`threads`], which reads the
+//! `ACCEL_THREADS` environment variable **once** (cached in a
+//! [`OnceLock`] — the old implementation issued a `getenv` syscall per
+//! matmul) and otherwise falls back to
+//! [`std::thread::available_parallelism`]. Tests and benchmarks that
+//! need to vary the count in-process use [`set_thread_override`].
 
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
 /// Environment variable overriding the worker-thread count.
 ///
 /// Unset, empty, unparsable, or `0` all mean "use the machine's
-/// available parallelism". Values are clamped to [`MAX_THREADS`].
+/// available parallelism". Values are clamped to [`MAX_THREADS`]. Read
+/// once per process; see [`set_thread_override`] for in-process retuning.
 pub const ENV_THREADS: &str = "ACCEL_THREADS";
 
 /// Upper bound on the worker-thread count (a safety clamp for absurd
-/// `ACCEL_THREADS` values; spawning is per-call, not pooled).
+/// `ACCEL_THREADS` values and the pool's maximum size).
 pub const MAX_THREADS: usize = 256;
+
+/// In-process override installed by [`set_thread_override`]
+/// (`0` = no override).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The `ACCEL_THREADS` / `available_parallelism` resolution, computed on
+/// first use — no syscalls on the per-GEMM hot path.
+static ENV_RESOLVED: OnceLock<usize> = OnceLock::new();
 
 /// The worker-thread count used by the parallel kernels.
 ///
-/// Reads [`ENV_THREADS`] on every call (cheap, and lets tests or
-/// embedding processes retune without restarting), falling back to
-/// [`std::thread::available_parallelism`] when the variable is unset or
-/// invalid. Always at least 1.
+/// Resolution order: the in-process override ([`set_thread_override`]),
+/// then [`ENV_THREADS`] (parsed once and cached), then
+/// [`std::thread::available_parallelism`]. Always in `1..=MAX_THREADS`.
 pub fn threads() -> usize {
-    match std::env::var(ENV_THREADS) {
+    let ov = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if ov > 0 {
+        return ov.min(MAX_THREADS);
+    }
+    *ENV_RESOLVED.get_or_init(|| match std::env::var(ENV_THREADS) {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(t) if t > 0 => t.min(MAX_THREADS),
             _ => default_threads(),
         },
         Err(_) => default_threads(),
-    }
+    })
+}
+
+/// Overrides [`threads`] for this process (`None` restores the cached
+/// environment resolution). Intended for tests and benchmarks that pin
+/// the worker count — e.g. the pool-determinism suite running the same
+/// workload at 1, 2 and 7 workers; production embedders should set
+/// `ACCEL_THREADS` before the first parallel call instead.
+///
+/// The override is global and unsynchronized with concurrently running
+/// parallel sections; that is safe here only because every kernel in
+/// this crate is bit-identical across thread counts.
+pub fn set_thread_override(count: Option<usize>) {
+    THREAD_OVERRIDE.store(count.unwrap_or(0), Ordering::Relaxed);
 }
 
 fn default_threads() -> usize {
@@ -45,10 +89,176 @@ fn default_threads() -> usize {
         .min(MAX_THREADS)
 }
 
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// A type-erased task whose borrows have been extended to `'static` by
+/// [`scope_run`] (sound because the dispatching call joins the whole
+/// batch before returning).
+type Job = Box<dyn FnOnce() + Send>;
+
+/// One dispatched batch of tasks: a shared queue the caller *and* any
+/// number of workers drain, a remaining-task counter the caller waits
+/// on, and the first captured worker panic (re-thrown at the caller).
+struct Batch {
+    tasks: Mutex<VecDeque<Job>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    /// Pops and runs one task; returns `false` when the queue is empty.
+    /// Panics are captured (first wins) so the queue always drains and
+    /// the counter always reaches zero.
+    fn run_next(&self) -> bool {
+        let job = { self.tasks.lock().expect("pool batch queue").pop_front() };
+        let Some(job) = job else { return false };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if let Err(payload) = result {
+            let mut slot = self.panic.lock().expect("pool panic slot");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut rem = self.remaining.lock().expect("pool batch counter");
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+        true
+    }
+}
+
+/// The process-wide pool: an injector channel of batch handles and the
+/// count of workers spawned so far (workers are added lazily up to the
+/// parallelism a dispatch asks for, never torn down).
+struct Pool {
+    injector: Mutex<mpsc::Sender<Arc<Batch>>>,
+    shared_rx: Arc<Mutex<mpsc::Receiver<Arc<Batch>>>>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = mpsc::channel();
+        Pool {
+            injector: Mutex::new(tx),
+            shared_rx: Arc::new(Mutex::new(rx)),
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+thread_local! {
+    /// Set for the lifetime of every pool worker thread: parallel
+    /// sections started *from* a worker run inline (no oversubscription,
+    /// no possibility of a worker blocking on another batch).
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+impl Pool {
+    /// Ensures at least `want` worker threads exist (clamped to
+    /// [`MAX_THREADS`]).
+    fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(MAX_THREADS);
+        let mut n = self.spawned.lock().expect("pool spawn counter");
+        while *n < want {
+            let rx = Arc::clone(&self.shared_rx);
+            std::thread::Builder::new()
+                .name(format!("accel-pool-{n}"))
+                .spawn(move || {
+                    IN_POOL_WORKER.with(|f| f.set(true));
+                    loop {
+                        let batch = {
+                            let guard = rx.lock().expect("pool receiver");
+                            guard.recv()
+                        };
+                        match batch {
+                            Ok(batch) => while batch.run_next() {},
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .expect("spawn pool worker");
+            *n += 1;
+        }
+    }
+}
+
+/// Runs every task to completion, fanning out across the persistent
+/// pool, and returns only when all of them have finished. Tasks may
+/// borrow from the caller's stack; determinism is the *caller's*
+/// responsibility (each task must own a disjoint output region —
+/// [`row_bands`] and [`map_with_threads`] arrange exactly that).
+///
+/// Single-task batches and batches dispatched from inside a pool worker
+/// run inline, in submission order. The first task panic is re-thrown
+/// here after the whole batch has drained.
+pub(crate) fn scope_run(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    if n == 1 || IN_POOL_WORKER.with(|f| f.get()) {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    // SAFETY: the lifetime of each boxed task is extended to `'static`
+    // purely so it can cross the channel; this function does not return
+    // until `remaining == 0`, i.e. until every task has been consumed
+    // (its captured borrows dead), so no task outlives what it borrows.
+    #[allow(unsafe_code)]
+    let jobs: VecDeque<Job> =
+        tasks
+            .into_iter()
+            .map(|t| unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + '_>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(t)
+            })
+            .collect();
+    let batch = Arc::new(Batch {
+        tasks: Mutex::new(jobs),
+        remaining: Mutex::new(n),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let p = pool();
+    // The caller drains too, so n-1 workers saturate an n-task batch.
+    p.ensure_workers(n - 1);
+    {
+        let tx = p.injector.lock().expect("pool injector");
+        for _ in 0..n - 1 {
+            tx.send(Arc::clone(&batch)).expect("pool channel open");
+        }
+    }
+    while batch.run_next() {}
+    let mut rem = batch.remaining.lock().expect("pool batch counter");
+    while *rem > 0 {
+        rem = batch.done.wait(rem).expect("pool batch wait");
+    }
+    drop(rem);
+    let payload = batch.panic.lock().expect("pool panic slot").take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public parallel combinators
+// ---------------------------------------------------------------------------
+
 /// Order-preserving parallel map over a slice.
 ///
 /// Splits `items` into at most [`threads`] contiguous chunks, maps each
-/// chunk on its own scoped thread, and concatenates the results in input
+/// chunk on the persistent pool, and concatenates the results in input
 /// order — so the output is identical to `items.iter().map(f).collect()`
 /// for any thread count. Worker panics propagate to the caller.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
@@ -72,27 +282,31 @@ where
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(t);
-    let mut out = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| {
-                let f = &f;
-                scope.spawn(move || part.iter().map(f).collect::<Vec<U>>())
-            })
-            .collect();
-        for handle in handles {
-            out.extend(handle.join().expect("parallel map worker panicked"));
-        }
-    });
-    out
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    let mut parts: Vec<Option<Vec<U>>> = Vec::new();
+    parts.resize_with(chunks.len(), || None);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .iter()
+        .zip(parts.iter_mut())
+        .map(|(part, slot)| {
+            let f = &f;
+            Box::new(move || {
+                *slot = Some(part.iter().map(f).collect::<Vec<U>>());
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    scope_run(tasks);
+    parts
+        .into_iter()
+        .flat_map(|p| p.expect("pool task completed"))
+        .collect()
 }
 
 /// Runs `body` over disjoint horizontal bands of a row-major buffer.
 ///
 /// `buf` holds `rows` rows of `row_stride` elements each; it is split
 /// into at most `threads` contiguous bands and `body(first_row, band)`
-/// runs on its own scoped thread per band. With `threads <= 1` (or a
+/// runs per band on the persistent pool. With `threads <= 1` (or a
 /// degenerate shape) the body runs inline over the whole buffer, so
 /// serial and parallel execution touch identical data. Worker panics
 /// propagate to the caller.
@@ -108,12 +322,15 @@ where
         return;
     }
     let band = rows.div_ceil(t);
-    std::thread::scope(|scope| {
-        for (idx, chunk) in buf.chunks_mut(band * row_stride).enumerate() {
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = buf
+        .chunks_mut(band * row_stride)
+        .enumerate()
+        .map(|(idx, chunk)| {
             let body = &body;
-            scope.spawn(move || body(idx * band, chunk));
-        }
-    });
+            Box::new(move || body(idx * band, chunk)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    scope_run(tasks);
 }
 
 #[cfg(test)]
@@ -170,5 +387,54 @@ mod tests {
     fn threads_is_positive() {
         assert!(threads() >= 1);
         assert!(threads() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn thread_override_wins_and_clears() {
+        let base = threads();
+        set_thread_override(Some(3));
+        assert_eq!(threads(), 3);
+        set_thread_override(None);
+        assert_eq!(threads(), base);
+    }
+
+    #[test]
+    fn nested_parallel_sections_run_inline_and_agree() {
+        let items: Vec<u32> = (0..64).collect();
+        let serial: Vec<Vec<u32>> = items
+            .iter()
+            .map(|&x| (0..8).map(|y| x * 100 + y).collect())
+            .collect();
+        let nested = map_with_threads(&items, 4, |&x| {
+            let inner: Vec<u32> = (0..8).collect();
+            map_with_threads(&inner, 4, |&y| x * 100 + y)
+        });
+        assert_eq!(nested, serial);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            map_with_threads(&items, 4, |&x| {
+                assert!(x != 9, "poisoned item");
+                x
+            })
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The pool must stay usable after a panicking batch.
+        let ok = map_with_threads(&items, 4, |&x| x + 1);
+        assert_eq!(ok, (1..17).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_calls() {
+        // Many small dispatches should never exceed the pool cap and
+        // must keep producing deterministic results.
+        for round in 0..50u64 {
+            let items: Vec<u64> = (0..32).map(|i| i + round).collect();
+            let serial: Vec<u64> = items.iter().map(|x| x * 3).collect();
+            assert_eq!(map_with_threads(&items, 5, |x| x * 3), serial);
+        }
     }
 }

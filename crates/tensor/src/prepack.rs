@@ -1,0 +1,212 @@
+//! Prepacked weight matrices — the software analogue of the paper's
+//! on-chip weight residency.
+//!
+//! The accelerator keeps each weight matrix resident next to the
+//! systolic array and streams only activations through it. The software
+//! GEMM in [`crate::gemm`] instead re-packs `B` into `NR`-lane column
+//! tiles on **every call**; for the batch-1 decode hot path (`m = 1`,
+//! `k = d_model`) that packing is `O(k * n)` work — the same order as
+//! the multiply-accumulate itself, i.e. roughly half of every decode
+//! GEMM was spent re-deriving a layout that never changes.
+//!
+//! [`PackedMat`] captures the `pack_tiles` layout once; the
+//! [`matmul_prepacked`] / [`matmul_i8_prepacked`] entry points then run
+//! the identical band kernels (including the AVX2 microkernels from
+//! [`crate::simd`] and the dedicated `m == 1` GEMV) straight from the
+//! cached tiles. Results are **bit-identical** to [`crate::gemm::matmul`]
+//! / [`crate::gemm::matmul_i8`] and the naive references for any shape
+//! and thread count, because the packed layout and the per-element
+//! accumulation order are exactly the same — only the packing work
+//! moves from per-call to per-weight-lifetime.
+//!
+//! `quantized::QLinear` packs eagerly at construction (its weights are
+//! immutable); `transformer::Linear` caches lazily and invalidates when
+//! the optimiser mutates the weights.
+
+use crate::gemm;
+use crate::{par, Mat, ShapeError};
+use serde::{Deserialize, Serialize};
+
+/// A `k x n` matrix frozen in the register-microkernel's packed-tile
+/// layout (`[tile][p][lane]`, `NR` lanes per tile, last tile
+/// zero-padded), with integer operands already widened to the
+/// accumulator type. Build once per weight matrix via [`PackedMat::from_f32`]
+/// or [`PackedMat::from_i8`]; multiply via [`matmul_prepacked`] /
+/// [`matmul_i8_prepacked`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedMat<T> {
+    /// Tiles in `[tile][p][lane]` order, `tiles * k * NR` elements.
+    packed: Vec<T>,
+    /// Reduction depth (rows of the original `B`).
+    k: usize,
+    /// Output width (columns of the original `B`).
+    n: usize,
+}
+
+/// Prepacked `f32` weight matrix.
+pub type PackedF32 = PackedMat<f32>;
+/// Prepacked INT8 weight matrix (lanes pre-widened to the `i32`
+/// accumulator type, as the integer microkernel consumes them).
+pub type PackedI8 = PackedMat<i32>;
+
+impl<T> PackedMat<T> {
+    /// Reduction depth — the `a.cols()` this packed matrix multiplies
+    /// against.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width — columns of the product.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl PackedMat<f32> {
+    /// Packs an `f32` weight matrix once, in the exact layout
+    /// [`crate::gemm::matmul`] builds per call.
+    pub fn from_f32(b: &Mat<f32>) -> Self {
+        let (k, n) = b.shape();
+        Self {
+            packed: gemm::pack_tiles(b, gemm::widen_f32),
+            k,
+            n,
+        }
+    }
+}
+
+impl PackedMat<i32> {
+    /// Packs an INT8 weight matrix once, widening `i8 -> i32` during the
+    /// pack (the layout [`crate::gemm::matmul_i8`] builds per call).
+    pub fn from_i8(b: &Mat<i8>) -> Self {
+        let (k, n) = b.shape();
+        Self {
+            packed: gemm::pack_tiles(b, gemm::widen_i8),
+            k,
+            n,
+        }
+    }
+}
+
+/// `f32` GEMM against a prepacked `B`: returns `a * B`, bit-identical to
+/// [`crate::gemm::matmul`] on the original matrix.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.k()`.
+pub fn matmul_prepacked(a: &Mat<f32>, b: &PackedMat<f32>) -> Result<Mat<f32>, ShapeError> {
+    matmul_prepacked_with_threads(a, b, gemm::auto_threads(a.rows(), a.cols(), b.n))
+}
+
+/// [`matmul_prepacked`] with an explicit worker count (no cutoff, no
+/// environment lookup).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.k()`.
+pub fn matmul_prepacked_with_threads(
+    a: &Mat<f32>,
+    b: &PackedMat<f32>,
+    threads: usize,
+) -> Result<Mat<f32>, ShapeError> {
+    if a.cols() != b.k {
+        return Err(ShapeError::new("matmul_prepacked", a.shape(), (b.k, b.n)));
+    }
+    let (m, n) = (a.rows(), b.n);
+    let mut out = Mat::zeros(m, n);
+    par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+        gemm::run_band_f32(a, &b.packed, first_row, band, n);
+    });
+    Ok(out)
+}
+
+/// INT8 GEMM against a prepacked `B`: returns `a * B` with `i32`
+/// accumulation, bit-identical to [`crate::gemm::matmul_i8`] on the
+/// original matrix. Single-row inputs (`m == 1`, the batch-1 decode
+/// shape) take the dedicated GEMV kernel.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.k()`.
+pub fn matmul_i8_prepacked(a: &Mat<i8>, b: &PackedMat<i32>) -> Result<Mat<i32>, ShapeError> {
+    matmul_i8_prepacked_with_threads(a, b, gemm::auto_threads(a.rows(), a.cols(), b.n))
+}
+
+/// [`matmul_i8_prepacked`] with an explicit worker count (no cutoff, no
+/// environment lookup).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.k()`.
+pub fn matmul_i8_prepacked_with_threads(
+    a: &Mat<i8>,
+    b: &PackedMat<i32>,
+    threads: usize,
+) -> Result<Mat<i32>, ShapeError> {
+    if a.cols() != b.k {
+        return Err(ShapeError::new(
+            "matmul_i8_prepacked",
+            a.shape(),
+            (b.k, b.n),
+        ));
+    }
+    let (m, n) = (a.rows(), b.n);
+    let mut out = Mat::<i32>::zeros(m, n);
+    if m == 1 {
+        gemm::run_gemv_i8(a, &b.packed, out.as_mut_slice(), n);
+        return Ok(out);
+    }
+    par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+        gemm::run_band_i8(a, &b.packed, first_row, band, n);
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepacked_matches_unpacked_f32() {
+        let a = Mat::from_fn(5, 33, |r, c| (r as f32 - c as f32) * 0.37);
+        let b = Mat::from_fn(33, 20, |r, c| (r * c) as f32 * 0.11 - 1.5);
+        let packed = PackedMat::from_f32(&b);
+        assert_eq!(packed.k(), 33);
+        assert_eq!(packed.n(), 20);
+        let got = matmul_prepacked(&a, &packed).unwrap();
+        let want = gemm::matmul(&a, &b).unwrap();
+        assert!(got
+            .as_slice()
+            .iter()
+            .zip(want.as_slice())
+            .all(|(g, w)| g.to_bits() == w.to_bits()));
+    }
+
+    #[test]
+    fn prepacked_matches_unpacked_i8_incl_gemv() {
+        for m in [1usize, 2, 7] {
+            let a = Mat::from_fn(m, 40, |r, c| ((r * 31 + c * 7) % 255) as i8);
+            let b = Mat::from_fn(40, 23, |r, c| ((r * 13 + c * 5) % 251) as i8);
+            let packed = PackedMat::from_i8(&b);
+            let got = matmul_i8_prepacked(&a, &packed).unwrap();
+            assert_eq!(got, gemm::matmul_i8(&a, &b).unwrap(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn prepacked_shape_errors() {
+        let packed = PackedMat::from_i8(&Mat::<i8>::zeros(4, 4));
+        assert!(matmul_i8_prepacked(&Mat::<i8>::zeros(2, 3), &packed).is_err());
+        let packed_f = PackedMat::from_f32(&Mat::<f32>::zeros(4, 4));
+        assert!(matmul_prepacked(&Mat::<f32>::zeros(2, 3), &packed_f).is_err());
+    }
+
+    #[test]
+    fn packed_mat_serde_round_trips() {
+        let b = Mat::from_fn(6, 9, |r, c| (r as i8) - 2 * (c as i8));
+        let packed = PackedMat::from_i8(&b);
+        let json = serde_json::to_string(&packed).unwrap();
+        let back: PackedMat<i32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, packed);
+    }
+}

@@ -1,0 +1,342 @@
+//! Explicit SIMD microkernels for the INT8 datapath.
+//!
+//! The scalar band kernel in [`crate::gemm`] already auto-vectorises
+//! reasonably under `-C target-cpu=native`, but the decode hot path
+//! (`m ∈ [1, batch]` rows against a prepacked weight panel) leaves
+//! enough on the table that this module provides hand-written
+//! `std::arch` x86_64 AVX2 kernels:
+//!
+//! * [`band_i8`] — the `MR x NR` register-tiled GEMM microkernel over
+//!   prepacked (`i8 -> i32` widened) `B` tiles, eight 256-bit
+//!   accumulators per row quad;
+//! * [`gemv_i8`] — a dedicated single-row (`m == 1`) kernel that walks
+//!   two packed tiles at once, keeping four independent 256-bit
+//!   accumulator chains busy per broadcast of the activation element.
+//!
+//! Both are **exact** drop-in replacements for the scalar kernels: the
+//! lanes use `_mm256_mullo_epi32` / `_mm256_add_epi32`, which are
+//! bit-exact `i32` operations, and every output element still
+//! accumulates its `k` products in ascending-`k` order — so results are
+//! bit-identical to the scalar kernels and the naive references for any
+//! input. (There are deliberately no `f32` SIMD kernels: float
+//! reassociation would break the bit-identity invariant, and the scalar
+//! float path already auto-vectorises.)
+//!
+//! Dispatch is runtime-gated: [`simd_enabled`] checks AVX2 support via
+//! `is_x86_64_feature_detected!` (cached) and honours the
+//! [`ENV_FORCE_SCALAR`] environment variable, read once per process,
+//! plus an in-process override for tests ([`set_simd_override`]). On
+//! non-x86_64 targets the entry points report "not handled" and callers
+//! fall back to the scalar kernels.
+//!
+//! All `unsafe` in the `tensor` crate is confined to this module and the
+//! lifetime extension in [`crate::par`]; the rest of the crate remains
+//! `#![deny(unsafe_code)]`-clean.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::Mat;
+
+/// Environment variable forcing the scalar kernels (any non-empty value
+/// other than `0`). Useful for debugging and for CI legs that pin the
+/// fallback path. Read once per process and cached.
+pub const ENV_FORCE_SCALAR: &str = "ACCEL_FORCE_SCALAR";
+
+/// In-process override: 0 = follow env + detection, 1 = force scalar,
+/// 2 = force SIMD (still requires hardware support).
+static SIMD_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+static FORCE_SCALAR_ENV: OnceLock<bool> = OnceLock::new();
+
+fn force_scalar_env() -> bool {
+    *FORCE_SCALAR_ENV.get_or_init(|| match std::env::var(ENV_FORCE_SCALAR) {
+        Ok(v) => {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        }
+        Err(_) => false,
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// Whether the SIMD kernels will be used for the next INT8 GEMM.
+///
+/// `true` iff the target is x86_64 with AVX2, [`ENV_FORCE_SCALAR`] is
+/// not set, and no in-process override forces scalar. Because SIMD and
+/// scalar kernels are bit-identical, this only affects speed.
+pub fn simd_enabled() -> bool {
+    match SIMD_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => avx2_available(),
+        _ => !force_scalar_env() && avx2_available(),
+    }
+}
+
+/// Overrides SIMD dispatch for this process: `Some(false)` forces the
+/// scalar kernels, `Some(true)` requests the SIMD kernels (still subject
+/// to hardware support), `None` restores env + runtime detection.
+/// Intended for the SIMD-vs-scalar identity tests; safe to flip at any
+/// time because both paths produce bit-identical results.
+pub fn set_simd_override(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    SIMD_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// AVX2 band GEMM over prepacked `B` tiles. Returns `false` (without
+/// touching `out_band`) when the SIMD path is unavailable or disabled,
+/// in which case the caller must run the scalar kernel.
+#[inline]
+pub(crate) fn band_i8(
+    a: &Mat<i8>,
+    packed: &[i32],
+    first_row: usize,
+    out_band: &mut [i32],
+    n: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2 was detected at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::band_i8_avx2(a, packed, first_row, out_band, n);
+            }
+            return true;
+        }
+    }
+    let _ = (a, packed, first_row, out_band, n);
+    false
+}
+
+/// AVX2 single-row GEMV over prepacked `B` tiles (`out = arow * B`).
+/// Returns `false` (without touching `out`) when the SIMD path is
+/// unavailable or disabled.
+#[inline]
+pub(crate) fn gemv_i8(arow: &[i8], packed: &[i32], n: usize, out: &mut [i32]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_enabled() {
+            // SAFETY: `simd_enabled` implies AVX2 was detected at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::gemv_i8_avx2(arow, packed, n, out);
+            }
+            return true;
+        }
+    }
+    let _ = (arow, packed, n, out);
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use crate::gemm::{MR, NR};
+    use crate::Mat;
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_mullo_epi32, _mm256_set1_epi32,
+        _mm256_setzero_si256, _mm256_storeu_si256,
+    };
+
+    /// Spills two 256-bit accumulators (one `NR = 16` lane tile) into
+    /// `out[..w]`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn store_tile(lo: __m256i, hi: __m256i, out: &mut [i32], w: usize) {
+        let mut lanes = [0i32; NR];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), lo);
+        _mm256_storeu_si256(lanes.as_mut_ptr().add(8).cast(), hi);
+        out[..w].copy_from_slice(&lanes[..w]);
+    }
+
+    /// AVX2 twin of the scalar `band_i8` kernel in [`crate::gemm`]: same
+    /// `[tile][p][lane]` packed layout, same `MR`-row register quads,
+    /// same ascending-`k` per-element accumulation — the eight `ymm`
+    /// accumulators are simply the scalar kernel's `c0..c3[NR]` arrays
+    /// held in vector registers, updated with bit-exact `i32` lane ops.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (callers check [`super::simd_enabled`]).
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn band_i8_avx2(
+        a: &Mat<i8>,
+        packed: &[i32],
+        first_row: usize,
+        out_band: &mut [i32],
+        n: usize,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let k = a.cols();
+        let rows = out_band.len() / n;
+        let tiles = n.div_ceil(NR);
+        for t in 0..tiles {
+            let bt = &packed[t * k * NR..(t + 1) * k * NR];
+            let j0 = t * NR;
+            let w = NR.min(n - j0);
+            let mut r = 0;
+            while r + MR <= rows {
+                let (a0, a1, a2, a3) = (
+                    a.row(first_row + r),
+                    a.row(first_row + r + 1),
+                    a.row(first_row + r + 2),
+                    a.row(first_row + r + 3),
+                );
+                let mut c0l = _mm256_setzero_si256();
+                let mut c0h = _mm256_setzero_si256();
+                let mut c1l = _mm256_setzero_si256();
+                let mut c1h = _mm256_setzero_si256();
+                let mut c2l = _mm256_setzero_si256();
+                let mut c2h = _mm256_setzero_si256();
+                let mut c3l = _mm256_setzero_si256();
+                let mut c3h = _mm256_setzero_si256();
+                for p in 0..k {
+                    let bp = bt.as_ptr().add(p * NR);
+                    let bl = _mm256_loadu_si256(bp.cast());
+                    let bh = _mm256_loadu_si256(bp.add(8).cast());
+                    let x0 = _mm256_set1_epi32(i32::from(a0[p]));
+                    let x1 = _mm256_set1_epi32(i32::from(a1[p]));
+                    let x2 = _mm256_set1_epi32(i32::from(a2[p]));
+                    let x3 = _mm256_set1_epi32(i32::from(a3[p]));
+                    c0l = _mm256_add_epi32(c0l, _mm256_mullo_epi32(x0, bl));
+                    c0h = _mm256_add_epi32(c0h, _mm256_mullo_epi32(x0, bh));
+                    c1l = _mm256_add_epi32(c1l, _mm256_mullo_epi32(x1, bl));
+                    c1h = _mm256_add_epi32(c1h, _mm256_mullo_epi32(x1, bh));
+                    c2l = _mm256_add_epi32(c2l, _mm256_mullo_epi32(x2, bl));
+                    c2h = _mm256_add_epi32(c2h, _mm256_mullo_epi32(x2, bh));
+                    c3l = _mm256_add_epi32(c3l, _mm256_mullo_epi32(x3, bl));
+                    c3h = _mm256_add_epi32(c3h, _mm256_mullo_epi32(x3, bh));
+                }
+                let quads = [(c0l, c0h), (c1l, c1h), (c2l, c2h), (c3l, c3h)];
+                for (q, &(lo, hi)) in quads.iter().enumerate() {
+                    let at = (r + q) * n + j0;
+                    store_tile(lo, hi, &mut out_band[at..at + w], w);
+                }
+                r += MR;
+            }
+            while r < rows {
+                let a0 = a.row(first_row + r);
+                let mut cl = _mm256_setzero_si256();
+                let mut ch = _mm256_setzero_si256();
+                for (p, &a0p) in a0.iter().enumerate() {
+                    let bp = bt.as_ptr().add(p * NR);
+                    let bl = _mm256_loadu_si256(bp.cast());
+                    let bh = _mm256_loadu_si256(bp.add(8).cast());
+                    let x0 = _mm256_set1_epi32(i32::from(a0p));
+                    cl = _mm256_add_epi32(cl, _mm256_mullo_epi32(x0, bl));
+                    ch = _mm256_add_epi32(ch, _mm256_mullo_epi32(x0, bh));
+                }
+                let at = r * n + j0;
+                store_tile(cl, ch, &mut out_band[at..at + w], w);
+                r += 1;
+            }
+        }
+    }
+
+    /// Dedicated single-row GEMV over prepacked tiles: processes two
+    /// tiles per pass so each broadcast activation element feeds four
+    /// independent accumulator chains (hiding the `mullo` latency that a
+    /// single-tile loop would expose). Per output element the sum is
+    /// still ascending-`k`, so the result is bit-identical to the scalar
+    /// remainder path of the band kernel.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (callers check [`super::simd_enabled`]).
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemv_i8_avx2(arow: &[i8], packed: &[i32], n: usize, out: &mut [i32]) {
+        if n == 0 {
+            return;
+        }
+        let k = arow.len();
+        let tiles = n.div_ceil(NR);
+        let mut t = 0;
+        // Tile pairs: 4 independent accumulator chains.
+        while t + 2 <= tiles {
+            let b0 = &packed[t * k * NR..(t + 1) * k * NR];
+            let b1 = &packed[(t + 1) * k * NR..(t + 2) * k * NR];
+            let mut c0l = _mm256_setzero_si256();
+            let mut c0h = _mm256_setzero_si256();
+            let mut c1l = _mm256_setzero_si256();
+            let mut c1h = _mm256_setzero_si256();
+            for (p, &ap) in arow.iter().enumerate() {
+                let x = _mm256_set1_epi32(i32::from(ap));
+                let p0 = b0.as_ptr().add(p * NR);
+                let p1 = b1.as_ptr().add(p * NR);
+                c0l = _mm256_add_epi32(c0l, _mm256_mullo_epi32(x, _mm256_loadu_si256(p0.cast())));
+                c0h = _mm256_add_epi32(
+                    c0h,
+                    _mm256_mullo_epi32(x, _mm256_loadu_si256(p0.add(8).cast())),
+                );
+                c1l = _mm256_add_epi32(c1l, _mm256_mullo_epi32(x, _mm256_loadu_si256(p1.cast())));
+                c1h = _mm256_add_epi32(
+                    c1h,
+                    _mm256_mullo_epi32(x, _mm256_loadu_si256(p1.add(8).cast())),
+                );
+            }
+            let j0 = t * NR;
+            store_tile(c0l, c0h, &mut out[j0..j0 + NR], NR);
+            let j1 = (t + 1) * NR;
+            let w1 = NR.min(n - j1);
+            store_tile(c1l, c1h, &mut out[j1..j1 + w1], w1);
+            t += 2;
+        }
+        if t < tiles {
+            let bt = &packed[t * k * NR..(t + 1) * k * NR];
+            let mut cl = _mm256_setzero_si256();
+            let mut ch = _mm256_setzero_si256();
+            for (p, &ap) in arow.iter().enumerate() {
+                let x = _mm256_set1_epi32(i32::from(ap));
+                let bp = bt.as_ptr().add(p * NR);
+                cl = _mm256_add_epi32(cl, _mm256_mullo_epi32(x, _mm256_loadu_si256(bp.cast())));
+                ch = _mm256_add_epi32(
+                    ch,
+                    _mm256_mullo_epi32(x, _mm256_loadu_si256(bp.add(8).cast())),
+                );
+            }
+            let j0 = t * NR;
+            let w = NR.min(n - j0);
+            store_tile(cl, ch, &mut out[j0..j0 + w], w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_controls_dispatch() {
+        let ambient = simd_enabled();
+        set_simd_override(Some(false));
+        assert!(!simd_enabled());
+        set_simd_override(Some(true));
+        // Forcing SIMD on still requires hardware support.
+        assert_eq!(simd_enabled(), avx2_available());
+        set_simd_override(None);
+        assert_eq!(simd_enabled(), ambient);
+    }
+}

@@ -9,7 +9,7 @@
 //! position `t` independent of positions `> t`); tests assert agreement.
 
 use graph::{Executor, Graph, GraphConfig};
-use tensor::{gemm, ops, Mat};
+use tensor::Mat;
 
 use crate::exec::{RowExec, RowVal};
 use crate::mha::MhaResBlock;
@@ -80,6 +80,7 @@ impl IncrementalSession {
         let src_x = model.src_embedding().forward_inference(src);
         let memory = model.encoder().forward_inference(&src_x, None);
         let d_model = model.config().d_model;
+        let max_len = model.config().max_len;
         let layers = model
             .decoder()
             .layers()
@@ -87,9 +88,15 @@ impl IncrementalSession {
             .map(|layer| {
                 let (_, cross, _) = layer.blocks();
                 let (_, wk, wv, _) = cross.mha().projections();
+                // Reserve the whole decode horizon up front so the
+                // per-token push_row never reallocates mid-sequence.
+                let mut self_k = Mat::zeros(0, d_model);
+                self_k.reserve_rows(max_len);
+                let mut self_v = Mat::zeros(0, d_model);
+                self_v.reserve_rows(max_len);
                 LayerCache {
-                    self_k: Mat::zeros(0, d_model),
-                    self_v: Mat::zeros(0, d_model),
+                    self_k,
+                    self_v,
                     cross_k: wk.forward_inference(&memory),
                     cross_v: wv.forward_inference(&memory),
                 }
@@ -129,8 +136,9 @@ impl IncrementalSession {
             x = ffn_blk.forward_inference(&b);
         }
         self.pos += 1;
-        let logits = gemm::matmul(&x, model.output_projection().weight()).expect("widths match");
-        let logits = ops::add_row_bias(&logits, model.output_projection().bias()).expect("bias");
+        // Route through forward_inference so the output projection's
+        // prepacked weights are reused across steps.
+        let logits = model.output_projection().forward_inference(&x);
         logits.row(0).to_vec()
     }
 }
@@ -185,8 +193,7 @@ pub fn step_batch(
     for session in sessions.iter_mut() {
         session.pos += 1;
     }
-    let logits = gemm::matmul(&x, model.output_projection().weight()).expect("widths match");
-    let logits = ops::add_row_bias(&logits, model.output_projection().bias()).expect("bias");
+    let logits = model.output_projection().forward_inference(&x);
     (0..b).map(|r| logits.row(r).to_vec()).collect()
 }
 
@@ -314,6 +321,17 @@ mod tests {
         for cache in &s.layers {
             assert_eq!(cache.cross_k.rows(), 3);
             assert_eq!(cache.self_k.rows(), 0);
+        }
+    }
+
+    #[test]
+    fn kv_caches_reserve_decode_horizon() {
+        let m = model(10);
+        let max_len = m.config().max_len;
+        let s = IncrementalSession::new(&m, &[3, 4, 5]);
+        for cache in &s.layers {
+            assert!(cache.self_k.row_capacity() >= max_len);
+            assert!(cache.self_v.row_capacity() >= max_len);
         }
     }
 

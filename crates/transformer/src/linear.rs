@@ -1,13 +1,23 @@
 //! Fully connected layer `y = x W + b` with cached-activation backward.
 
+use std::sync::OnceLock;
+
 use rand::Rng;
+use tensor::prepack::{self, PackedF32};
 use tensor::{gemm, ops, Mat};
 
 use crate::opt::HasParams;
 
 /// A linear (dense) layer with weight `W: [in, out]` and bias
 /// `b: [out]`, holding its own gradients and forward cache.
-#[derive(Debug, Clone)]
+///
+/// Inference forwards run against a lazily built **prepacked** copy of
+/// `W` (the GEMM microkernel's tile layout, built on first use and
+/// cached), so repeated decode steps never re-pack the weights. The
+/// cache is invalidated whenever the optimiser mutates the parameters
+/// through [`HasParams::visit_params`]; results are bit-identical with
+/// or without it.
+#[derive(Debug)]
 pub struct Linear {
     name: String,
     w: Mat<f32>,
@@ -15,6 +25,23 @@ pub struct Linear {
     grad_w: Mat<f32>,
     grad_b: Vec<f32>,
     cache_x: Option<Mat<f32>>,
+    packed: OnceLock<PackedF32>,
+}
+
+impl Clone for Linear {
+    fn clone(&self) -> Self {
+        // The packed cache is derived state; let the clone rebuild it on
+        // demand instead of copying the tiles.
+        Self {
+            name: self.name.clone(),
+            w: self.w.clone(),
+            b: self.b.clone(),
+            grad_w: self.grad_w.clone(),
+            grad_b: self.grad_b.clone(),
+            cache_x: self.cache_x.clone(),
+            packed: OnceLock::new(),
+        }
+    }
 }
 
 impl Linear {
@@ -27,6 +54,7 @@ impl Linear {
             grad_w: Mat::zeros(d_in, d_out),
             grad_b: vec![0.0; d_out],
             cache_x: None,
+            packed: OnceLock::new(),
         }
     }
 
@@ -46,6 +74,7 @@ impl Linear {
             grad_w: Mat::zeros(shape.0, shape.1),
             grad_b: vec![0.0; shape.1],
             cache_x: None,
+            packed: OnceLock::new(),
         }
     }
 
@@ -86,7 +115,8 @@ impl Linear {
     ///
     /// Panics if `x.cols() != self.d_in()`.
     pub fn forward_inference(&self, x: &Mat<f32>) -> Mat<f32> {
-        let xw = gemm::matmul(x, &self.w).expect("linear: input width mismatch");
+        let packed = self.packed.get_or_init(|| PackedF32::from_f32(&self.w));
+        let xw = prepack::matmul_prepacked(x, packed).expect("linear: input width mismatch");
         ops::add_row_bias(&xw, &self.b).expect("bias length invariant")
     }
 
@@ -117,6 +147,10 @@ impl Linear {
 
 impl HasParams for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {
+        // The visitor gets mutable access to the weights (optimiser
+        // steps), so the prepacked copy may go stale — drop it and let
+        // the next inference forward rebuild it.
+        self.packed.take();
         let wname = format!("{}.w", self.name);
         f(&wname, self.w.as_mut_slice(), self.grad_w.as_mut_slice());
         let bname = format!("{}.b", self.name);
@@ -225,6 +259,32 @@ mod tests {
         let mut lin = Linear::new("t", 2, 2, &mut rng);
         let dy = Mat::zeros(1, 2);
         let _ = lin.backward(&dy);
+    }
+
+    #[test]
+    fn packed_cache_invalidated_by_param_mutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lin = Linear::new("t", 6, 5, &mut rng);
+        let x = tensor::init::normal(&mut rng, 3, 6, 1.0);
+        let before = lin.forward_inference(&x); // builds the packed cache
+        lin.visit_params(&mut |n, w, _| {
+            if n.ends_with(".w") {
+                for v in w {
+                    *v += 0.25;
+                }
+            }
+        });
+        let fresh = Linear::from_parts("t", lin.weight().clone(), lin.bias().to_vec());
+        let got = lin.forward_inference(&x);
+        let want = fresh.forward_inference(&x);
+        assert_ne!(got, before, "mutation must change the output");
+        assert!(
+            got.as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .all(|(g, w)| g.to_bits() == w.to_bits()),
+            "stale packed weights used after visit_params"
+        );
     }
 
     #[test]
