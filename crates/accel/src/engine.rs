@@ -13,6 +13,7 @@
 //! closes the loop: *the paper's dataflow, executed on the paper's
 //! array, computes the paper's datapath.*
 
+use faults::{abft, FaultPlan, Injector};
 use hwsim::cycles::Cycle;
 use quantized::softmax::scaled_masked_softmax;
 use quantized::{QLinear, QuantFfnResBlock, QuantMhaResBlock};
@@ -42,6 +43,28 @@ pub enum Fidelity {
     Analytic,
 }
 
+/// How the engine checks each GEMM pass for datapath corruption.
+///
+/// Any mode other than [`CheckMode::Off`] leaves outputs untouched —
+/// checkers only *observe* — so a fault-free run is bit-identical in
+/// every mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CheckMode {
+    /// No checking (the production fast path).
+    #[default]
+    Off,
+    /// ABFT row/column checksums latched at tile load, verified at
+    /// drain ([`faults::abft`]). Covers weight-SRAM and accumulator
+    /// faults; blind to softmax/LayerNorm datapath faults.
+    Abft,
+    /// ABFT plus a golden-model cross-check: every pass is recomputed
+    /// against the pristine operands and the final block output against
+    /// the reference datapath. Catches everything ABFT can't (at golden
+    /// simulation cost); faults the golden model sees but ABFT missed
+    /// are tallied as *escapes*.
+    AbftGolden,
+}
+
 /// Execution statistics of one engine run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -53,6 +76,16 @@ pub struct EngineStats {
     /// the *unpipelined* cost; the scheduler's makespan is lower because
     /// consecutive passes overlap through the wavefront skew.
     pub isolated_cycles: Cycle,
+    /// ABFT tile verifications performed.
+    pub abft_checked: usize,
+    /// Faults the injector actually landed (in-range plan events).
+    pub faults_injected: usize,
+    /// Corruptions detected (ABFT mismatch, golden-model divergence, or
+    /// program-store validation failure).
+    pub faults_detected: usize,
+    /// Corruptions the golden model saw but the ABFT checksums missed —
+    /// the checker's measured escape rate.
+    pub faults_escaped: usize,
 }
 
 impl EngineStats {
@@ -63,6 +96,10 @@ impl EngineStats {
         self.gemm_passes += other.gemm_passes;
         self.macs += other.macs;
         self.isolated_cycles += other.isolated_cycles;
+        self.abft_checked += other.abft_checked;
+        self.faults_injected += other.faults_injected;
+        self.faults_detected += other.faults_detected;
+        self.faults_escaped += other.faults_escaped;
     }
 
     /// Fraction of the array's multiply-accumulate capacity these passes
@@ -95,12 +132,15 @@ pub struct EngineRun {
     pub stats: EngineStats,
 }
 
-/// The execution engine: a systolic array plus pass bookkeeping.
+/// The execution engine: a systolic array plus pass bookkeeping, an
+/// optional per-instance fault [`Injector`], and an ABFT/golden checker.
 #[derive(Debug, Clone)]
 pub struct ArrayEngine {
     sa: SystolicArray,
     stats: EngineStats,
     fidelity: Fidelity,
+    injector: Option<Injector>,
+    check: CheckMode,
 }
 
 impl ArrayEngine {
@@ -117,7 +157,42 @@ impl ArrayEngine {
             sa: SystolicArray::paper(s_max),
             stats: EngineStats::default(),
             fidelity,
+            injector: None,
+            check: CheckMode::default(),
         }
+    }
+
+    /// Installs a fault plan on this engine (fresh injector counters).
+    /// Builder-style; pair with [`ArrayEngine::with_check_mode`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = Some(Injector::new(plan));
+        self
+    }
+
+    /// Selects the per-pass checker mode.
+    pub fn with_check_mode(mut self, check: CheckMode) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Installs or removes the fault plan in place.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.injector = plan.map(Injector::new);
+    }
+
+    /// Sets the per-pass checker mode in place.
+    pub fn set_check_mode(&mut self, check: CheckMode) {
+        self.check = check;
+    }
+
+    /// The active checker mode.
+    pub fn check_mode(&self) -> CheckMode {
+        self.check
+    }
+
+    /// Faults the injector has landed so far (across runs).
+    pub fn injected_faults(&self) -> u64 {
+        self.injector.as_ref().map_or(0, Injector::injected)
     }
 
     /// Creates a register-true engine (cycle-by-cycle PE simulation).
@@ -135,16 +210,73 @@ impl ArrayEngine {
         self.fidelity
     }
 
-    /// One GEMM pass through the PE grid, with bookkeeping.
+    /// One GEMM pass through the PE grid, with bookkeeping. The fault
+    /// hooks are zero-cost when off: a fault-free engine takes the
+    /// first branch, which is byte-for-byte the pre-instrumentation
+    /// path.
     fn pass(&mut self, a: &Mat<i8>, b: &Mat<i8>) -> Mat<i32> {
+        if self.injector.is_none() && self.check == CheckMode::Off {
+            let sim = match self.fidelity {
+                Fidelity::RegisterTrue => self.sa.simulate(a, b),
+                Fidelity::Analytic => self.sa.simulate_analytic(a, b),
+            };
+            self.stats.gemm_passes += 1;
+            self.stats.macs += (a.rows() * a.cols() * b.cols()) as u64;
+            self.stats.isolated_cycles += sim.total;
+            return sim.out;
+        }
+        self.checked_pass(a, b)
+    }
+
+    /// The instrumented pass: latch ABFT checksums from the pristine
+    /// operands, corrupt the resident weight tile and drained
+    /// accumulators per the fault plan, verify at drain.
+    fn checked_pass(&mut self, a: &Mat<i8>, b: &Mat<i8>) -> Mat<i32> {
+        // Checksums latch at tile *load*, before any fault can strike.
+        let sums = (self.check != CheckMode::Off).then(|| abft::tile_checksums(a, b));
+        let pass_idx = self.injector.as_mut().map(Injector::begin_pass);
+        // Weight-SRAM faults corrupt the resident tile the array streams.
+        let mut resident: Option<Mat<i8>> = None;
+        if let (Some(inj), Some(pass)) = (self.injector.as_mut(), pass_idx) {
+            if !inj.weight_events(pass).is_empty() {
+                let mut tile = b.clone();
+                let hit = inj.corrupt_weights(pass, &mut tile);
+                if hit > 0 {
+                    resident = Some(tile);
+                }
+                self.stats.faults_injected += hit;
+            }
+        }
+        let b_used = resident.as_ref().unwrap_or(b);
         let sim = match self.fidelity {
-            Fidelity::RegisterTrue => self.sa.simulate(a, b),
-            Fidelity::Analytic => self.sa.simulate_analytic(a, b),
+            Fidelity::RegisterTrue => self.sa.simulate(a, b_used),
+            Fidelity::Analytic => self.sa.simulate_analytic(a, b_used),
         };
+        let mut out = sim.out;
+        // Accumulator faults strike the drained registers.
+        if let (Some(inj), Some(pass)) = (self.injector.as_mut(), pass_idx) {
+            self.stats.faults_injected += inj.corrupt_acc(pass, &mut out);
+        }
+        if let Some(sums) = &sums {
+            self.stats.abft_checked += 1;
+            // The column check reads the *resident* (possibly corrupted)
+            // tile, as a hardware checker sharing the SRAM port would.
+            let mut detected = !abft::verify(a, b_used, &out, sums).ok();
+            if self.check == CheckMode::AbftGolden {
+                let golden = tensor::gemm::matmul_i8(a, b).expect("pass shapes");
+                if golden != out && !detected {
+                    self.stats.faults_escaped += 1;
+                    detected = true;
+                }
+            }
+            if detected {
+                self.stats.faults_detected += 1;
+            }
+        }
         self.stats.gemm_passes += 1;
         self.stats.macs += (a.rows() * a.cols() * b.cols()) as u64;
         self.stats.isolated_cycles += sim.total;
-        sim.out
+        out
     }
 
     /// A full linear sublayer: every 64-column weight panel streamed
@@ -233,19 +365,36 @@ impl ArrayEngine {
             let ki = k.submatrix(0, c0, k.rows(), d_k).expect("panel");
             let vi = v.submatrix(0, c0, v.rows(), d_k).expect("panel");
             let d = self.qk(&qi, &ki);
-            let probs = scaled_masked_softmax(&d, block.d_scale(), d_k, mask, block.softmax_mode());
+            let mut probs =
+                scaled_masked_softmax(&d, block.d_scale(), d_k, mask, block.softmax_mode());
+            if let Some(inj) = self.injector.as_mut() {
+                self.stats.faults_injected += inj.corrupt_softmax(&mut probs);
+            }
             let p_acc = self.pass(&probs, &vi);
             p_panels.push(p_acc.map(|&a| block.requantize_p(a)));
         }
         let p = Mat::hconcat(&p_panels).expect("heads share rows");
         // Lines 9-11: G = P·W_G + bias (+ residual), panel per head.
         let g_codes = self.linear(wo, &p);
-        let g = Mat::from_fn(g_codes.rows(), g_codes.cols(), |r, c| {
+        let mut g = Mat::from_fn(g_codes.rows(), g_codes.cols(), |r, c| {
             g_codes[(r, c)] as i32 + xq[(r, c)] as i32
         });
+        if let Some(inj) = self.injector.as_mut() {
+            self.stats.faults_injected += inj.corrupt_layernorm(&mut g);
+        }
         // Line 12: the LayerNorm module.
+        let out = block.layernorm().forward(&g);
+        // The golden cross-check re-runs the reference datapath on the
+        // same inputs — the only checker that sees softmax/LayerNorm
+        // datapath faults, which carry no checksum.
+        if self.check == CheckMode::AbftGolden {
+            let (want, _) = block.forward(xq, xkv, mask);
+            if want != out {
+                self.stats.faults_detected += 1;
+            }
+        }
         EngineRun {
-            out: block.layernorm().forward(&g),
+            out,
             stats: self.stats,
         }
     }
@@ -265,12 +414,22 @@ impl ArrayEngine {
         });
         // Lines 18-20: G_i = P W_2i + b_2i + X_i.
         let g_codes = self.linear(w2, &hidden);
-        let g = Mat::from_fn(g_codes.rows(), g_codes.cols(), |r, c| {
+        let mut g = Mat::from_fn(g_codes.rows(), g_codes.cols(), |r, c| {
             g_codes[(r, c)] as i32 + x[(r, c)] as i32
         });
+        if let Some(inj) = self.injector.as_mut() {
+            self.stats.faults_injected += inj.corrupt_layernorm(&mut g);
+        }
         // Line 21.
+        let out = block.layernorm().forward(&g);
+        if self.check == CheckMode::AbftGolden {
+            let (want, _) = block.forward(x);
+            if want != out {
+                self.stats.faults_detected += 1;
+            }
+        }
         EngineRun {
-            out: block.layernorm().forward(&g),
+            out,
             stats: self.stats,
         }
     }
@@ -427,6 +586,170 @@ mod tests {
         let util = merged.array_utilization(8 * 64);
         assert!(util > 0.0 && util <= 1.0, "utilization {util}");
         assert_eq!(EngineStats::default().array_utilization(64), 0.0);
+    }
+
+    #[test]
+    fn empty_plan_and_checker_change_no_output_bits() {
+        // Hooks armed (empty plan) + ABFT checker on must be
+        // bit-identical to the bare engine, with zero detections.
+        let (qmha, qffn, codes) = setup(8);
+        let mut plain = ArrayEngine::new(8);
+        let mut checked = ArrayEngine::new(8)
+            .with_fault_plan(faults::FaultPlan::empty())
+            .with_check_mode(CheckMode::AbftGolden);
+        for xq in &codes {
+            let a = plain.execute_mha(&qmha, xq, xq, None);
+            let b = checked.execute_mha(&qmha, xq, xq, None);
+            assert_eq!(a.out, b.out);
+            assert_eq!(a.stats.gemm_passes, b.stats.gemm_passes);
+            assert_eq!(a.stats.macs, b.stats.macs);
+            assert_eq!(a.stats.isolated_cycles, b.stats.isolated_cycles);
+            assert_eq!(b.stats.abft_checked, b.stats.gemm_passes);
+            assert_eq!(b.stats.faults_injected, 0);
+            assert_eq!(b.stats.faults_detected, 0);
+            assert_eq!(b.stats.faults_escaped, 0);
+            let f = plain.execute_ffn(&qffn, xq);
+            let g = checked.execute_ffn(&qffn, xq);
+            assert_eq!(f.out, g.out);
+            assert_eq!(g.stats.faults_detected, 0);
+        }
+    }
+
+    #[test]
+    fn weight_sram_flip_is_detected_by_abft() {
+        use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite};
+        let (qmha, _, codes) = setup(8);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            site: FaultSite::WeightSram {
+                pass: 0,
+                row: 3,
+                col: 5,
+            },
+            kind: FaultKind::BitFlip { bit: 6 },
+        }]);
+        let mut pristine = ArrayEngine::new(8);
+        let want = pristine.execute_mha(&qmha, &codes[0], &codes[0], None);
+        let mut faulty = ArrayEngine::new(8)
+            .with_fault_plan(plan)
+            .with_check_mode(CheckMode::Abft);
+        let run = faulty.execute_mha(&qmha, &codes[0], &codes[0], None);
+        assert_eq!(run.stats.faults_injected, 1);
+        assert!(run.stats.faults_detected >= 1, "ABFT must flag the tile");
+        assert_eq!(run.stats.faults_escaped, 0);
+        assert_ne!(run.out, want.out, "the flip corrupts the block output");
+        // The next run re-uses the engine: pass indices have advanced
+        // past the plan, so the fault never refires (one-shot SEU).
+        let clean = faulty.execute_mha(&qmha, &codes[0], &codes[0], None);
+        assert_eq!(clean.out, want.out);
+        assert_eq!(clean.stats.faults_detected, 0);
+    }
+
+    #[test]
+    fn accumulator_flip_is_detected_by_abft() {
+        use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite};
+        let (_, qffn, codes) = setup(8);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            site: FaultSite::Accumulator {
+                pass: 1,
+                row: 2,
+                col: 7,
+            },
+            kind: FaultKind::BitFlip { bit: 20 },
+        }]);
+        let mut pristine = ArrayEngine::new(8);
+        let want = pristine.execute_ffn(&qffn, &codes[0]);
+        let mut faulty = ArrayEngine::new(8)
+            .with_fault_plan(plan)
+            .with_check_mode(CheckMode::Abft);
+        let run = faulty.execute_ffn(&qffn, &codes[0]);
+        assert_eq!(run.stats.faults_injected, 1);
+        assert!(run.stats.faults_detected >= 1);
+        assert_ne!(run.out, want.out);
+    }
+
+    #[test]
+    fn softmax_fault_escapes_abft_but_golden_model_catches_it() {
+        use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite};
+        let (qmha, _, codes) = setup(8);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            site: FaultSite::SoftmaxValue {
+                call: 0,
+                row: 1,
+                col: 2,
+            },
+            kind: FaultKind::BitFlip { bit: 6 },
+        }]);
+        let mut pristine = ArrayEngine::new(8);
+        let want = pristine.execute_mha(&qmha, &codes[0], &codes[0], None);
+        // ABFT alone: the corrupted probabilities *are* the stream the
+        // checksums latch from, so the context pass verifies clean.
+        let mut abft_only = ArrayEngine::new(8)
+            .with_fault_plan(plan.clone())
+            .with_check_mode(CheckMode::Abft);
+        let run = abft_only.execute_mha(&qmha, &codes[0], &codes[0], None);
+        assert_eq!(run.stats.faults_injected, 1);
+        assert_eq!(
+            run.stats.faults_detected, 0,
+            "softmax faults are ABFT-blind"
+        );
+        assert_ne!(run.out, want.out);
+        // Golden cross-check compares the block output to the reference
+        // datapath and sees it.
+        let mut golden = ArrayEngine::new(8)
+            .with_fault_plan(plan)
+            .with_check_mode(CheckMode::AbftGolden);
+        let run = golden.execute_mha(&qmha, &codes[0], &codes[0], None);
+        assert!(run.stats.faults_detected >= 1);
+    }
+
+    #[test]
+    fn layernorm_fault_is_caught_by_golden_model() {
+        use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite};
+        let (_, qffn, codes) = setup(8);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            site: FaultSite::LayerNormValue {
+                call: 0,
+                row: 0,
+                col: 3,
+            },
+            kind: FaultKind::BitFlip { bit: 13 },
+        }]);
+        let mut engine = ArrayEngine::new(8)
+            .with_fault_plan(plan)
+            .with_check_mode(CheckMode::AbftGolden);
+        let run = engine.execute_ffn(&qffn, &codes[0]);
+        assert_eq!(run.stats.faults_injected, 1);
+        assert!(run.stats.faults_detected >= 1);
+    }
+
+    #[test]
+    fn fidelity_modes_agree_under_faults() {
+        // Pass numbering is identical in both fidelities, so the same
+        // plan corrupts the same bits and both engines stay bit-equal.
+        use faults::{FaultPlan, FaultSpace, SiteClass};
+        let (qmha, _, codes) = setup(8);
+        let space = FaultSpace {
+            index_lo: 0,
+            index_hi: 12,
+            rows: 8,
+            cols: 8,
+            classes: vec![
+                SiteClass::WeightSram,
+                SiteClass::Accumulator,
+                SiteClass::SoftmaxValue,
+            ],
+        };
+        let plan = FaultPlan::seeded(0xBADC0DE, 4, &space);
+        let mut fast = ArrayEngine::with_fidelity(8, Fidelity::Analytic)
+            .with_fault_plan(plan.clone())
+            .with_check_mode(CheckMode::Abft);
+        let mut slow = ArrayEngine::with_fidelity(8, Fidelity::RegisterTrue)
+            .with_fault_plan(plan)
+            .with_check_mode(CheckMode::Abft);
+        let a = fast.execute_mha(&qmha, &codes[0], &codes[0], None);
+        let b = slow.execute_mha(&qmha, &codes[0], &codes[0], None);
+        assert_eq!(a.out, b.out);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

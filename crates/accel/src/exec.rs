@@ -16,12 +16,15 @@
 //! [`crate::isa::execute_ffn`]), and accumulates the timing
 //! interpretation of the very same program into its [`ExecStats`].
 
+use faults::{FaultKind, FaultPlan, Injector};
 use graph::{Env, ExecStats, Executor, Graph, GraphKind, Node, Op, WeightId};
 use quantized::{QuantFfnResBlock, QuantMhaResBlock};
 use tensor::Mat;
 
 use crate::config::AccelConfig;
-use crate::isa::{execute_ffn, execute_mha, schedule_program, Command};
+use crate::isa::{
+    execute_ffn, execute_mha, schedule_program, validate_ffn_program, validate_mha_program, Command,
+};
 use crate::partition::{qk_plan, PANEL_COLS};
 
 fn producer<'g>(g: &'g Graph, name: &str) -> Option<&'g Node> {
@@ -151,6 +154,7 @@ pub struct AccelExec<'a> {
     block: AccelBlock<'a>,
     cfg: &'a AccelConfig,
     stats: ExecStats,
+    injector: Option<Injector>,
 }
 
 impl<'a> AccelExec<'a> {
@@ -160,7 +164,72 @@ impl<'a> AccelExec<'a> {
             block,
             cfg,
             stats: ExecStats::default(),
+            injector: None,
         }
+    }
+
+    /// Installs a fault plan whose `IsaCommand` events corrupt the
+    /// lowered command streams (program index = `run` call order).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = Some(Injector::new(plan));
+        self
+    }
+
+    /// Faults landed in the command store so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injector.as_ref().map_or(0, Injector::injected)
+    }
+
+    /// Applies this run's scheduled command-store faults to `prog`,
+    /// then puts it through the control unit's structural validator —
+    /// the hardware analogue of an instruction-store parity + ordering
+    /// check. A program that fails validation is discarded and
+    /// re-lowered from the graph (recompute-from-source recovery), with
+    /// the detection tallied in [`ExecStats::faults_detected`].
+    fn harden_program(
+        &mut self,
+        mut prog: Vec<Command>,
+        validate: impl Fn(&[Command]) -> Result<(), crate::isa::ProgramFault>,
+        relower: impl Fn() -> Vec<Command>,
+    ) -> Vec<Command> {
+        let Some(inj) = self.injector.as_mut() else {
+            return prog;
+        };
+        let mut hit = 0usize;
+        for (slot, kind) in inj.isa_faults() {
+            if slot < prog.len() {
+                prog[slot] = corrupt_command(prog[slot], kind);
+                hit += 1;
+            }
+        }
+        inj.note_injected(hit);
+        if hit > 0 && validate(&prog).is_err() {
+            self.stats.faults_detected += 1;
+            return relower();
+        }
+        prog
+    }
+}
+
+/// Applies a fault to a command's index field (the bits a program-store
+/// upset would corrupt). `LayerNorm` carries no operand bits and is
+/// returned unchanged.
+fn corrupt_command(cmd: Command, kind: FaultKind) -> Command {
+    let flip = |v: usize| kind.apply_word(v as u32, 32) as usize;
+    match cmd {
+        Command::ProjectQ { head } => Command::ProjectQ { head: flip(head) },
+        Command::ProjectK { head } => Command::ProjectK { head: flip(head) },
+        Command::ProjectV { head } => Command::ProjectV { head: flip(head) },
+        Command::ScoreTile { head, tile } => Command::ScoreTile {
+            head: flip(head),
+            tile,
+        },
+        Command::Softmax { head } => Command::Softmax { head: flip(head) },
+        Command::Context { head } => Command::Context { head: flip(head) },
+        Command::OutputPanel { panel } => Command::OutputPanel { panel: flip(panel) },
+        Command::FfnHidden { panel } => Command::FfnHidden { panel: flip(panel) },
+        Command::FfnOutput { panel } => Command::FfnOutput { panel: flip(panel) },
+        Command::LayerNorm => Command::LayerNorm,
     }
 }
 
@@ -187,14 +256,25 @@ impl Executor for AccelExec<'_> {
                 // feeds the same codes to both projections.
                 debug_assert_eq!(xk, xv, "accelerator streams a single KV input");
                 let s_kv = xk.rows();
-                let prog = lower_mha(graph, s_kv);
+                let h = block.heads();
+                let prog = self.harden_program(
+                    lower_mha(graph, s_kv),
+                    |p| validate_mha_program(p, h, s_kv),
+                    || lower_mha(graph, s_kv),
+                );
                 let y = execute_mha(&prog, block, &xq, &xk, mask);
                 (y, prog, s_kv)
             }
             (GraphKind::Ffn, AccelBlock::Ffn(block)) => {
                 let x = env.take("x");
                 let s_kv = x.rows();
-                let prog = lower_ffn(graph);
+                let (w1, w2) = block.sublayers();
+                let (d_ff, d_model) = (w1.weight_q().cols(), w2.weight_q().cols());
+                let prog = self.harden_program(
+                    lower_ffn(graph),
+                    |p| validate_ffn_program(p, d_model, d_ff),
+                    || lower_ffn(graph),
+                );
                 let y = execute_ffn(&prog, block, &x);
                 (y, prog, s_kv)
             }
@@ -342,6 +422,79 @@ mod tests {
         let (want, _) = qffn.forward(&x);
         assert_eq!(env.take("y"), want);
         assert!(exec.stats().cycles.is_some());
+    }
+
+    #[test]
+    fn isa_command_fault_is_detected_and_recovered_by_relowering() {
+        use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite};
+        let cfg = ModelConfig::tiny_for_tests();
+        let (qmha, _, xq) = blocks(&cfg, 8);
+        let acfg = AccelConfig::paper_default();
+        let g = mha_graph(&GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: cfg.d_ff,
+            h: cfg.h,
+        });
+        let inputs = || {
+            vec![
+                ("x_q", xq.clone()),
+                ("x_k", xq.clone()),
+                ("x_v", xq.clone()),
+            ]
+        };
+        let mut pristine = AccelExec::new(AccelBlock::Mha(&qmha), &acfg);
+        let want = pristine.run(&g, inputs(), None).take("y");
+        // Slot 2 is head 0's ScoreTile; flipping its head index makes
+        // the program reference an unprojected head — the structural
+        // validator flags it and the executor re-lowers from the graph.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            site: FaultSite::IsaCommand {
+                program: 0,
+                slot: 2,
+            },
+            kind: FaultKind::BitFlip { bit: 0 },
+        }]);
+        let mut exec = AccelExec::new(AccelBlock::Mha(&qmha), &acfg).with_fault_plan(plan);
+        let got = exec.run(&g, inputs(), None).take("y");
+        assert_eq!(got, want, "re-lowered program must compute correctly");
+        assert_eq!(exec.injected_faults(), 1);
+        assert_eq!(exec.stats().faults_detected, 1);
+        // The next program index carries no events: clean, no detection.
+        let again = exec.run(&g, inputs(), None).take("y");
+        assert_eq!(again, want);
+        assert_eq!(exec.stats().faults_detected, 1);
+    }
+
+    #[test]
+    fn out_of_range_isa_fault_is_inert() {
+        use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite};
+        let cfg = ModelConfig::tiny_for_tests();
+        let (qmha, _, xq) = blocks(&cfg, 8);
+        let acfg = AccelConfig::paper_default();
+        let g = mha_graph(&GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: cfg.d_ff,
+            h: cfg.h,
+        });
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            site: FaultSite::IsaCommand {
+                program: 0,
+                slot: 10_000,
+            },
+            kind: FaultKind::BitFlip { bit: 0 },
+        }]);
+        let mut exec = AccelExec::new(AccelBlock::Mha(&qmha), &acfg).with_fault_plan(plan);
+        let mut pristine = AccelExec::new(AccelBlock::Mha(&qmha), &acfg);
+        let inputs = vec![
+            ("x_q", xq.clone()),
+            ("x_k", xq.clone()),
+            ("x_v", xq.clone()),
+        ];
+        let got = exec.run(&g, inputs.clone(), None).take("y");
+        let want = pristine.run(&g, inputs, None).take("y");
+        assert_eq!(got, want);
+        assert_eq!(exec.injected_faults(), 0);
+        assert_eq!(exec.stats().faults_detected, 0);
     }
 
     #[test]

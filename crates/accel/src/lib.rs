@@ -59,7 +59,8 @@ pub mod top;
 pub mod weights;
 
 pub use config::{AccelConfig, LayerNormMode, SchedPolicy};
-pub use engine::{ArrayEngine, EngineRun, EngineStats, Fidelity};
+pub use engine::{ArrayEngine, CheckMode, EngineRun, EngineStats, Fidelity};
 pub use exec::{lower_ffn, lower_mha, AccelBlock, AccelExec};
+pub use isa::{validate_ffn_program, validate_mha_program, ProgramFault};
 pub use scheduler::ScheduleReport;
 pub use top::Accelerator;

@@ -97,6 +97,7 @@ fn pass(m: usize, k: usize, n: usize) -> EngineStats {
         gemm_passes: 1,
         macs: (m * k * n) as u64,
         isolated_cycles: Cycle((k + m + n - 2 + n) as u64),
+        ..EngineStats::default()
     }
 }
 
@@ -183,14 +184,14 @@ fn main() {
                 max_batch,
                 bucket_max_waste: usize::MAX,
                 ignore_eos: true,
+                ..EngineConfig::default()
             },
-        );
+        )
+        .expect("nonzero max_batch");
         for (id, src) in srcs.iter().enumerate() {
-            engine.submit(Request {
-                id: id as u64,
-                src: src.clone(),
-                max_new_tokens: MAX_NEW,
-            });
+            engine
+                .submit(Request::new(id as u64, src.clone(), MAX_NEW))
+                .expect("valid request");
         }
         // Drive the engine step by step so each generated token can be
         // attributed the wall time of the batched step that produced it

@@ -1,0 +1,205 @@
+//! Algorithm-based fault tolerance (ABFT) checksums for systolic GEMM.
+//!
+//! The classic Huang–Abraham scheme for a `C = A · B` pass: latch two
+//! checksum vectors **at tile load**, while the operands are still
+//! pristine, and verify the drained accumulators against them:
+//!
+//! * `a_colsum[t] = Σ_r A[r][t]` — the column sums of `A` (`eᵀA`);
+//! * `b_rowsum[t] = Σ_c B[t][c]` — the row sums of `B` (`B·e`).
+//!
+//! At drain, for every output row `r` the **row check** demands
+//! `Σ_c C[r][c] == Σ_t A[r][t] · b_rowsum[t]`, and for every output
+//! column `c` the **column check** demands
+//! `Σ_r C[r][c] == Σ_t a_colsum[t] · B_resident[t][c]`.
+//!
+//! Coverage follows from *when* each side of the comparison reads its
+//! operands. `b_rowsum` is latched from the pristine weight tile, so a
+//! weight-SRAM word corrupted after load makes the actual row sums drift
+//! from the predicted ones — the row check catches weight faults and
+//! accumulator faults alike. The column check's prediction is recomputed
+//! from the **resident** (possibly corrupted) weight tile, exactly as a
+//! hardware checker reading the same SRAM would: both sides see the same
+//! corrupted word, so a weight fault *escapes* the column check and only
+//! activation-stream and accumulator faults are caught there. The
+//! checker is therefore run with both directions and the row direction
+//! is the one that carries the weight-fault coverage.
+//!
+//! All checksum arithmetic is `i64`: the largest magnitude is bounded by
+//! `k · 127 · 127 · max(m, n)`, far inside `i64` range for any modeled
+//! tile shape, so the checker itself can never overflow and alias a
+//! fault.
+
+use tensor::Mat;
+
+/// Checksum vectors latched at tile load from pristine operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileChecksums {
+    /// `eᵀA`: column sums of the activation tile (`len == k`).
+    pub a_colsum: Vec<i64>,
+    /// `B·e`: row sums of the weight tile (`len == k`).
+    pub b_rowsum: Vec<i64>,
+}
+
+/// Latches both checksum vectors for a `C = A · B` pass. Call this
+/// *before* any fault is injected so the vectors model registers loaded
+/// from pristine SRAM.
+pub fn tile_checksums(a: &Mat<i8>, b: &Mat<i8>) -> TileChecksums {
+    assert_eq!(a.cols(), b.rows(), "checksum shapes: A is m×k, B is k×n");
+    let k = a.cols();
+    let mut a_colsum = vec![0i64; k];
+    for r in 0..a.rows() {
+        for t in 0..k {
+            a_colsum[t] += a[(r, t)] as i64;
+        }
+    }
+    let mut b_rowsum = vec![0i64; k];
+    for t in 0..k {
+        for c in 0..b.cols() {
+            b_rowsum[t] += b[(t, c)] as i64;
+        }
+    }
+    TileChecksums { a_colsum, b_rowsum }
+}
+
+/// Row sums of a weight matrix (`w` is `k×n`, result has `len == k`) —
+/// the `B·e` vector a serving-path linear layer latches once at
+/// quantization time and reuses for every decode-step row check.
+pub fn weight_rowsum(w: &Mat<i8>) -> Vec<i64> {
+    let mut sums = vec![0i64; w.rows()];
+    for t in 0..w.rows() {
+        for c in 0..w.cols() {
+            sums[t] += w[(t, c)] as i64;
+        }
+    }
+    sums
+}
+
+/// Outcome of verifying one drained tile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// Output rows whose sum disagrees with the prediction from the
+    /// pristine `b_rowsum` (covers weight + accumulator faults).
+    pub row_mismatches: usize,
+    /// Output columns whose sum disagrees with the prediction from the
+    /// resident weight tile (covers activation + accumulator faults).
+    pub col_mismatches: usize,
+}
+
+impl Verdict {
+    /// True when both checksum directions agreed.
+    pub fn ok(&self) -> bool {
+        self.row_mismatches == 0 && self.col_mismatches == 0
+    }
+}
+
+/// Verifies a drained `m×n` accumulator tile `out` against checksums
+/// latched at load. `a` is the activation stream as fed to the array and
+/// `b_resident` is the weight tile **as resident in SRAM at drain time**
+/// (i.e. after any injected weight fault) — passing the pristine tile
+/// here would overstate the column check's coverage.
+pub fn verify(a: &Mat<i8>, b_resident: &Mat<i8>, out: &Mat<i32>, sums: &TileChecksums) -> Verdict {
+    let (m, k, n) = (a.rows(), a.cols(), b_resident.cols());
+    assert_eq!(out.rows(), m, "output rows");
+    assert_eq!(out.cols(), n, "output cols");
+    assert_eq!(sums.a_colsum.len(), k, "a_colsum length");
+    assert_eq!(sums.b_rowsum.len(), k, "b_rowsum length");
+
+    let mut verdict = Verdict::default();
+    for r in 0..m {
+        let actual: i64 = (0..n).map(|c| out[(r, c)] as i64).sum();
+        let predicted: i64 = (0..k).map(|t| a[(r, t)] as i64 * sums.b_rowsum[t]).sum();
+        if actual != predicted {
+            verdict.row_mismatches += 1;
+        }
+    }
+    for c in 0..n {
+        let actual: i64 = (0..m).map(|r| out[(r, c)] as i64).sum();
+        let predicted: i64 = (0..k)
+            .map(|t| sums.a_colsum[t] * b_resident[(t, c)] as i64)
+            .sum();
+        if actual != predicted {
+            verdict.col_mismatches += 1;
+        }
+    }
+    verdict
+}
+
+/// Row-direction-only check for the serving decode path: verifies the
+/// **pre-bias** accumulators of `acc = x · w` against a `weight_rowsum`
+/// vector latched at quantization time. Returns the number of
+/// mismatching rows. `O(m·k + m·n)` — negligible next to the `O(m·k·n)`
+/// GEMM it guards.
+pub fn verify_rows(x: &Mat<i8>, w_rowsum: &[i64], acc: &Mat<i32>) -> usize {
+    assert_eq!(x.cols(), w_rowsum.len(), "rowsum length");
+    assert_eq!(acc.rows(), x.rows(), "accumulator rows");
+    let mut mismatches = 0;
+    for r in 0..x.rows() {
+        let actual: i64 = (0..acc.cols()).map(|c| acc[(r, c)] as i64).sum();
+        let predicted: i64 = (0..x.cols()).map(|t| x[(r, t)] as i64 * w_rowsum[t]).sum();
+        if actual != predicted {
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensor::gemm;
+
+    fn rand_mat(rng: &mut StdRng, rows: usize, cols: usize) -> Mat<i8> {
+        Mat::from_fn(rows, cols, |_, _| rng.random_range(-128i32..128) as i8)
+    }
+
+    #[test]
+    fn pristine_gemm_passes_both_checks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(m, k, n) in &[(1usize, 8usize, 8usize), (4, 16, 8), (7, 3, 5)] {
+            let a = rand_mat(&mut rng, m, k);
+            let b = rand_mat(&mut rng, k, n);
+            let out = gemm::matmul_i8(&a, &b).expect("shapes agree");
+            let sums = tile_checksums(&a, &b);
+            assert!(verify(&a, &b, &out, &sums).ok());
+            assert_eq!(verify_rows(&a, &weight_rowsum(&b), &out), 0);
+        }
+    }
+
+    #[test]
+    fn accumulator_corruption_trips_both_directions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = rand_mat(&mut rng, 4, 8);
+        let b = rand_mat(&mut rng, 8, 6);
+        let sums = tile_checksums(&a, &b);
+        let mut out = gemm::matmul_i8(&a, &b).expect("shapes agree");
+        out[(2, 3)] ^= 1 << 7;
+        let v = verify(&a, &b, &out, &sums);
+        assert_eq!(v.row_mismatches, 1);
+        assert_eq!(v.col_mismatches, 1);
+        assert_eq!(verify_rows(&a, &weight_rowsum(&b), &out), 1);
+    }
+
+    #[test]
+    fn weight_corruption_escapes_column_check_but_not_row_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = rand_mat(&mut rng, 4, 8);
+        let mut b = rand_mat(&mut rng, 8, 6);
+        let t = 5;
+        // Make sure the faulted weight row meets a nonzero activation so
+        // the product actually changes.
+        if (0..a.rows()).all(|r| a[(r, t)] == 0) {
+            a[(0, t)] = 1;
+        }
+        let sums = tile_checksums(&a, &b); // latched pristine
+        b[(t, 2)] = b[(t, 2)].wrapping_add(16);
+        let out = gemm::matmul_i8(&a, &b).expect("shapes agree");
+        let v = verify(&a, &b, &out, &sums);
+        assert!(v.row_mismatches > 0, "row check must catch weight faults");
+        assert_eq!(
+            v.col_mismatches, 0,
+            "column check reads the resident tile and must miss weight faults"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the ABFT checksum coverage claims.
+//!
+//! * Any single bit flip in a drained accumulator register is caught by
+//!   both checksum directions (and by the row-only serving-path check).
+//! * Any single bit flip in a weight-SRAM word that meets a nonzero
+//!   activation is caught by the row check — and *escapes* the column
+//!   check, whose prediction reads the same resident (corrupted) word.
+//! * A fault-free tile always verifies clean, for any shape.
+
+use faults::abft::{tile_checksums, verify, verify_rows, weight_rowsum};
+use faults::FaultKind;
+use proptest::prelude::*;
+use tensor::{gemm, Mat};
+
+/// An `rows × cols` i8 matrix built from a proptest-drawn flat vector.
+fn mat_strategy(rows: usize, cols: usize, lo: i8, hi: i8) -> impl Strategy<Value = Mat<i8>> {
+    collection::vec(lo..=hi, rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v).expect("shape matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pristine_tiles_always_verify_clean(
+        (m, k, n) in (1usize..=5, 1usize..=8, 1usize..=6),
+        a in mat_strategy(5, 8, -127, 127),
+        b in mat_strategy(8, 6, -127, 127),
+    ) {
+        let a = a.submatrix(0, 0, m, k).expect("in range");
+        let b = b.submatrix(0, 0, k, n).expect("in range");
+        let out = gemm::matmul_i8(&a, &b).expect("shapes agree");
+        let sums = tile_checksums(&a, &b);
+        prop_assert!(verify(&a, &b, &out, &sums).ok());
+        prop_assert_eq!(verify_rows(&a, &weight_rowsum(&b), &out), 0);
+    }
+
+    /// Any single accumulator bit flip — any register, any of the 32
+    /// bits — trips the row check, the column check, and the row-only
+    /// serving check.
+    #[test]
+    fn any_single_accumulator_bit_flip_is_detected(
+        (m, k, n) in (1usize..=5, 1usize..=8, 1usize..=6),
+        a in mat_strategy(5, 8, -127, 127),
+        b in mat_strategy(8, 6, -127, 127),
+        row_pick in 0usize..1_000_000,
+        col_pick in 0usize..1_000_000,
+        bit in 0u8..32,
+    ) {
+        let a = a.submatrix(0, 0, m, k).expect("in range");
+        let b = b.submatrix(0, 0, k, n).expect("in range");
+        let sums = tile_checksums(&a, &b);
+        let mut out = gemm::matmul_i8(&a, &b).expect("shapes agree");
+        let (r, c) = (row_pick % m, col_pick % n);
+        out[(r, c)] = FaultKind::BitFlip { bit }.apply_i32(out[(r, c)]);
+        let v = verify(&a, &b, &out, &sums);
+        prop_assert_eq!(v.row_mismatches, 1);
+        prop_assert_eq!(v.col_mismatches, 1);
+        prop_assert_eq!(verify_rows(&a, &weight_rowsum(&b), &out), 1);
+    }
+
+    /// Any single weight-SRAM bit flip whose row meets nonzero
+    /// activations is caught by the row check (prediction latched from
+    /// the pristine tile) and escapes the column check (prediction read
+    /// from the resident tile) — the documented coverage asymmetry.
+    #[test]
+    fn any_single_weight_bit_flip_is_detected_by_the_row_check(
+        (m, k, n) in (1usize..=5, 1usize..=8, 1usize..=6),
+        // All-positive activations: every weight row meets nonzero input.
+        a in mat_strategy(5, 8, 1, 127),
+        b in mat_strategy(8, 6, -127, 127),
+        row_pick in 0usize..1_000_000,
+        col_pick in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let a = a.submatrix(0, 0, m, k).expect("in range");
+        let b = b.submatrix(0, 0, k, n).expect("in range");
+        let sums = tile_checksums(&a, &b); // latched pristine
+        let mut b_resident = b.clone();
+        let (t, c) = (row_pick % k, col_pick % n);
+        b_resident[(t, c)] = FaultKind::BitFlip { bit }.apply_i8(b_resident[(t, c)]);
+        let out = gemm::matmul_i8(&a, &b_resident).expect("shapes agree");
+        let v = verify(&a, &b_resident, &out, &sums);
+        prop_assert!(v.row_mismatches >= 1, "row check must catch the flip");
+        prop_assert_eq!(v.col_mismatches, 0, "column check reads the resident tile");
+        prop_assert!(verify_rows(&a, &weight_rowsum(&b), &out) >= 1);
+    }
+}

@@ -12,6 +12,9 @@ pub struct ExecStats {
     /// Accumulated accelerator cycles, for executors that model timing
     /// (`None` for pure software backends).
     pub cycles: Option<u64>,
+    /// Datapath/program-store corruptions the executor's checkers
+    /// detected (always zero for executors without a checker seam).
+    pub faults_detected: usize,
 }
 
 /// Named tensor values produced by a graph run. Slot order matches the

@@ -207,6 +207,7 @@ impl Executor for QuantExec<'_> {
         inputs: Vec<(&str, QVal)>,
         mask: Option<&Mat<bool>>,
     ) -> Env<QVal> {
+        let detected0 = faults::hooks_active().then(|| faults::counters().detected);
         let plan = graph.plan();
         let mut env = Env::new(plan.slot_names.clone());
         for (name, value) in inputs {
@@ -267,6 +268,9 @@ impl Executor for QuantExec<'_> {
             env.set(step.output, out);
         }
         self.stats.nodes += plan.steps.len();
+        if let Some(d0) = detected0 {
+            self.stats.faults_detected += faults::counters().detected.saturating_sub(d0) as usize;
+        }
         env
     }
 
@@ -377,6 +381,7 @@ impl<'a> Executor for QuantRowExec<'a> {
             GraphKind::MhaCached,
             "QuantRowExec executes the cached-KV MHA graph only"
         );
+        let detected0 = faults::hooks_active().then(|| faults::counters().detected);
         debug_assert!(
             mask.is_none(),
             "cached decoding is causal by construction; no run-time mask"
@@ -426,6 +431,9 @@ impl<'a> Executor for QuantRowExec<'a> {
         let g = residual_add_i8(&g_matmul, &x);
         let y = block.layernorm().forward(&g);
         self.stats.nodes += graph.nodes.len();
+        if let Some(d0) = detected0 {
+            self.stats.faults_detected += faults::counters().detected.saturating_sub(d0) as usize;
+        }
         let out_slot = env.slot("y");
         env.set(out_slot, QRowVal::Codes(y));
         env

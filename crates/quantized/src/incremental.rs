@@ -272,6 +272,27 @@ impl QuantIncrementalSession {
     pub fn memory_rows(&self) -> usize {
         self.memory_rows
     }
+
+    /// Rewinds the session by one step: drops the newest row from every
+    /// layer's projected self-attention K/V cache and decrements `pos`.
+    ///
+    /// The caches hold *inputs* to the datapath (the projected codes of
+    /// tokens already consumed), so after a rollback the next
+    /// `step_session` with the same token is bit-identical to the first
+    /// attempt — the recovery primitive the serving layer's
+    /// retry-on-detected-fault path is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has not consumed any tokens yet.
+    pub fn rollback_step(&mut self) {
+        assert!(self.pos > 0, "rollback_step on a fresh session");
+        self.pos -= 1;
+        for cache in &mut self.layers {
+            cache.self_k.truncate_rows(self.pos);
+            cache.self_v.truncate_rows(self.pos);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +403,39 @@ mod tests {
                 assert_eq!(lc_s.self_v, lc_b.self_v);
             }
         }
+    }
+
+    #[test]
+    fn rollback_then_restep_is_bit_identical() {
+        let (q, corpus) = setup();
+        let (src, _) = &corpus[0];
+        let mut s = q.start_session(src);
+        let first = q.step_session(&mut s, BOS);
+        let second = q.step_session(&mut s, 4);
+        // Rewind the second step and replay it: logits and caches must
+        // come back bit-identical.
+        s.rollback_step();
+        assert_eq!(s.pos(), 1);
+        let replay = q.step_session(&mut s, 4);
+        assert_eq!(second, replay);
+        // Rewind everything and replay both steps.
+        s.rollback_step();
+        s.rollback_step();
+        assert_eq!(s.pos(), 0);
+        for cache in &s.layers {
+            assert_eq!(cache.self_k.rows(), 0);
+            assert_eq!(cache.self_v.rows(), 0);
+        }
+        assert_eq!(first, q.step_session(&mut s, BOS));
+        assert_eq!(second, q.step_session(&mut s, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback_step on a fresh session")]
+    fn rollback_on_fresh_session_panics() {
+        let (q, corpus) = setup();
+        let mut s = q.start_session(&corpus[0].0);
+        s.rollback_step();
     }
 
     #[test]

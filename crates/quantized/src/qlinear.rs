@@ -19,6 +19,8 @@ use tensor::prepack::{self, PackedI8};
 use tensor::Mat;
 use transformer::linear::Linear;
 
+use faults::abft;
+
 /// Weight-quantization granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QuantScheme {
@@ -39,6 +41,10 @@ pub enum QuantScheme {
 pub struct QLinear {
     w_q: Mat<i8>,
     w_packed: PackedI8,
+    /// ABFT row-sum checksum of `w_q` (`B·e`), latched once at
+    /// quantization time from the pristine weights — the reference every
+    /// decode-step row check verifies against.
+    w_rowsum: Vec<i64>,
     bias_q: Vec<i32>,
     in_scale: QuantParams,
     w_scales: Vec<QuantParams>,
@@ -92,9 +98,11 @@ impl QLinear {
             })
             .collect();
         let w_packed = PackedI8::from_i8(&w_q);
+        let w_rowsum = abft::weight_rowsum(&w_q);
         Self {
             w_q,
             w_packed,
+            w_rowsum,
             bias_q,
             in_scale,
             w_scales,
@@ -159,12 +167,45 @@ impl QLinear {
     pub fn forward_acc(&self, x: &Mat<i8>) -> Mat<i32> {
         let mut acc =
             prepack::matmul_i8_prepacked(x, &self.w_packed).expect("qlinear width mismatch");
+        // Zero-cost when off: one relaxed atomic load guards the whole
+        // fault/checker seam, and the checker never modifies `acc`.
+        if faults::hooks_active() {
+            self.fault_hook(x, &mut acc);
+        }
         for r in 0..acc.rows() {
             for (v, b) in acc.row_mut(r).iter_mut().zip(&self.bias_q) {
                 *v += b;
             }
         }
         acc
+    }
+
+    /// The serving path's fault seam, on the **pre-bias** accumulators:
+    /// apply this GEMM pass's scheduled faults (weight-SRAM events as
+    /// accumulator deltas — arithmetically identical to streaming the
+    /// corrupted word — then accumulator upsets), then run the ABFT row
+    /// check against the rowsum latched at quantization time. Counters
+    /// go to the process-wide [`faults::counters`] tallies the serving
+    /// layer watches.
+    #[cold]
+    fn fault_hook(&self, x: &Mat<i8>, acc: &mut Mat<i32>) {
+        let injected =
+            faults::with_injector(|inj| inj.apply_gemm_pass(x, &self.w_q, acc)).unwrap_or(0);
+        if injected > 0 {
+            faults::note_injected(injected as u64);
+        }
+        if faults::checker_enabled() {
+            faults::note_checked(1);
+            let bad_rows = abft::verify_rows(x, &self.w_rowsum, acc);
+            if bad_rows > 0 {
+                faults::note_detected(bad_rows as u64);
+            }
+        }
+    }
+
+    /// The ABFT row-sum checksum latched at quantization time.
+    pub fn w_rowsum(&self) -> &[i64] {
+        &self.w_rowsum
     }
 
     /// Full quantized forward: accumulate, then requantize to

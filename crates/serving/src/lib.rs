@@ -19,9 +19,25 @@
 //! Tests (including a property test over random arrival orders) assert
 //! this.
 //!
-//! For multi-instance deployments, [`run_sharded`] fans length buckets
-//! out across `N` engine instances on scoped threads (`tensor::par`),
-//! each running its own continuous batcher over the shared model.
+//! **Graceful degradation:** invalid inputs return typed
+//! [`ServingError`]s instead of panicking. When the `faults` crate's
+//! ABFT checker is live ([`faults::checker_enabled`]), every batched
+//! step is bracketed by the process-wide detection counter: a
+//! checker-flagged step is rolled back
+//! ([`QuantIncrementalSession::rollback_step`]) and recomputed up to
+//! [`EngineConfig::max_step_retries`] times — a transient upset fires
+//! once per GEMM-pass index, so the replay is clean and the affected
+//! request still completes bit-identically. Steps that stay flagged
+//! after all retries charge every slot that shared them; a slot charged
+//! [`EngineConfig::quarantine_after`] times is **quarantined** (its
+//! occupant retires degraded and the slot never refills). Per-request
+//! **deadlines** ([`Request::deadline_steps`] /
+//! [`EngineConfig::deadline_steps`]) bound how many engine steps a
+//! request may hold a slot. For multi-instance deployments,
+//! [`run_sharded`] fans length buckets out across `N` engine instances
+//! on scoped threads (`tensor::par`), and a panicking shard is isolated:
+//! its requests are reported in [`ShardedRun::failures`] while every
+//! other shard's responses come back unaffected.
 //!
 //! Under the hood every decode step runs the shared cached-KV operator
 //! graph (`graph::mha_cached_graph`) through the `Executor` seam:
@@ -34,22 +50,79 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
+use std::any::Any;
+use std::collections::{HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use quantized::incremental::QuantIncrementalSession;
 use quantized::QuantSeq2Seq;
 use transformer::batching::PaddedBatch;
 use transformer::tasks::{BOS, EOS};
 
+/// Why the serving layer rejected an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingError {
+    /// `EngineConfig::max_batch` was zero.
+    ZeroSlots,
+    /// `run_sharded` was asked for zero shards.
+    ZeroShards,
+    /// A request's source sentence was empty.
+    EmptySource {
+        /// The offending request's id.
+        id: u64,
+    },
+    /// A request reused an id this engine has already accepted.
+    DuplicateId {
+        /// The reused id.
+        id: u64,
+    },
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::ZeroSlots => write!(f, "need at least one decode slot"),
+            ServingError::ZeroShards => write!(f, "need at least one shard"),
+            ServingError::EmptySource { id } => {
+                write!(f, "request {id}: source must be non-empty")
+            }
+            ServingError::DuplicateId { id } => {
+                write!(f, "request id {id} already submitted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
 /// One translation/generation request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Caller-chosen identifier; responses are returned sorted by it.
+    /// Must be unique within an engine's lifetime.
     pub id: u64,
     /// Source-token sentence (must be non-empty).
     pub src: Vec<usize>,
     /// Maximum number of tokens to generate.
     pub max_new_tokens: usize,
+    /// Optional per-request deadline: the maximum number of engine steps
+    /// this request may hold a slot (overrides
+    /// [`EngineConfig::deadline_steps`]). A request cut off by its
+    /// deadline retires with the tokens generated so far and
+    /// `hit_eos == false`.
+    pub deadline_steps: Option<usize>,
+}
+
+impl Request {
+    /// A request with no per-request deadline.
+    pub fn new(id: u64, src: Vec<usize>, max_new_tokens: usize) -> Self {
+        Self {
+            id,
+            src,
+            max_new_tokens,
+            deadline_steps: None,
+        }
+    }
 }
 
 /// A finished request.
@@ -59,7 +132,8 @@ pub struct Response {
     pub id: u64,
     /// Generated tokens (no BOS; no EOS unless EOS is being ignored).
     pub tokens: Vec<usize>,
-    /// Whether decoding stopped on `EOS` (as opposed to the budget).
+    /// Whether decoding stopped on `EOS` (as opposed to the budget, a
+    /// deadline, or slot quarantine).
     pub hit_eos: bool,
 }
 
@@ -76,6 +150,19 @@ pub struct EngineConfig {
     /// tokens. Benchmarks use this so each batch size does identical
     /// work.
     pub ignore_eos: bool,
+    /// Default per-request deadline in engine steps (`None` = no
+    /// deadline). [`Request::deadline_steps`] overrides this per
+    /// request.
+    pub deadline_steps: Option<usize>,
+    /// How many times a checker-flagged step is rolled back and
+    /// recomputed before its output is accepted as-is and the slots
+    /// involved are charged with a persistent fault.
+    pub max_step_retries: usize,
+    /// Quarantine a slot after this many persistent-fault charges
+    /// (`0` disables quarantine). A quarantined slot evicts its
+    /// occupant (degraded response, `hit_eos == false`) and never
+    /// admits another request.
+    pub quarantine_after: usize,
 }
 
 impl EngineConfig {
@@ -85,6 +172,9 @@ impl EngineConfig {
             max_batch,
             bucket_max_waste: 4,
             ignore_eos: false,
+            deadline_steps: None,
+            max_step_retries: 2,
+            quarantine_after: 2,
         }
     }
 }
@@ -108,8 +198,16 @@ pub struct ServingStats {
     pub peak_batch: usize,
     /// Requests admitted into slots.
     pub admitted: usize,
-    /// Requests retired (EOS or budget).
+    /// Requests retired (EOS, budget, deadline, or quarantine).
     pub retired: usize,
+    /// Steps the ABFT checker flagged (counting each failed attempt).
+    pub faulty_steps: usize,
+    /// Rollback-and-recompute retries performed.
+    pub retries: usize,
+    /// Slots quarantined after repeated persistent faults.
+    pub quarantined: usize,
+    /// Requests cut off by a deadline.
+    pub deadline_expired: usize,
 }
 
 impl ServingStats {
@@ -132,6 +230,10 @@ impl ServingStats {
         self.peak_batch = self.peak_batch.max(other.peak_batch);
         self.admitted += other.admitted;
         self.retired += other.retired;
+        self.faulty_steps += other.faulty_steps;
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.deadline_expired += other.deadline_expired;
     }
 }
 
@@ -143,6 +245,17 @@ struct Slot {
     next_token: usize,
     out: Vec<usize>,
     budget: usize,
+    /// Engine steps this request has participated in.
+    age: usize,
+    /// Effective deadline (request override, else config default).
+    deadline: Option<usize>,
+}
+
+/// Why a slot retired this step.
+enum Retire {
+    Eos,
+    Budget,
+    Deadline,
 }
 
 /// The continuous-batching engine (one model instance).
@@ -152,6 +265,12 @@ pub struct ContinuousBatcher<'m> {
     cfg: EngineConfig,
     pending: VecDeque<Request>,
     slots: Vec<Option<Slot>>,
+    /// Slots withdrawn from service after repeated persistent faults.
+    quarantined: Vec<bool>,
+    /// Persistent-fault charges per slot index.
+    slot_faults: Vec<usize>,
+    /// Every id this engine has ever accepted (duplicate rejection).
+    seen_ids: HashSet<u64>,
     finished: Vec<Response>,
     stats: ServingStats,
 }
@@ -159,28 +278,39 @@ pub struct ContinuousBatcher<'m> {
 impl<'m> ContinuousBatcher<'m> {
     /// Creates an engine with `cfg.max_batch` empty slots.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cfg.max_batch == 0`.
-    pub fn new(model: &'m QuantSeq2Seq, cfg: EngineConfig) -> Self {
-        assert!(cfg.max_batch > 0, "need at least one decode slot");
-        Self {
+    /// [`ServingError::ZeroSlots`] if `cfg.max_batch == 0`.
+    pub fn new(model: &'m QuantSeq2Seq, cfg: EngineConfig) -> Result<Self, ServingError> {
+        if cfg.max_batch == 0 {
+            return Err(ServingError::ZeroSlots);
+        }
+        Ok(Self {
             model,
             cfg,
             pending: VecDeque::new(),
             slots: (0..cfg.max_batch).map(|_| None).collect(),
+            quarantined: vec![false; cfg.max_batch],
+            slot_faults: vec![0; cfg.max_batch],
+            seen_ids: HashSet::new(),
             finished: Vec::new(),
             stats: ServingStats::default(),
-        }
+        })
     }
 
     /// Queues a request (it enters a slot at the next refill).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the source sentence is empty.
-    pub fn submit(&mut self, req: Request) {
-        assert!(!req.src.is_empty(), "source must be non-empty");
+    /// [`ServingError::EmptySource`] if the source sentence is empty,
+    /// [`ServingError::DuplicateId`] if the id was already accepted.
+    pub fn submit(&mut self, req: Request) -> Result<(), ServingError> {
+        if req.src.is_empty() {
+            return Err(ServingError::EmptySource { id: req.id });
+        }
+        if !self.seen_ids.insert(req.id) {
+            return Err(ServingError::DuplicateId { id: req.id });
+        }
         if req.max_new_tokens == 0 {
             // Nothing to generate; finish without occupying a slot.
             self.finished.push(Response {
@@ -188,9 +318,10 @@ impl<'m> ContinuousBatcher<'m> {
                 tokens: Vec::new(),
                 hit_eos: false,
             });
-            return;
+            return Ok(());
         }
         self.pending.push_back(req);
+        Ok(())
     }
 
     /// Requests waiting for a slot.
@@ -203,18 +334,24 @@ impl<'m> ContinuousBatcher<'m> {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Slots withdrawn from service after repeated persistent faults.
+    pub fn quarantined_len(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
     /// The engine's lifetime counters so far.
     pub fn stats(&self) -> ServingStats {
         self.stats
     }
 
-    /// Length-bucketed admission: fills free slots from the queue,
-    /// admitting the bucket containing the oldest waiting request first
-    /// (so similar-length prefills land together and no request starves).
+    /// Length-bucketed admission: fills free (non-quarantined) slots
+    /// from the queue, admitting the bucket containing the oldest
+    /// waiting request first (so similar-length prefills land together
+    /// and no request starves).
     fn refill(&mut self) {
         while self.pending.front().is_some() {
             let free: Vec<usize> = (0..self.slots.len())
-                .filter(|&i| self.slots[i].is_none())
+                .filter(|&i| self.slots[i].is_none() && !self.quarantined[i])
                 .collect();
             if free.is_empty() {
                 return;
@@ -243,6 +380,8 @@ impl<'m> ContinuousBatcher<'m> {
                     next_token: BOS,
                     out: Vec::new(),
                     budget: req.max_new_tokens,
+                    age: 0,
+                    deadline: req.deadline_steps.or(self.cfg.deadline_steps),
                 });
                 self.stats.admitted += 1;
             }
@@ -254,8 +393,16 @@ impl<'m> ContinuousBatcher<'m> {
     }
 
     /// Advances every in-flight session by one token (admitting queued
-    /// requests into free slots first). Returns `false` when queue and
-    /// slots are both empty — i.e. there is nothing left to do.
+    /// requests into free slots first). Returns `false` when there is
+    /// nothing left to do — queue and slots are both empty, or every
+    /// remaining slot is quarantined (check
+    /// [`ContinuousBatcher::pending_len`] for stranded requests).
+    ///
+    /// When the ABFT checker is live, a step that raises the
+    /// process-wide detection counter is rolled back and recomputed (up
+    /// to `max_step_retries` times); the transient-upset replay is
+    /// bit-identical to a fault-free step, so detected faults are
+    /// invisible in the output stream.
     pub fn step(&mut self) -> bool {
         self.refill();
         let mut active: Vec<(usize, &mut Slot)> = self
@@ -268,35 +415,99 @@ impl<'m> ContinuousBatcher<'m> {
             return false;
         }
         let tokens: Vec<usize> = active.iter().map(|(_, s)| s.next_token).collect();
-        let mut sessions: Vec<&mut QuantIncrementalSession> =
-            active.iter_mut().map(|(_, s)| &mut s.session).collect();
-        let logits = self.model.step_sessions(&mut sessions, &tokens);
-        drop(sessions);
+        let verify = faults::hooks_active() && faults::checker_enabled();
+        let mut persistent_fault = false;
+        let logits = if verify {
+            let mut attempt = 0;
+            loop {
+                let before = faults::counters().detected;
+                let mut sessions: Vec<&mut QuantIncrementalSession> =
+                    active.iter_mut().map(|(_, s)| &mut s.session).collect();
+                let logits = self.model.step_sessions(&mut sessions, &tokens);
+                if faults::counters().detected == before {
+                    break logits;
+                }
+                self.stats.faulty_steps += 1;
+                if attempt >= self.cfg.max_step_retries {
+                    // Still flagged after every retry: accept the output
+                    // (better degraded than lost) and charge the slots.
+                    persistent_fault = true;
+                    break logits;
+                }
+                attempt += 1;
+                self.stats.retries += 1;
+                // step_sessions advanced every session exactly one row;
+                // rewind them all and replay the step.
+                for (_, slot) in active.iter_mut() {
+                    slot.session.rollback_step();
+                }
+            }
+        } else {
+            let mut sessions: Vec<&mut QuantIncrementalSession> =
+                active.iter_mut().map(|(_, s)| &mut s.session).collect();
+            self.model.step_sessions(&mut sessions, &tokens)
+        };
         let b = active.len();
-        let mut retire: Vec<usize> = Vec::new();
+        let mut retire: Vec<(usize, Retire)> = Vec::new();
         for ((slot_i, slot), row) in active.iter_mut().zip(&logits) {
             let next = tensor::ops::argmax(row);
+            slot.age += 1;
             if next == EOS && !self.cfg.ignore_eos {
-                retire.push(*slot_i);
+                retire.push((*slot_i, Retire::Eos));
                 continue;
             }
             slot.out.push(next);
             slot.next_token = next;
             self.stats.tokens_generated += 1;
             if slot.out.len() >= slot.budget {
-                retire.push(*slot_i);
+                retire.push((*slot_i, Retire::Budget));
+            } else if slot.deadline.is_some_and(|d| slot.age >= d) {
+                retire.push((*slot_i, Retire::Deadline));
             }
         }
         drop(active);
-        for i in retire {
+        if persistent_fault {
+            // The checker cannot attribute a mismatch to a row, so every
+            // slot that shared the flagged step is charged; repeat
+            // offenders are withdrawn from service below.
+            for i in 0..self.slots.len() {
+                if self.slots[i].is_some() {
+                    self.slot_faults[i] += 1;
+                    if self.cfg.quarantine_after > 0
+                        && self.slot_faults[i] >= self.cfg.quarantine_after
+                        && !self.quarantined[i]
+                    {
+                        self.quarantined[i] = true;
+                        self.stats.quarantined += 1;
+                    }
+                }
+            }
+        }
+        for (i, why) in retire {
             let slot = self.slots[i].take().expect("retiring an occupied slot");
-            let hit_eos = slot.out.len() < slot.budget;
+            if matches!(why, Retire::Deadline) {
+                self.stats.deadline_expired += 1;
+            }
             self.finished.push(Response {
                 id: slot.id,
                 tokens: slot.out,
-                hit_eos,
+                hit_eos: matches!(why, Retire::Eos),
             });
             self.stats.retired += 1;
+        }
+        // Evict occupants of freshly quarantined slots with whatever
+        // they have generated so far (degraded, not lost).
+        for i in 0..self.slots.len() {
+            if self.quarantined[i] {
+                if let Some(slot) = self.slots[i].take() {
+                    self.finished.push(Response {
+                        id: slot.id,
+                        tokens: slot.out,
+                        hit_eos: false,
+                    });
+                    self.stats.retired += 1;
+                }
+            }
         }
         self.stats.steps += 1;
         self.stats.rows += b;
@@ -305,7 +516,10 @@ impl<'m> ContinuousBatcher<'m> {
     }
 
     /// Steps until every submitted request has finished, then returns
-    /// the responses sorted by request id.
+    /// the responses sorted by request id. If every slot ends up
+    /// quarantined while requests still wait, the stranded requests
+    /// remain in [`ContinuousBatcher::pending_len`] (they were never
+    /// started, so nothing of theirs is lost).
     pub fn run_to_completion(&mut self) -> Vec<Response> {
         while self.step() {}
         let mut out = std::mem::take(&mut self.finished);
@@ -314,26 +528,85 @@ impl<'m> ContinuousBatcher<'m> {
     }
 }
 
+/// A shard that panicked during [`run_sharded`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Index of the shard that panicked.
+    pub shard: usize,
+    /// Ids of the requests routed to that shard (their responses are
+    /// lost; every other shard is unaffected).
+    pub lost_ids: Vec<u64>,
+    /// The panic payload, when it carried a message.
+    pub message: String,
+}
+
+/// Everything [`run_sharded`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRun {
+    /// Responses from all surviving shards, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Per-shard engine counters (a failed shard reports defaults).
+    pub stats: Vec<ServingStats>,
+    /// Shards that panicked, with the request ids they took down.
+    pub failures: Vec<ShardFailure>,
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
 /// Runs `requests` across `shards` engine instances on scoped threads:
 /// requests are length-bucketed ([`PaddedBatch::buckets`]), buckets are
 /// dealt to the least-loaded shard (by total member count), and each
 /// shard runs its own [`ContinuousBatcher`] over the shared model.
 /// Responses are bit-identical to a single engine (and to sequential
-/// decoding) and are returned sorted by id, alongside each shard's
+/// decoding) and come back sorted by id, alongside each shard's
 /// counters.
 ///
-/// # Panics
+/// Shards are **fault-isolated**: a panic inside one shard (poisoned
+/// weights, out-of-range tokens, a wedged datapath) is caught on that
+/// shard's thread; its requests are reported in
+/// [`ShardedRun::failures`] and every other shard completes normally.
 ///
-/// Panics if `shards == 0`.
+/// # Errors
+///
+/// [`ServingError::ZeroShards`] / [`ServingError::ZeroSlots`] for
+/// degenerate shapes, [`ServingError::EmptySource`] /
+/// [`ServingError::DuplicateId`] if any request is invalid (validated
+/// up front, before any shard starts).
 pub fn run_sharded(
     model: &QuantSeq2Seq,
     cfg: EngineConfig,
     requests: Vec<Request>,
     shards: usize,
-) -> (Vec<Response>, Vec<ServingStats>) {
-    assert!(shards > 0, "need at least one shard");
+) -> Result<ShardedRun, ServingError> {
+    if shards == 0 {
+        return Err(ServingError::ZeroShards);
+    }
+    if cfg.max_batch == 0 {
+        return Err(ServingError::ZeroSlots);
+    }
+    let mut ids = HashSet::new();
+    for r in &requests {
+        if r.src.is_empty() {
+            return Err(ServingError::EmptySource { id: r.id });
+        }
+        if !ids.insert(r.id) {
+            return Err(ServingError::DuplicateId { id: r.id });
+        }
+    }
     if requests.is_empty() {
-        return (Vec::new(), vec![ServingStats::default(); shards]);
+        return Ok(ShardedRun {
+            responses: Vec::new(),
+            stats: vec![ServingStats::default(); shards],
+            failures: Vec::new(),
+        });
     }
     let seqs: Vec<Vec<usize>> = requests.iter().map(|r| r.src.clone()).collect();
     let buckets = PaddedBatch::buckets(&seqs, cfg.bucket_max_waste);
@@ -347,20 +620,38 @@ pub fn run_sharded(
         }
     }
     let results = tensor::par::map_with_threads(&workloads, shards, |reqs| {
-        let mut engine = ContinuousBatcher::new(model, cfg);
-        for r in reqs {
-            engine.submit(r.clone());
-        }
-        (engine.run_to_completion(), engine.stats())
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut engine = ContinuousBatcher::new(model, cfg).expect("config validated above");
+            for r in reqs {
+                engine.submit(r.clone()).expect("requests validated above");
+            }
+            (engine.run_to_completion(), engine.stats())
+        }))
+        .map_err(panic_message)
     });
-    let mut responses = Vec::with_capacity(requests.len());
-    let mut stats = Vec::with_capacity(shards);
-    for (r, s) in results {
-        responses.extend(r);
-        stats.push(s);
+    let mut run = ShardedRun {
+        responses: Vec::with_capacity(requests.len()),
+        stats: Vec::with_capacity(shards),
+        failures: Vec::new(),
+    };
+    for (shard, (result, reqs)) in results.into_iter().zip(&workloads).enumerate() {
+        match result {
+            Ok((responses, stats)) => {
+                run.responses.extend(responses);
+                run.stats.push(stats);
+            }
+            Err(message) => {
+                run.stats.push(ServingStats::default());
+                run.failures.push(ShardFailure {
+                    shard,
+                    lost_ids: reqs.iter().map(|r| r.id).collect(),
+                    message,
+                });
+            }
+        }
     }
-    responses.sort_by_key(|r| r.id);
-    (responses, stats)
+    run.responses.sort_by_key(|r| r.id);
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -389,11 +680,7 @@ mod tests {
     fn requests(srcs: &[Vec<usize>], max_new: usize) -> Vec<Request> {
         srcs.iter()
             .enumerate()
-            .map(|(i, s)| Request {
-                id: i as u64,
-                src: s.clone(),
-                max_new_tokens: max_new,
-            })
+            .map(|(i, s)| Request::new(i as u64, s.clone(), max_new))
             .collect()
     }
 
@@ -401,9 +688,10 @@ mod tests {
     fn continuous_batch_matches_sequential_greedy() {
         let (q, srcs) = setup(6);
         for max_batch in [1usize, 2, 4, 16] {
-            let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(max_batch));
+            let mut engine =
+                ContinuousBatcher::new(&q, EngineConfig::with_max_batch(max_batch)).unwrap();
             for r in requests(&srcs, 8) {
-                engine.submit(r);
+                engine.submit(r).unwrap();
             }
             let responses = engine.run_to_completion();
             assert_eq!(responses.len(), srcs.len());
@@ -417,9 +705,9 @@ mod tests {
     #[test]
     fn slots_are_refilled_after_retirement() {
         let (q, srcs) = setup(6);
-        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(2));
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(2)).unwrap();
         for r in requests(&srcs, 8) {
-            engine.submit(r);
+            engine.submit(r).unwrap();
         }
         let responses = engine.run_to_completion();
         assert_eq!(responses.len(), 6);
@@ -437,9 +725,9 @@ mod tests {
         let (q, srcs) = setup(3);
         let mut cfg = EngineConfig::with_max_batch(4);
         cfg.ignore_eos = true;
-        let mut engine = ContinuousBatcher::new(&q, cfg);
+        let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
         for r in requests(&srcs, 5) {
-            engine.submit(r);
+            engine.submit(r).unwrap();
         }
         for resp in engine.run_to_completion() {
             assert_eq!(resp.tokens.len(), 5);
@@ -450,12 +738,8 @@ mod tests {
     #[test]
     fn zero_budget_requests_finish_immediately() {
         let (q, srcs) = setup(2);
-        let mut engine = ContinuousBatcher::new(&q, EngineConfig::default());
-        engine.submit(Request {
-            id: 7,
-            src: srcs[0].clone(),
-            max_new_tokens: 0,
-        });
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::default()).unwrap();
+        engine.submit(Request::new(7, srcs[0].clone(), 0)).unwrap();
         let responses = engine.run_to_completion();
         assert_eq!(responses.len(), 1);
         assert!(responses[0].tokens.is_empty());
@@ -466,17 +750,18 @@ mod tests {
     fn sharded_run_is_bit_identical_to_single_engine() {
         let (q, srcs) = setup(8);
         let cfg = EngineConfig::with_max_batch(4);
-        let mut single = ContinuousBatcher::new(&q, cfg);
+        let mut single = ContinuousBatcher::new(&q, cfg).unwrap();
         for r in requests(&srcs, 8) {
-            single.submit(r);
+            single.submit(r).unwrap();
         }
         let want = single.run_to_completion();
         for shards in [1usize, 2, 3, 8] {
-            let (got, stats) = run_sharded(&q, cfg, requests(&srcs, 8), shards);
-            assert_eq!(got, want, "shards {shards}");
-            assert_eq!(stats.len(), shards);
+            let run = run_sharded(&q, cfg, requests(&srcs, 8), shards).unwrap();
+            assert_eq!(run.responses, want, "shards {shards}");
+            assert_eq!(run.stats.len(), shards);
+            assert!(run.failures.is_empty());
             let mut total = ServingStats::default();
-            for s in &stats {
+            for s in &run.stats {
                 total.merge(s);
             }
             assert_eq!(total.retired, srcs.len());
@@ -484,21 +769,132 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one decode slot")]
     fn zero_slots_rejected() {
         let (q, _) = setup(2);
-        let _ = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(0));
+        assert_eq!(
+            ContinuousBatcher::new(&q, EngineConfig::with_max_batch(0)).err(),
+            Some(ServingError::ZeroSlots)
+        );
+        assert_eq!(
+            run_sharded(&q, EngineConfig::with_max_batch(0), Vec::new(), 2).err(),
+            Some(ServingError::ZeroSlots)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
+    fn zero_shards_rejected() {
+        let (q, srcs) = setup(2);
+        assert_eq!(
+            run_sharded(&q, EngineConfig::default(), requests(&srcs, 4), 0).err(),
+            Some(ServingError::ZeroShards)
+        );
+    }
+
+    #[test]
     fn empty_source_rejected() {
-        let (q, _) = setup(2);
-        let mut engine = ContinuousBatcher::new(&q, EngineConfig::default());
-        engine.submit(Request {
-            id: 0,
-            src: vec![],
-            max_new_tokens: 4,
-        });
+        let (q, srcs) = setup(2);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::default()).unwrap();
+        assert_eq!(
+            engine.submit(Request::new(0, vec![], 4)).err(),
+            Some(ServingError::EmptySource { id: 0 })
+        );
+        let bad = vec![
+            Request::new(3, srcs[0].clone(), 4),
+            Request::new(4, vec![], 4),
+        ];
+        assert_eq!(
+            run_sharded(&q, EngineConfig::default(), bad, 2).err(),
+            Some(ServingError::EmptySource { id: 4 })
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let (q, srcs) = setup(2);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::default()).unwrap();
+        engine.submit(Request::new(5, srcs[0].clone(), 4)).unwrap();
+        assert_eq!(
+            engine.submit(Request::new(5, srcs[1].clone(), 4)).err(),
+            Some(ServingError::DuplicateId { id: 5 })
+        );
+        let dup = vec![
+            Request::new(9, srcs[0].clone(), 4),
+            Request::new(9, srcs[1].clone(), 4),
+        ];
+        assert_eq!(
+            run_sharded(&q, EngineConfig::default(), dup, 2).err(),
+            Some(ServingError::DuplicateId { id: 9 })
+        );
+    }
+
+    #[test]
+    fn deadline_cuts_a_request_short() {
+        let (q, srcs) = setup(3);
+        let mut cfg = EngineConfig::with_max_batch(4);
+        cfg.ignore_eos = true; // make every request want its full budget
+        cfg.deadline_steps = Some(2);
+        let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+        for r in requests(&srcs, 8) {
+            engine.submit(r).unwrap();
+        }
+        let responses = engine.run_to_completion();
+        assert_eq!(responses.len(), srcs.len());
+        for resp in &responses {
+            assert_eq!(resp.tokens.len(), 2, "id {}", resp.id);
+            assert!(!resp.hit_eos);
+        }
+        assert_eq!(engine.stats().deadline_expired, srcs.len());
+        // The generated prefix is still bit-identical to an undeadlined
+        // decode — the deadline truncates, it never perturbs.
+        for (resp, src) in responses.iter().zip(&srcs) {
+            let want = q.greedy_decode_incremental(src, 8);
+            let n = resp.tokens.len().min(want.len());
+            assert_eq!(&resp.tokens[..n], &want[..n]);
+        }
+    }
+
+    #[test]
+    fn per_request_deadline_overrides_config() {
+        let (q, srcs) = setup(2);
+        let mut cfg = EngineConfig::with_max_batch(2);
+        cfg.ignore_eos = true;
+        cfg.deadline_steps = Some(6);
+        let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+        let mut tight = Request::new(0, srcs[0].clone(), 8);
+        tight.deadline_steps = Some(1);
+        engine.submit(tight).unwrap();
+        engine.submit(Request::new(1, srcs[1].clone(), 8)).unwrap();
+        let responses = engine.run_to_completion();
+        assert_eq!(responses[0].tokens.len(), 1);
+        assert_eq!(responses[1].tokens.len(), 6);
+    }
+
+    #[test]
+    fn panicking_shard_is_isolated() {
+        let (q, srcs) = setup(4);
+        let cfg = EngineConfig::with_max_batch(2);
+        // An out-of-vocab token panics inside that shard's embedding
+        // lookup; the huge length keeps it in its own bucket (and so its
+        // own shard) away from the well-formed requests.
+        let mut reqs = requests(&srcs, 6);
+        reqs.push(Request::new(99, vec![usize::MAX / 2; 64], 6));
+        let run = run_sharded(&q, cfg, reqs, 2).unwrap();
+        assert_eq!(run.failures.len(), 1);
+        assert!(run.failures[0].lost_ids.contains(&99));
+        let lost: HashSet<u64> = run.failures[0].lost_ids.iter().copied().collect();
+        // Every request outside the failed shard came back, bit-identical
+        // to a sequential decode.
+        for (i, src) in srcs.iter().enumerate() {
+            if lost.contains(&(i as u64)) {
+                continue;
+            }
+            let resp = run
+                .responses
+                .iter()
+                .find(|r| r.id == i as u64)
+                .expect("surviving shard's response");
+            assert_eq!(resp.tokens, q.greedy_decode_incremental(src, 6));
+        }
+        assert_eq!(run.responses.len() + lost.len(), srcs.len() + 1);
     }
 }

@@ -69,14 +69,14 @@ proptest! {
 
         let mut engine = ContinuousBatcher::new(
             q,
-            EngineConfig { max_batch, bucket_max_waste: max_waste, ignore_eos: false },
-        );
+            EngineConfig {
+                max_batch,
+                bucket_max_waste: max_waste,
+                ..EngineConfig::default()
+            },
+        ).unwrap();
         for (id, &s) in picks.iter().enumerate() {
-            engine.submit(Request {
-                id: id as u64,
-                src: srcs[s].clone(),
-                max_new_tokens: max_new,
-            });
+            engine.submit(Request::new(id as u64, srcs[s].clone(), max_new)).unwrap();
         }
         let responses = engine.run_to_completion();
         prop_assert_eq!(responses.len(), picks.len());

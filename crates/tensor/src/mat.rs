@@ -204,6 +204,24 @@ impl<T: Copy + Default> Mat<T> {
         self.rows += 1;
     }
 
+    /// Drops every row past the first `rows`, keeping the backing
+    /// capacity — the inverse of [`Mat::push_row`]. The serving layer's
+    /// retry-with-recompute policy truncates each KV cache by one row to
+    /// roll a decode step back before re-running it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds the current row count.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        assert!(
+            rows <= self.rows,
+            "truncate_rows {rows} exceeds current rows {}",
+            self.rows
+        );
+        self.data.truncate(rows * self.cols);
+        self.rows = rows;
+    }
+
     /// Reserves backing storage for at least `additional` more rows, so
     /// subsequent [`Mat::push_row`] calls up to that count never
     /// reallocate. The incremental decoders reserve `max_len` rows per

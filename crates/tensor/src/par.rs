@@ -428,6 +428,41 @@ mod tests {
     }
 
     #[test]
+    fn panicking_band_job_does_not_poison_the_pool() {
+        // A band body that panics mid-batch must (a) propagate to the
+        // caller, (b) leave the shared queue fully drained, and (c)
+        // leave the persistent workers healthy — later band dispatches
+        // and maps must produce bit-identical results. This is the
+        // regression test for the serving layer's shard isolation,
+        // which catches panics on pool threads and keeps going.
+        let rows = 16usize;
+        let stride = 4usize;
+        for round in 0..3 {
+            let mut buf = vec![0u32; rows * stride];
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                row_bands(&mut buf, rows, stride, 4, |first_row, _band| {
+                    assert!(first_row != 8, "poisoned band");
+                });
+            }));
+            assert!(caught.is_err(), "band panic must reach the caller");
+            // The pool must come back clean in the same round.
+            let mut ok = vec![0u32; rows * stride];
+            row_bands(&mut ok, rows, stride, 4, |first_row, band| {
+                for (r, row) in band.chunks_mut(stride).enumerate() {
+                    row.fill((first_row + r) as u32);
+                }
+            });
+            let want: Vec<u32> = (0..rows)
+                .flat_map(|r| std::iter::repeat_n(r as u32, stride))
+                .collect();
+            assert_eq!(ok, want, "round {round}");
+            let items: Vec<u32> = (0..32).collect();
+            let serial: Vec<u32> = items.iter().map(|x| x + round).collect();
+            assert_eq!(map_with_threads(&items, 4, |x| x + round), serial);
+        }
+    }
+
+    #[test]
     fn pool_reuses_workers_across_calls() {
         // Many small dispatches should never exceed the pool cap and
         // must keep producing deterministic results.

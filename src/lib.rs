@@ -11,6 +11,7 @@
 //! | [`fixedmath`] | INT8 quantizers, shift-add EXP/LN units, rsqrt ROM |
 //! | [`transformer`] | FP32 reference model + training + BLEU |
 //! | [`quantized`] | bit-exact INT8 datapath (softmax Fig. 6, LayerNorm Fig. 8) |
+//! | [`faults`] | deterministic fault injection + ABFT checksum checking |
 //! | [`serving`] | continuous-batching inference engine over the INT8 decoder |
 //! | [`hwsim`] | cycle-level simulation framework + FPGA resource vocab |
 //! | [`accel`] | the paper's accelerator: SA, scheduler (Algorithm 1), area model |
@@ -39,6 +40,7 @@
 
 pub use accel;
 pub use baseline;
+pub use faults;
 pub use fixedmath;
 pub use graph;
 pub use hwsim;
