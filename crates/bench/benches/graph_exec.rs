@@ -74,8 +74,9 @@ fn bench_row_executor(c: &mut Criterion) {
     let src = &corpus[0].0;
     c.bench_function("graph_exec/quant_row_step/tiny", |b| {
         b.iter(|| {
-            let mut session = quant.start_session(src);
-            black_box(quant.step_session(&mut session, BOS))
+            let mut arena = quantized::incremental::KvArena::for_model(&quant);
+            let mut session = quant.start_session(&mut arena, src);
+            black_box(quant.step_session(&mut arena, &mut session, BOS))
         })
     });
 }

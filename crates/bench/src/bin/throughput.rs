@@ -27,13 +27,14 @@ use std::time::Instant;
 
 use accel::EngineStats;
 use hwsim::cycles::Cycle;
+use quantized::incremental::KvArena;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use serving::{ContinuousBatcher, EngineConfig, Request};
 use transformer::config::ModelConfig;
 use transformer::model::Seq2SeqTransformer;
-use transformer::tasks::{Task, TaskGen};
+use transformer::tasks::{Task, TaskGen, BOS};
 
 /// The accelerator's array height (and the paper's max sequence length).
 const S_MAX: usize = 64;
@@ -75,6 +76,56 @@ fn percentile(samples: &mut [f64], q: f64) -> f64 {
     samples[rank.clamp(1, samples.len()) - 1]
 }
 
+/// The long-prompt/short-answer workload: chunked prefill through the
+/// serving engine versus token-at-a-time prompt ingestion.
+#[derive(Serialize)]
+struct PrefillBench {
+    /// Prompt length per request (plus one `BOS` row each).
+    prompt_tokens: usize,
+    new_tokens: usize,
+    requests: usize,
+    prefill_chunk: usize,
+    max_prefill_rows: usize,
+    /// Token-at-a-time ingestion rate (rows/s through `step_session`).
+    sequential_prefill_tok_s: f64,
+    /// Chunked ingestion rate through the engine (prefill rows divided
+    /// by the wall time of the steps that consumed them — conservative,
+    /// since those steps also carry decode rows).
+    chunked_prefill_tok_s: f64,
+    prefill_speedup: f64,
+    /// Sequential time-to-first-token: wall time to ingest `[BOS]` +
+    /// prompt one row per step (the first generated token is the argmax
+    /// of the final ingestion step's logits).
+    sequential_ttft_ms: f64,
+    /// Chunked-prefill TTFT percentiles across requests: cumulative
+    /// engine wall time up to each request's `first_token_step`.
+    ttft_ms_p50: f64,
+    ttft_ms_p99: f64,
+}
+
+/// Paged INT8 KV residency versus the flat `max_len`-row reservation
+/// the pre-paging session caches made.
+#[derive(Serialize)]
+struct KvBench {
+    page_rows: usize,
+    max_len: usize,
+    /// Mean resident KV bytes per session at the concurrency peak.
+    paged_int8_bytes_per_session: usize,
+    /// What a flat INT8 cache reserved per session: `layers × {K,V} ×
+    /// max_len × d_model` codes, regardless of tokens actually held.
+    flat_int8_bytes_per_session: usize,
+    /// The FP32 serving-cache equivalent of the same reservation.
+    flat_fp32_bytes_per_session: usize,
+    kv_budget_bytes: usize,
+    flat_fp32_sessions_in_budget: usize,
+    flat_int8_sessions_in_budget: usize,
+    paged_int8_sessions_in_budget: usize,
+    /// Concurrent-session gain at a fixed KV budget: flat FP32
+    /// reservation over measured paged INT8 residency.
+    session_gain_vs_flat_fp32: f64,
+    session_gain_vs_flat_int8: f64,
+}
+
 #[derive(Serialize)]
 struct DecodeBench {
     model: String,
@@ -86,6 +137,8 @@ struct DecodeBench {
     tokens_per_request: usize,
     pe_count: u64,
     points: Vec<BatchPoint>,
+    prefill: PrefillBench,
+    kv: KvBench,
 }
 
 /// One modeled GEMM pass through the `S_MAX × 64` array: `m × k` times
@@ -260,6 +313,8 @@ fn main() {
         b16.speedup_vs_b1
     );
 
+    let (prefill, kv) = bench_long_context();
+
     let report = DecodeBench {
         model: cfg.name.clone(),
         d_model: cfg.d_model,
@@ -270,6 +325,193 @@ fn main() {
         tokens_per_request: MAX_NEW,
         pe_count,
         points,
+        prefill,
+        kv,
     };
     bench_harness::write_json("BENCH_decode", &report);
+}
+
+/// Prompt length for the long-context workload.
+const PROMPT_LEN: usize = 512;
+/// Short answer decoded after the prompt.
+const PREFILL_NEW: usize = 24;
+/// Concurrent long-context requests through the engine.
+const PREFILL_REQS: usize = 8;
+/// Requests measured on the (slow) token-at-a-time baseline — it is a
+/// rate, so a couple of 513-row ingestions give a stable number.
+const SEQ_SAMPLES: usize = 2;
+/// Prompt rows a prefilling request may consume per engine step.
+const PREFILL_CHUNK: usize = 64;
+/// Per-step prefill-row budget shared by all prefilling slots.
+const MAX_PREFILL_ROWS: usize = 256;
+/// Fixed KV memory budget for the concurrent-sessions comparison.
+const KV_BUDGET: usize = 256 << 20;
+
+/// E18 — chunked prefill + paged INT8 KV on a long-prompt/short-answer
+/// workload: 512-token prompts into a `max_len = 640` paper-shape
+/// decoder, 24 generated tokens each. Returns the prefill-throughput /
+/// TTFT section and the KV-residency section of the report.
+fn bench_long_context() -> (PrefillBench, KvBench) {
+    let cfg = ModelConfig {
+        name: "Transformer-base-2L-long".into(),
+        d_model: 512,
+        d_ff: 2048,
+        h: 8,
+        n_layers: 2,
+        vocab: 64,
+        max_len: PROMPT_LEN + 2 * S_MAX, // 640: prompt + answer headroom
+    };
+    println!(
+        "\nbuilding {} (max_len={}) for the long-context workload...",
+        cfg.name, cfg.max_len
+    );
+    let mut rng = StdRng::seed_from_u64(0x10AD);
+    let fp32 = Seq2SeqTransformer::new(&cfg, &mut rng);
+    let gen = TaskGen::new(Task::Reverse, cfg.vocab, 3, 6);
+    let calib = gen.corpus(4, &mut StdRng::seed_from_u64(0x10AE));
+    let q = quantized::QuantSeq2Seq::from_trained(&fp32, &calib, quantized::SoftmaxMode::Hardware);
+
+    let srcs: Vec<Vec<usize>> = gen
+        .corpus(PREFILL_REQS, &mut StdRng::seed_from_u64(0x10AF))
+        .into_iter()
+        .map(|(s, _)| s)
+        .collect();
+    let mut prng = StdRng::seed_from_u64(0x10B0);
+    let prompts: Vec<Vec<usize>> = (0..PREFILL_REQS)
+        .map(|_| {
+            (0..PROMPT_LEN)
+                .map(|_| prng.random_range(3..cfg.vocab))
+                .collect()
+        })
+        .collect();
+
+    // Token-at-a-time baseline: the pre-chunking way to ingest a prompt
+    // is one `step_session` per row.
+    let mut seq_ingest_s = 0.0;
+    for r in 0..SEQ_SAMPLES {
+        let mut arena = KvArena::for_model(&q);
+        let mut session = q.start_session(&mut arena, &srcs[r]);
+        let t0 = Instant::now();
+        let mut logits = q.step_session(&mut arena, &mut session, BOS);
+        for &t in &prompts[r] {
+            logits = q.step_session(&mut arena, &mut session, t);
+        }
+        std::hint::black_box(&logits);
+        seq_ingest_s += t0.elapsed().as_secs_f64();
+    }
+    let sequential_ttft_ms = seq_ingest_s / SEQ_SAMPLES as f64 * 1e3;
+    let sequential_tok_s = (SEQ_SAMPLES * (1 + PROMPT_LEN)) as f64 / seq_ingest_s;
+
+    // Chunked prefill through the engine, all requests concurrent.
+    let mut engine = ContinuousBatcher::new(
+        &q,
+        EngineConfig {
+            max_batch: PREFILL_REQS,
+            bucket_max_waste: usize::MAX,
+            prefill_chunk: PREFILL_CHUNK,
+            max_prefill_rows: MAX_PREFILL_ROWS,
+            ignore_eos: true,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("nonzero max_batch");
+    for (id, (src, prompt)) in srcs.iter().zip(&prompts).enumerate() {
+        engine
+            .submit(Request::new(id as u64, src.clone(), PREFILL_NEW).with_prompt(prompt.clone()))
+            .expect("valid request");
+    }
+    let mut cum_ms_by_step: Vec<f64> = Vec::new();
+    let mut cum_ms = 0.0;
+    let mut prefill_s = 0.0;
+    let mut prev_prefill_rows = 0;
+    loop {
+        let ts = Instant::now();
+        if !engine.step() {
+            break;
+        }
+        let dt = ts.elapsed().as_secs_f64();
+        cum_ms += dt * 1e3;
+        cum_ms_by_step.push(cum_ms);
+        let s = engine.stats();
+        if s.prefill_rows > prev_prefill_rows {
+            prefill_s += dt;
+            prev_prefill_rows = s.prefill_rows;
+        }
+    }
+    let responses = engine.run_to_completion();
+    assert_eq!(responses.len(), PREFILL_REQS);
+    assert!(responses.iter().all(|r| r.tokens.len() == PREFILL_NEW));
+    let stats = engine.stats();
+    assert_eq!(stats.prefill_rows, PREFILL_REQS * (1 + PROMPT_LEN));
+    let chunked_tok_s = stats.prefill_rows as f64 / prefill_s;
+
+    let mut ttfts_ms: Vec<f64> = responses
+        .iter()
+        .map(|r| {
+            let step = r.first_token_step.expect("every request generated");
+            cum_ms_by_step[step]
+        })
+        .collect();
+    let ttft_p50 = percentile(&mut ttfts_ms, 50.0);
+    let ttft_p99 = percentile(&mut ttfts_ms, 99.0);
+    let speedup = chunked_tok_s / sequential_tok_s;
+    println!(
+        "prefill ({PROMPT_LEN}-token prompts, chunk {PREFILL_CHUNK}): sequential \
+         {sequential_tok_s:>7.1} tok/s -> chunked {chunked_tok_s:>8.1} tok/s ({speedup:.2}x)  \
+         TTFT p50 {ttft_p50:.1} ms / p99 {ttft_p99:.1} ms (sequential {sequential_ttft_ms:.1} ms)"
+    );
+    assert!(
+        speedup >= 5.0,
+        "chunked prefill must be >= 5x token-at-a-time on a {PROMPT_LEN}-token prompt \
+         (got {speedup:.2}x)"
+    );
+
+    // KV residency: what the flat max_len-row per-session reservation
+    // cost versus the pages actually held at the concurrency peak.
+    let paged_per_session = stats.kv_bytes_peak / PREFILL_REQS;
+    let flat_int8 = cfg.n_layers * 2 * cfg.max_len * cfg.d_model;
+    let flat_fp32 = flat_int8 * std::mem::size_of::<f32>();
+    let gain_fp32 = flat_fp32 as f64 / paged_per_session as f64;
+    let gain_int8 = flat_int8 as f64 / paged_per_session as f64;
+    println!(
+        "kv per session: flat fp32 {:.2} MB / flat int8 {:.2} MB -> paged int8 {:.2} MB \
+         ({gain_fp32:.2}x sessions vs flat fp32, {gain_int8:.2}x vs flat int8 at a fixed budget)",
+        flat_fp32 as f64 / (1 << 20) as f64,
+        flat_int8 as f64 / (1 << 20) as f64,
+        paged_per_session as f64 / (1 << 20) as f64,
+    );
+    assert!(
+        gain_fp32 >= 4.0,
+        "paged INT8 KV must fit >= 4x the sessions of the flat FP32 reservation \
+         (got {gain_fp32:.2}x)"
+    );
+
+    (
+        PrefillBench {
+            prompt_tokens: PROMPT_LEN,
+            new_tokens: PREFILL_NEW,
+            requests: PREFILL_REQS,
+            prefill_chunk: PREFILL_CHUNK,
+            max_prefill_rows: MAX_PREFILL_ROWS,
+            sequential_prefill_tok_s: sequential_tok_s,
+            chunked_prefill_tok_s: chunked_tok_s,
+            prefill_speedup: speedup,
+            sequential_ttft_ms,
+            ttft_ms_p50: ttft_p50,
+            ttft_ms_p99: ttft_p99,
+        },
+        KvBench {
+            page_rows: tensor::kvpool::page_rows_from_env(tensor::kvpool::DEFAULT_PAGE_ROWS),
+            max_len: cfg.max_len,
+            paged_int8_bytes_per_session: paged_per_session,
+            flat_int8_bytes_per_session: flat_int8,
+            flat_fp32_bytes_per_session: flat_fp32,
+            kv_budget_bytes: KV_BUDGET,
+            flat_fp32_sessions_in_budget: KV_BUDGET / flat_fp32,
+            flat_int8_sessions_in_budget: KV_BUDGET / flat_int8,
+            paged_int8_sessions_in_budget: KV_BUDGET / paged_per_session,
+            session_gain_vs_flat_fp32: gain_fp32,
+            session_gain_vs_flat_int8: gain_int8,
+        },
+    )
 }

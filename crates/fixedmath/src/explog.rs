@@ -35,6 +35,7 @@ use crate::fx::{FRAC, ONE};
 /// let y = exp_unit(fx::to_fx(-1.0, fx::FRAC));
 /// assert!((fx::to_f32(y, fx::FRAC) - 0.3679).abs() < 0.03);
 /// ```
+#[inline]
 pub fn exp_unit(x: i32) -> i32 {
     exp_unit_with_frac(x, FRAC)
 }
@@ -45,6 +46,7 @@ pub fn exp_unit(x: i32) -> i32 {
 /// # Panics
 ///
 /// Panics if `frac` is 0 or ≥ 30.
+#[inline]
 pub fn exp_unit_with_frac(x: i32, frac: u32) -> i32 {
     assert!(frac > 0 && frac < 30, "frac {frac} out of range");
     let one = 1i32 << frac;
@@ -55,12 +57,13 @@ pub fn exp_unit_with_frac(x: i32, frac: u32) -> i32 {
     let k = y >> frac; // arithmetic shift: floor division
     let f = y - (k << frac);
     debug_assert!((0..one).contains(&f));
-    let neg_k = (-k) as u32;
-    if neg_k >= 31 {
-        return 0; // underflow: exp(x) < 2^-31
-    }
     // 2^f ~= 1 + f; then scale by 2^k (a right shift, truncating as the
-    // hardware shifter does).
+    // hardware shifter does). Saturating the shift count at 31 models the
+    // underflow branch of the hardware's finite shifter without a branch:
+    // the mantissa is below 2^(frac+1) <= 2^30, so any shift >= 31
+    // produces exactly 0 — and the branch-free body lets the softmax
+    // stages auto-vectorise over columns.
+    let neg_k = ((-k) as u32).min(31);
     (one + f) >> neg_k
 }
 
@@ -79,6 +82,7 @@ pub fn exp_unit_with_frac(x: i32, frac: u32) -> i32 {
 /// let y = ln_unit(fx::to_fx(8.0, fx::FRAC));
 /// assert!((fx::to_f32(y, fx::FRAC) - 2.079).abs() < 0.05);
 /// ```
+#[inline]
 pub fn ln_unit(x: i32) -> i32 {
     ln_unit_with_frac(x, FRAC)
 }
@@ -88,6 +92,7 @@ pub fn ln_unit(x: i32) -> i32 {
 /// # Panics
 ///
 /// Panics if `x <= 0` or `frac` is 0 or ≥ 30.
+#[inline]
 pub fn ln_unit_with_frac(x: i32, frac: u32) -> i32 {
     assert!(frac > 0 && frac < 30, "frac {frac} out of range");
     assert!(x > 0, "ln_unit input must be positive, got {x}");
@@ -115,6 +120,7 @@ pub fn ln_unit_with_frac(x: i32, frac: u32) -> i32 {
 /// about 1.8% for one extra comparator and two extra adders per lane —
 /// quantifying how much accuracy headroom the paper's single-segment
 /// choice left on the table (it needed none: see experiment E9).
+#[inline]
 pub fn exp_unit_pwl2(x: i32) -> i32 {
     let x = x.min(0);
     let y = x + (x >> 1) - (x >> 4);

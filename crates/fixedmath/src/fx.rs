@@ -21,23 +21,27 @@ pub const ONE: i32 = 1 << FRAC;
 /// use fixedmath::fx;
 /// assert_eq!(fx::to_fx(1.5, fx::FRAC), 3 << (fx::FRAC - 1));
 /// ```
+#[inline]
 pub fn to_fx(x: f32, frac: u32) -> i32 {
     let v = (x as f64 * (1i64 << frac) as f64).round();
     v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
 }
 
 /// Converts fixed-point back to `f32`.
+#[inline]
 pub fn to_f32(x: i32, frac: u32) -> f32 {
     x as f32 / (1i64 << frac) as f32
 }
 
 /// Fixed-point multiply: `(a * b) >> frac` with round-to-nearest.
 /// Both operands and the result share the same fraction width.
+#[inline]
 pub fn mul(a: i32, b: i32, frac: u32) -> i32 {
     rounding_shr(a as i64 * b as i64, frac) as i32
 }
 
 /// Fixed-point multiply of a fixed-point value by an integer.
+#[inline]
 pub fn mul_int(a: i32, k: i32) -> i32 {
     (a as i64 * k as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32
 }

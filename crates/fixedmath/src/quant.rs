@@ -46,18 +46,21 @@ impl QuantParams {
     }
 
     /// The quantization step (real value of one LSB).
+    #[inline]
     pub fn scale(&self) -> f32 {
         self.scale
     }
 
     /// Quantizes a real value to INT8 (round-to-nearest, saturate to
     /// `[-127, 127]`).
+    #[inline]
     pub fn quantize(&self, x: f32) -> i8 {
         let q = (x / self.scale).round();
         sat_i8(q.clamp(i32::MIN as f32, i32::MAX as f32) as i32)
     }
 
     /// Recovers the real value of a quantized code.
+    #[inline]
     pub fn dequantize(&self, q: i8) -> f32 {
         q as f32 * self.scale
     }
@@ -128,11 +131,13 @@ impl Requantizer {
     }
 
     /// Applies the multiplier to an accumulator with round-to-nearest.
+    #[inline]
     pub fn apply(&self, acc: i32) -> i64 {
         rounding_shr(acc as i64 * self.mult as i64, self.shift)
     }
 
     /// Applies the multiplier and saturates to symmetric INT8.
+    #[inline]
     pub fn apply_sat_i8(&self, acc: i32) -> i8 {
         sat_i8(self.apply(acc).clamp(i32::MIN as i64, i32::MAX as i64) as i32)
     }

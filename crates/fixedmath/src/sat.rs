@@ -13,11 +13,13 @@
 /// assert_eq!(fixedmath::sat::sat_i8(-300), -127);
 /// assert_eq!(fixedmath::sat::sat_i8(-5), -5);
 /// ```
+#[inline]
 pub fn sat_i8(x: i32) -> i8 {
     x.clamp(-127, 127) as i8
 }
 
 /// Saturates an `i64` into `i32` range.
+#[inline]
 pub fn sat_i32(x: i64) -> i32 {
     x.clamp(i32::MIN as i64, i32::MAX as i64) as i32
 }
@@ -39,22 +41,29 @@ pub fn sat_i32(x: i64) -> i32 {
 /// assert_eq!(rounding_shr(-5, 1), -3); // -2.5 rounds away to -3
 /// assert_eq!(rounding_shr(4, 1), 2);
 /// ```
+#[inline]
 pub fn rounding_shr(x: i64, shift: u32) -> i64 {
     assert!(shift < 63, "shift {shift} out of range");
     if shift == 0 {
         return x;
     }
+    // Branch-free ties-away-from-zero: round the magnitude, restore the
+    // sign via XOR/subtract. A data-dependent sign branch here would
+    // mispredict ~50% of the time on random-sign accumulators — this
+    // sits inside the softmax's per-element requantize loop, where that
+    // costs more than the shift itself — and it also blocks the loop
+    // from auto-vectorising.
     let bias = 1i64 << (shift - 1);
-    if x >= 0 {
-        (x + bias) >> shift
-    } else {
-        -((-x + bias) >> shift)
-    }
+    let sign = x >> 63; // 0 for x >= 0, -1 for x < 0
+    let mag = (x ^ sign) - sign; // |x|
+    let r = (mag + bias) >> shift;
+    (r ^ sign) - sign
 }
 
 /// Truncating arithmetic right shift (the plain `>>` of Verilog on a
 /// signed value) — used where the paper's datapath shifts without
 /// rounding, e.g. the `>> 3` scale in the softmax input.
+#[inline]
 pub fn trunc_shr(x: i32, shift: u32) -> i32 {
     x >> shift
 }

@@ -15,6 +15,12 @@ pub struct ExecStats {
     /// Datapath/program-store corruptions the executor's checkers
     /// detected (always zero for executors without a checker seam).
     pub faults_detected: usize,
+    /// Resident KV-cache bytes the most recent run attended over
+    /// (summed across the sessions in the batch; zero for executors
+    /// that do not consume KV caches). With paged caches this counts
+    /// whole resident pages, not just the logical rows, so it is the
+    /// number the serving layer's memory budget actually pays.
+    pub kv_bytes_in_use: usize,
 }
 
 /// Named tensor values produced by a graph run. Slot order matches the

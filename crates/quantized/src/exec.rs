@@ -10,9 +10,19 @@
 //! [`QuantRowExec`] executes the cached-KV graph for incremental INT8
 //! decoding. In the single-row hot path it writes the requantized head
 //! outputs straight into a caller-provided scratch row (the session's
-//! `p_buf`), so the per-token loop never allocates head panels.
+//! `p_buf`), so the per-token loop never allocates head panels. Caches
+//! are consumed through [`CacheRef`], which reads either a flat code
+//! matrix or a paged [`tensor::kvpool`] sequence — bit-identically,
+//! since both hand the GEMM the same per-head panel bytes. For chunked
+//! prefill the executor also accepts per-session row *groups*
+//! ([`QuantRowExec::prefill`]): each session contributes a chunk of
+//! consecutive rows that attend over its cache under an intra-chunk
+//! causal mask, which the masked softmax turns into exactly-zero
+//! probability codes — so a chunked prefill is bit-identical to feeding
+//! the same rows one step at a time.
 
 use graph::{Env, ExecStats, Executor, Graph, GraphKind, Node, Op, PlanStep, WeightId};
+use tensor::kvpool::{KvPool, KvSeq};
 use tensor::{gemm, Mat};
 
 use crate::ffn::QuantFfnResBlock;
@@ -279,6 +289,63 @@ impl Executor for QuantExec<'_> {
     }
 }
 
+/// A borrowed projected-K/V code cache: either a flat matrix or a
+/// paged sequence inside a shared [`KvPool`]. Both expose the same
+/// rows in the same order, so every consumer is bit-identical across
+/// the two storage layouts.
+#[derive(Debug, Clone, Copy)]
+pub enum CacheRef<'a> {
+    /// A flat `rows × d_model` code matrix.
+    Flat(&'a Mat<i8>),
+    /// A paged sequence (block table) inside a shared pool.
+    Paged {
+        /// The pool holding the pages.
+        pool: &'a KvPool<i8>,
+        /// The sequence's block table.
+        seq: &'a KvSeq,
+    },
+}
+
+impl<'a> CacheRef<'a> {
+    /// Wraps a flat code matrix.
+    pub fn flat(m: &'a Mat<i8>) -> Self {
+        CacheRef::Flat(m)
+    }
+
+    /// Wraps a paged sequence.
+    pub fn paged(pool: &'a KvPool<i8>, seq: &'a KvSeq) -> Self {
+        CacheRef::Paged { pool, seq }
+    }
+
+    /// Logical cache rows (the decode position).
+    pub fn rows(&self) -> usize {
+        match self {
+            CacheRef::Flat(m) => m.rows(),
+            CacheRef::Paged { seq, .. } => seq.rows(),
+        }
+    }
+
+    /// Copies the head panel (columns `c0 .. c0 + width`, all rows) into
+    /// a dense matrix. One copy either way: `Mat::submatrix` for flat
+    /// storage, [`KvPool::gather_panel`] for paged.
+    pub fn panel(&self, c0: usize, width: usize) -> Mat<i8> {
+        match self {
+            CacheRef::Flat(m) => m.submatrix(0, c0, m.rows(), width).expect("head panel"),
+            CacheRef::Paged { pool, seq } => pool.gather_panel(seq, c0, width),
+        }
+    }
+
+    /// Bytes of storage resident for this cache — logical rows for flat
+    /// matrices, whole pages for paged sequences (what the memory
+    /// budget actually pays).
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            CacheRef::Flat(m) => m.rows() * m.cols(),
+            CacheRef::Paged { pool, seq } => pool.resident_rows(seq) * pool.cols(),
+        }
+    }
+}
+
 /// Value domain of [`QuantRowExec`]: INT8 row stacks or per-session
 /// borrowed code caches.
 #[derive(Debug)]
@@ -286,7 +353,7 @@ pub enum QRowVal<'a> {
     /// A `b × d_model` matrix of per-session code rows.
     Codes(Mat<i8>),
     /// One borrowed projected-K/V cache per session.
-    Caches(Vec<&'a Mat<i8>>),
+    Caches(Vec<CacheRef<'a>>),
 }
 
 impl QRowVal<'_> {
@@ -316,6 +383,8 @@ impl QRowVal<'_> {
 pub struct QuantRowExec<'a> {
     block: &'a QuantMhaResBlock,
     scratch: Option<&'a mut Mat<i8>>,
+    groups: Option<&'a [usize]>,
+    causal: bool,
     stats: ExecStats,
 }
 
@@ -325,6 +394,8 @@ impl<'a> QuantRowExec<'a> {
         Self {
             block,
             scratch: None,
+            groups: None,
+            causal: true,
             stats: ExecStats::default(),
         }
     }
@@ -336,6 +407,28 @@ impl<'a> QuantRowExec<'a> {
         Self {
             block,
             scratch: Some(scratch),
+            groups: None,
+            causal: true,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Chunked-prefill executor: the `b` input rows are partitioned into
+    /// per-session groups (`groups[i]` consecutive rows for session `i`,
+    /// summing to `b`), each attending over its own session's cache.
+    ///
+    /// With `causal = true` (self-attention), row `j` of a group whose
+    /// cache holds `L` rows — the chunk's own K/V having already been
+    /// appended — attends positions `0 ..= L - rows + j`: an intra-chunk
+    /// causal tail mask, so the group is bit-identical to feeding its
+    /// rows one decode step at a time. With `causal = false`
+    /// (cross-attention) every row attends the whole cache.
+    pub fn prefill(block: &'a QuantMhaResBlock, groups: &'a [usize], causal: bool) -> Self {
+        Self {
+            block,
+            scratch: None,
+            groups: Some(groups),
+            causal,
             stats: ExecStats::default(),
         }
     }
@@ -348,16 +441,16 @@ fn head_section(
     block: &QuantMhaResBlock,
     q: &Mat<i8>,
     r: usize,
-    keys: &Mat<i8>,
-    vals: &Mat<i8>,
+    keys: &CacheRef<'_>,
+    vals: &CacheRef<'_>,
     out: &mut [i8],
 ) {
     let d_k = block.d_k();
     for i in 0..block.heads() {
         let c0 = i * d_k;
         let qi = q.submatrix(r, c0, 1, d_k).expect("head panel");
-        let ki = keys.submatrix(0, c0, keys.rows(), d_k).expect("head panel");
-        let vi = vals.submatrix(0, c0, vals.rows(), d_k).expect("head panel");
+        let ki = keys.panel(c0, d_k);
+        let vi = vals.panel(c0, d_k);
         let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
         let probs = scaled_masked_softmax(&d_acc, block.d_scale(), d_k, None, block.softmax_mode());
         let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
@@ -365,6 +458,51 @@ fn head_section(
             *slot = block.requantize_p(a);
         }
     }
+}
+
+/// The multi-row head section for one session's prefill chunk: rows
+/// `r0 .. r0 + rows` of `q` attend over the session's cache, with the
+/// intra-chunk causal tail masked when `causal` is set. Masked columns
+/// are excluded from the softmax max/sum and emit exactly-zero
+/// probability codes, contributing nothing to the `P·V` GEMM — which is
+/// what makes the chunked result bit-identical to `rows` sequential
+/// single-row steps.
+fn head_section_chunk(
+    block: &QuantMhaResBlock,
+    q: &Mat<i8>,
+    r0: usize,
+    rows: usize,
+    keys: &CacheRef<'_>,
+    vals: &CacheRef<'_>,
+    causal: bool,
+) -> Mat<i8> {
+    let d_k = block.d_k();
+    let ctx = keys.rows();
+    // Row j of the chunk may see cache positions 0 ..= ctx - rows + j;
+    // later columns are the chunk's own future rows.
+    let mask = (causal && rows > 1).then(|| Mat::from_fn(rows, ctx, |j, t| t > ctx - rows + j));
+    let mut out = Mat::zeros(rows, block.heads() * d_k);
+    for i in 0..block.heads() {
+        let c0 = i * d_k;
+        let qi = q.submatrix(r0, c0, rows, d_k).expect("head panel");
+        let ki = keys.panel(c0, d_k);
+        let vi = vals.panel(c0, d_k);
+        let d_acc = gemm::matmul_i8_nt(&qi, &ki).expect("shapes");
+        let probs = scaled_masked_softmax(
+            &d_acc,
+            block.d_scale(),
+            d_k,
+            mask.as_ref(),
+            block.softmax_mode(),
+        );
+        let p_acc = gemm::matmul_i8(&probs, &vi).expect("shapes");
+        for j in 0..rows {
+            for (slot, &a) in out.row_mut(j)[c0..c0 + d_k].iter_mut().zip(p_acc.row(j)) {
+                *slot = block.requantize_p(a);
+            }
+        }
+    }
+    out
 }
 
 impl<'a> Executor for QuantRowExec<'a> {
@@ -400,26 +538,67 @@ impl<'a> Executor for QuantRowExec<'a> {
             (QRowVal::Caches(k), QRowVal::Caches(v)) => (k, v),
             _ => panic!("inputs \"keys\"/\"vals\" must be per-session caches"),
         };
-        assert_eq!(x.rows(), keys.len(), "one key cache per row");
-        assert_eq!(x.rows(), vals.len(), "one value cache per row");
+        match self.groups {
+            Some(groups) => {
+                assert_eq!(groups.len(), keys.len(), "one key cache per group");
+                assert_eq!(groups.len(), vals.len(), "one value cache per group");
+                assert_eq!(
+                    groups.iter().sum::<usize>(),
+                    x.rows(),
+                    "group sizes must sum to the input rows"
+                );
+            }
+            None => {
+                assert_eq!(x.rows(), keys.len(), "one key cache per row");
+                assert_eq!(x.rows(), vals.len(), "one value cache per row");
+            }
+        }
+        self.stats.kv_bytes_in_use = keys
+            .iter()
+            .chain(vals.iter())
+            .map(|c| c.resident_bytes())
+            .sum();
 
         let block = self.block;
+        let causal = self.causal;
         let (wq, _, _, wo) = block.projections();
         let q = wq.forward(&x);
-        let g_matmul = if x.rows() == 1 {
+        let g_matmul = if let Some(groups) = self.groups {
+            // Chunked prefill: fan per-session chunks out across threads;
+            // each chunk is a contiguous row group attending its own cache.
+            let offsets: Vec<usize> = groups
+                .iter()
+                .scan(0usize, |acc, &g| {
+                    let r0 = *acc;
+                    *acc += g;
+                    Some(r0)
+                })
+                .collect();
+            let idx: Vec<usize> = (0..groups.len()).collect();
+            let chunks = tensor::par::par_map(&idx, |&i| {
+                head_section_chunk(block, &q, offsets[i], groups[i], &keys[i], &vals[i], causal)
+            });
+            let mut p = Mat::zeros(x.rows(), x.cols());
+            for (i, chunk) in chunks.iter().enumerate() {
+                for j in 0..chunk.rows() {
+                    p.row_mut(offsets[i] + j).copy_from_slice(chunk.row(j));
+                }
+            }
+            wo.forward(&p)
+        } else if x.rows() == 1 {
             if let Some(p_buf) = self.scratch.as_deref_mut() {
-                head_section(block, &q, 0, keys[0], vals[0], &mut p_buf.row_mut(0)[..]);
+                head_section(block, &q, 0, &keys[0], &vals[0], &mut p_buf.row_mut(0)[..]);
                 wo.forward(p_buf)
             } else {
                 let mut p = Mat::zeros(1, x.cols());
-                head_section(block, &q, 0, keys[0], vals[0], &mut p.row_mut(0)[..]);
+                head_section(block, &q, 0, &keys[0], &vals[0], &mut p.row_mut(0)[..]);
                 wo.forward(&p)
             }
         } else {
             let rows: Vec<usize> = (0..x.rows()).collect();
             let p_rows = tensor::par::par_map(&rows, |&r| {
                 let mut p_row = vec![0i8; x.cols()];
-                head_section(block, &q, r, keys[r], vals[r], &mut p_row);
+                head_section(block, &q, r, &keys[r], &vals[r], &mut p_row);
                 p_row
             });
             let mut p = Mat::zeros(x.rows(), x.cols());
@@ -564,8 +743,8 @@ mod tests {
                 &g,
                 vec![
                     ("x", QRowVal::Codes(row.clone())),
-                    ("keys", QRowVal::Caches(vec![&keys])),
-                    ("vals", QRowVal::Caches(vec![&vals])),
+                    ("keys", QRowVal::Caches(vec![CacheRef::flat(&keys)])),
+                    ("vals", QRowVal::Caches(vec![CacheRef::flat(&vals)])),
                 ],
                 None,
             );
@@ -603,11 +782,11 @@ mod tests {
                 ("x", QRowVal::Codes(x.clone())),
                 (
                     "keys",
-                    QRowVal::Caches(caches.iter().map(|c| &c.0).collect()),
+                    QRowVal::Caches(caches.iter().map(|c| CacheRef::flat(&c.0)).collect()),
                 ),
                 (
                     "vals",
-                    QRowVal::Caches(caches.iter().map(|c| &c.1).collect()),
+                    QRowVal::Caches(caches.iter().map(|c| CacheRef::flat(&c.1)).collect()),
                 ),
             ],
             None,
@@ -620,13 +799,90 @@ mod tests {
                 &g,
                 vec![
                     ("x", QRowVal::Codes(row)),
-                    ("keys", QRowVal::Caches(vec![&cache.0])),
-                    ("vals", QRowVal::Caches(vec![&cache.1])),
+                    ("keys", QRowVal::Caches(vec![CacheRef::flat(&cache.0)])),
+                    ("vals", QRowVal::Caches(vec![CacheRef::flat(&cache.1)])),
                 ],
                 None,
             );
             let want = env.take("y").into_codes();
             assert_eq!(got.row(r), want.row(0), "row {r}");
         }
+    }
+
+    #[test]
+    fn paged_caches_are_bit_identical_to_flat() {
+        // The same K/V rows served flat and served through a tiny-page
+        // pool must produce identical outputs — single-row, batched, and
+        // chunked-prefill paths alike.
+        let (q, calib, cfg) = setup();
+        let (_, wk, wv, _) = q.projections();
+        let xq = q.quantize_input_q(&calib[0]);
+        let keys = wk.forward(&xq);
+        let vals = wv.forward(&xq);
+        let mut pool_k = KvPool::<i8>::new(2, cfg.d_model);
+        let mut pool_v = KvPool::<i8>::new(2, cfg.d_model);
+        let mut seq_k = KvSeq::new();
+        let mut seq_v = KvSeq::new();
+        for r in 0..keys.rows() {
+            pool_k.push_row(&mut seq_k, keys.row(r));
+            pool_v.push_row(&mut seq_v, vals.row(r));
+        }
+        let paged_k = CacheRef::paged(&pool_k, &seq_k);
+        assert_eq!(paged_k.rows(), keys.rows());
+        assert!(paged_k.resident_bytes() >= CacheRef::flat(&keys).resident_bytes());
+        let g = mha_cached_graph(&graph::GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: 0,
+            h: cfg.h,
+        });
+        let run = |keys: CacheRef<'_>, vals: CacheRef<'_>, rows: Mat<i8>, chunk: bool| {
+            let groups = [rows.rows()];
+            let mut exec = if chunk {
+                QuantRowExec::prefill(&q, &groups, true)
+            } else {
+                QuantRowExec::new(&q)
+            };
+            let mut env = exec.run(
+                &g,
+                vec![
+                    ("x", QRowVal::Codes(rows)),
+                    ("keys", QRowVal::Caches(vec![keys])),
+                    ("vals", QRowVal::Caches(vec![vals])),
+                ],
+                None,
+            );
+            (env.take("y").into_codes(), exec.stats().kv_bytes_in_use)
+        };
+        let row = xq.submatrix(xq.rows() - 1, 0, 1, cfg.d_model).unwrap();
+        let (flat_y, flat_kv) = run(
+            CacheRef::flat(&keys),
+            CacheRef::flat(&vals),
+            row.clone(),
+            false,
+        );
+        let (paged_y, paged_kv) = run(
+            CacheRef::paged(&pool_k, &seq_k),
+            CacheRef::paged(&pool_v, &seq_v),
+            row,
+            false,
+        );
+        assert_eq!(flat_y, paged_y);
+        assert!(paged_kv >= flat_kv, "paged stat counts whole pages");
+        // Chunked prefill over the last 3 rows (the caches already hold
+        // them): flat and paged storage must agree bit for bit.
+        let tail = xq.submatrix(xq.rows() - 3, 0, 3, cfg.d_model).unwrap();
+        let (flat_c, _) = run(
+            CacheRef::flat(&keys),
+            CacheRef::flat(&vals),
+            tail.clone(),
+            true,
+        );
+        let (paged_c, _) = run(
+            CacheRef::paged(&pool_k, &seq_k),
+            CacheRef::paged(&pool_v, &seq_v),
+            tail,
+            true,
+        );
+        assert_eq!(flat_c, paged_c);
     }
 }

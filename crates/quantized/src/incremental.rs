@@ -1,4 +1,5 @@
-//! KV-cached incremental decoding for the quantized model.
+//! KV-cached incremental decoding for the quantized model, over a
+//! shared **paged** KV arena.
 //!
 //! Mirrors `transformer::incremental` in the INT8 domain: the projected
 //! self-attention K/V *codes* of every decoder layer are cached, and the
@@ -8,6 +9,16 @@
 //! **bit-identical** to [`QuantSeq2Seq::greedy_decode`] — asserted by
 //! tests — while doing O(L) layer passes instead of O(L²).
 //!
+//! Self-attention K/V live in a [`KvArena`] — two shared
+//! [`tensor::kvpool::KvPool`]s of fixed-size pages with free-list
+//! recycling. A session holds only block tables ([`KvSeq`]); pages are
+//! allocated on demand as tokens are consumed (no `max_len`
+//! preallocation) and returned copy-free when the session is
+//! [released](QuantIncrementalSession::release). Since the pages store
+//! exactly the same i8 codes a flat cache held, paging is lossless:
+//! every decode remains bit-identical. Cross-attention K/V are exact-size
+//! flat matrices (their length is the source length, known up front).
+//!
 //! Sessions can also advance **together**: [`QuantSeq2Seq::step_sessions`]
 //! stacks one active row per session and runs each layer's projections,
 //! output matmul and FFN as single multi-row GEMMs (one `matmul_i8` per
@@ -15,25 +26,104 @@
 //! never reorder a row's accumulation, so every batched row is
 //! bit-identical to the single-session path for any batch composition —
 //! the property the `serving` crate's continuous batcher is built on.
+//! [`QuantSeq2Seq::prefill_sessions`] extends the same argument to
+//! multi-row **chunks**: a prompt of length L is consumed in fixed-size
+//! chunks (one GEMM per weight matrix per chunk instead of L sequential
+//! steps), with the executor's intra-chunk causal mask keeping the
+//! result bit-identical to token-at-a-time ingestion.
 
 use graph::{Executor, Graph};
+use tensor::kvpool::{page_rows_from_env, KvPool, KvSeq, DEFAULT_PAGE_ROWS};
 use tensor::Mat;
 use transformer::tasks::{BOS, EOS};
 
-use crate::exec::{QRowVal, QuantRowExec};
+use crate::exec::{CacheRef, QRowVal, QuantRowExec};
 use crate::mha::QuantMhaResBlock;
 use crate::model::QuantSeq2Seq;
 
-#[derive(Debug, Clone)]
+/// The shared paged store for projected self-attention K/V codes: one
+/// page pool for keys, one for values, serving every session and every
+/// decoder layer (all caches are `d_model` wide). Create one per
+/// serving engine (or one per decode for the convenience entry points)
+/// and pass it to every session call.
+///
+/// Page height defaults to [`DEFAULT_PAGE_ROWS`] and is overridable via
+/// the `ACCEL_KV_PAGE` environment variable (read at construction).
+#[derive(Debug)]
+pub struct KvArena {
+    pub(crate) k: KvPool<i8>,
+    pub(crate) v: KvPool<i8>,
+}
+
+impl KvArena {
+    /// An arena for caches `d_model` columns wide, with the page height
+    /// taken from `ACCEL_KV_PAGE` (default [`DEFAULT_PAGE_ROWS`]).
+    pub fn new(d_model: usize) -> Self {
+        Self::with_page_rows(d_model, page_rows_from_env(DEFAULT_PAGE_ROWS))
+    }
+
+    /// An arena sized for `model`'s decoder caches.
+    pub fn for_model(model: &QuantSeq2Seq) -> Self {
+        Self::new(model.tgt_embedding().d_model())
+    }
+
+    /// An arena with an explicit page height (tests pin this so their
+    /// page-boundary assertions hold under any `ACCEL_KV_PAGE`).
+    pub fn with_page_rows(d_model: usize, page_rows: usize) -> Self {
+        Self {
+            k: KvPool::new(page_rows, d_model),
+            v: KvPool::new(page_rows, d_model),
+        }
+    }
+
+    /// Rows per page.
+    pub fn page_rows(&self) -> usize {
+        self.k.page_rows()
+    }
+
+    /// Bytes resident in pages currently held by live sessions (whole
+    /// pages, K and V pools together) — the serving memory budget's
+    /// denominator.
+    pub fn kv_bytes_in_use(&self) -> usize {
+        self.k.bytes_in_use() + self.v.bytes_in_use()
+    }
+
+    /// High-water bytes ever allocated (live + free-listed pages).
+    pub fn kv_bytes_allocated(&self) -> usize {
+        self.k.bytes_allocated() + self.v.bytes_allocated()
+    }
+
+    /// Pages held by live sessions across both pools.
+    pub fn pages_in_use(&self) -> usize {
+        self.k.pages_in_use() + self.v.pages_in_use()
+    }
+
+    /// The key-code pool (for building [`CacheRef`]s in tests/benches).
+    pub fn key_pool(&self) -> &KvPool<i8> {
+        &self.k
+    }
+
+    /// The value-code pool.
+    pub fn val_pool(&self) -> &KvPool<i8> {
+        &self.v
+    }
+}
+
+#[derive(Debug)]
 struct QLayerCache {
-    self_k: Mat<i8>,
-    self_v: Mat<i8>,
+    self_k: KvSeq,
+    self_v: KvSeq,
     cross_k: Mat<i8>,
     cross_v: Mat<i8>,
 }
 
-/// An INT8 decoding session over one source sentence.
-#[derive(Debug, Clone)]
+/// An INT8 decoding session over one source sentence. Self-attention
+/// K/V are block tables into the [`KvArena`] the session was started
+/// with; every session method must be given that same arena. Call
+/// [`release`](Self::release) when done to return the pages (dropping
+/// the session without releasing leaks its pages until the arena is
+/// dropped).
+#[derive(Debug)]
 pub struct QuantIncrementalSession {
     memory_rows: usize,
     layers: Vec<QLayerCache>,
@@ -58,8 +148,8 @@ fn resblock_row(
     g: &Graph,
     block: &QuantMhaResBlock,
     x_row: &Mat<i8>,
-    keys: &Mat<i8>,
-    vals: &Mat<i8>,
+    keys: CacheRef<'_>,
+    vals: CacheRef<'_>,
     p_buf: &mut Mat<i8>,
 ) -> Mat<i8> {
     let mut exec = QuantRowExec::with_scratch(block, p_buf);
@@ -75,25 +165,27 @@ fn resblock_row(
     env.take("y").into_codes()
 }
 
-/// One cached-attention ResBlock applied to a stack of rows, one row per
-/// session, through [`QuantRowExec`]'s batched path: the `W_Q` and `W_G`
-/// matmuls run once over all rows; the per-head attention (whose K/V
-/// lengths differ per session) fans out across threads per row. Row `r`
-/// of the result is bit-identical to [`resblock_row`] on row `r` alone
-/// (integer GEMMs are row-independent).
-fn resblock_rows(
+/// One cached-attention ResBlock applied to per-session multi-row
+/// chunks through [`QuantRowExec::prefill`]. `groups[i]` consecutive
+/// rows of `x` belong to session `i` and attend over cache `i`; with
+/// `causal` set the executor masks each row's intra-chunk future, so
+/// the chunk is bit-identical to feeding its rows one step at a time.
+fn resblock_chunks(
     g: &Graph,
     block: &QuantMhaResBlock,
     x: &Mat<i8>,
-    kvs: &[(&Mat<i8>, &Mat<i8>)],
+    groups: &[usize],
+    keys: Vec<CacheRef<'_>>,
+    vals: Vec<CacheRef<'_>>,
+    causal: bool,
 ) -> Mat<i8> {
-    let mut exec = QuantRowExec::new(block);
+    let mut exec = QuantRowExec::prefill(block, groups, causal);
     let mut env = exec.run(
         g,
         vec![
             ("x", QRowVal::Codes(x.clone())),
-            ("keys", QRowVal::Caches(kvs.iter().map(|kv| kv.0).collect())),
-            ("vals", QRowVal::Caches(kvs.iter().map(|kv| kv.1).collect())),
+            ("keys", QRowVal::Caches(keys)),
+            ("vals", QRowVal::Caches(vals)),
         ],
         None,
     );
@@ -101,31 +193,31 @@ fn resblock_rows(
 }
 
 impl QuantSeq2Seq {
-    /// Opens an incremental decoding session: encodes `src` and
-    /// precomputes each decoder layer's cross-attention K/V codes.
+    /// Opens an incremental decoding session in `arena`: encodes `src`
+    /// and precomputes each decoder layer's cross-attention K/V codes.
+    /// Self-attention KV pages are allocated on demand as tokens are
+    /// consumed — a fresh session holds no pages.
     ///
     /// # Panics
     ///
     /// Panics if `src` is empty.
-    pub fn start_session(&self, src: &[usize]) -> QuantIncrementalSession {
+    pub fn start_session(&self, arena: &mut KvArena, src: &[usize]) -> QuantIncrementalSession {
         assert!(!src.is_empty(), "source must be non-empty");
         let memory = self.encode(src);
         let d_model = memory.cols();
-        let max_len = self.max_len();
+        assert_eq!(
+            arena.k.cols(),
+            d_model,
+            "arena width does not match the model's d_model"
+        );
         let layers = self
             .decoder_layers()
             .iter()
             .map(|layer| {
                 let (_, wk, wv, _) = layer.cross_mha.projections();
-                // Reserve the whole decode horizon up front so the
-                // per-token push_row never reallocates mid-sequence.
-                let mut self_k = Mat::zeros(0, d_model);
-                self_k.reserve_rows(max_len);
-                let mut self_v = Mat::zeros(0, d_model);
-                self_v.reserve_rows(max_len);
                 QLayerCache {
-                    self_k,
-                    self_v,
+                    self_k: KvSeq::new(),
+                    self_v: KvSeq::new(),
                     cross_k: wk.forward(&memory),
                     cross_v: wv.forward(&memory),
                 }
@@ -142,33 +234,39 @@ impl QuantSeq2Seq {
     /// Feeds one target token and returns the next-token logits (FP32,
     /// from the output projection). Bit-identical to the full-prefix
     /// decode at the same position.
-    pub fn step_session(&self, session: &mut QuantIncrementalSession, token: usize) -> Vec<f32> {
+    pub fn step_session(
+        &self,
+        arena: &mut KvArena,
+        session: &mut QuantIncrementalSession,
+        token: usize,
+    ) -> Vec<f32> {
         let emb = self.tgt_embedding().embed_at(token, session.pos);
         let emb_row = Mat::from_vec(1, emb.len(), emb).expect("row");
         let mut x = self.decoder_layers()[0].self_mha.quantize_input_q(&emb_row);
         let g = cached_graph(&self.decoder_layers()[0].self_mha);
-        for (layer, cache) in self.decoder_layers().iter().zip(&mut session.layers) {
+        let QuantIncrementalSession { layers, p_buf, .. } = session;
+        for (layer, cache) in self.decoder_layers().iter().zip(layers.iter_mut()) {
             // Extend the projected self-attention cache with this row.
             let (_, wk, wv, _) = layer.self_mha.projections();
             let k_new = wk.forward(&x);
             let v_new = wv.forward(&x);
-            cache.self_k.push_row(k_new.row(0));
-            cache.self_v.push_row(v_new.row(0));
+            arena.k.push_row(&mut cache.self_k, k_new.row(0));
+            arena.v.push_row(&mut cache.self_v, v_new.row(0));
             let a = resblock_row(
                 &g,
                 &layer.self_mha,
                 &x,
-                &cache.self_k,
-                &cache.self_v,
-                &mut session.p_buf,
+                CacheRef::paged(&arena.k, &cache.self_k),
+                CacheRef::paged(&arena.v, &cache.self_v),
+                p_buf,
             );
             let b = resblock_row(
                 &g,
                 &layer.cross_mha,
                 &a,
-                &cache.cross_k,
-                &cache.cross_v,
-                &mut session.p_buf,
+                CacheRef::flat(&cache.cross_k),
+                CacheRef::flat(&cache.cross_v),
+                p_buf,
             );
             let (c, _) = layer.ffn.forward(&b);
             x = c;
@@ -198,65 +296,174 @@ impl QuantSeq2Seq {
     /// `tokens`'.
     pub fn step_sessions(
         &self,
+        arena: &mut KvArena,
         sessions: &mut [&mut QuantIncrementalSession],
         tokens: &[usize],
     ) -> Vec<Vec<f32>> {
         assert_eq!(sessions.len(), tokens.len(), "one token per session");
+        let chunks: Vec<&[usize]> = tokens.chunks(1).collect();
+        self.prefill_sessions(arena, sessions, &chunks)
+    }
+
+    /// Consumes a multi-token **chunk** per session in one pass — the
+    /// chunked-prefill step. Chunk rows are stacked across sessions into
+    /// one matrix, so each layer's projections, output matmul and FFN
+    /// run as a single GEMM over `sum(chunk lengths)` rows; per-session
+    /// attention (with the executor's intra-chunk causal mask) fans out
+    /// across threads. Returns each session's **last-row** logits — the
+    /// next-token distribution after its chunk — bit-identical to
+    /// feeding the same tokens one [`step_session`] at a time (masked
+    /// softmax columns produce exactly-zero probability codes, which
+    /// contribute nothing to the context GEMM).
+    ///
+    /// Chunks may have different lengths; a length-1 chunk is exactly a
+    /// decode step, so prefill chunks and decode steps can share one
+    /// batched call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is empty, lengths differ, or any chunk is
+    /// empty.
+    ///
+    /// [`step_session`]: QuantSeq2Seq::step_session
+    pub fn prefill_sessions(
+        &self,
+        arena: &mut KvArena,
+        sessions: &mut [&mut QuantIncrementalSession],
+        chunks: &[&[usize]],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(sessions.len(), chunks.len(), "one chunk per session");
         assert!(!sessions.is_empty(), "empty step batch");
+        assert!(
+            chunks.iter().all(|c| !c.is_empty()),
+            "prefill chunks must be non-empty"
+        );
         let b = sessions.len();
         let d_model = self.tgt_embedding().d_model();
-        let mut emb = Mat::zeros(b, d_model);
-        for (r, (session, &token)) in sessions.iter().zip(tokens).enumerate() {
-            emb.row_mut(r)
-                .copy_from_slice(&self.tgt_embedding().embed_at(token, session.pos));
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        let groups: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        let mut emb = Mat::zeros(total, d_model);
+        let mut r = 0;
+        for (session, chunk) in sessions.iter().zip(chunks) {
+            for (j, &token) in chunk.iter().enumerate() {
+                emb.row_mut(r)
+                    .copy_from_slice(&self.tgt_embedding().embed_at(token, session.pos + j));
+                r += 1;
+            }
         }
         let mut x = self.decoder_layers()[0].self_mha.quantize_input_q(&emb);
         let g = cached_graph(&self.decoder_layers()[0].self_mha);
         for (l, layer) in self.decoder_layers().iter().enumerate() {
             // Extend every session's projected self-attention cache with
-            // its row of this step's batched K/V projections.
+            // its chunk's rows of this step's batched K/V projections.
             let (_, wk, wv, _) = layer.self_mha.projections();
             let k_new = wk.forward(&x);
             let v_new = wv.forward(&x);
-            for (r, session) in sessions.iter_mut().enumerate() {
-                session.layers[l].self_k.push_row(k_new.row(r));
-                session.layers[l].self_v.push_row(v_new.row(r));
+            let mut r0 = 0;
+            for (session, chunk) in sessions.iter_mut().zip(chunks) {
+                let cache = &mut session.layers[l];
+                for j in 0..chunk.len() {
+                    arena.k.push_row(&mut cache.self_k, k_new.row(r0 + j));
+                    arena.v.push_row(&mut cache.self_v, v_new.row(r0 + j));
+                }
+                r0 += chunk.len();
             }
-            let self_kvs: Vec<(&Mat<i8>, &Mat<i8>)> = sessions
-                .iter()
-                .map(|s| (&s.layers[l].self_k, &s.layers[l].self_v))
-                .collect();
-            let a = resblock_rows(&g, &layer.self_mha, &x, &self_kvs);
-            let cross_kvs: Vec<(&Mat<i8>, &Mat<i8>)> = sessions
-                .iter()
-                .map(|s| (&s.layers[l].cross_k, &s.layers[l].cross_v))
-                .collect();
-            let bm = resblock_rows(&g, &layer.cross_mha, &a, &cross_kvs);
+            let a = resblock_chunks(
+                &g,
+                &layer.self_mha,
+                &x,
+                &groups,
+                sessions
+                    .iter()
+                    .map(|s| CacheRef::paged(&arena.k, &s.layers[l].self_k))
+                    .collect(),
+                sessions
+                    .iter()
+                    .map(|s| CacheRef::paged(&arena.v, &s.layers[l].self_v))
+                    .collect(),
+                true,
+            );
+            let bm = resblock_chunks(
+                &g,
+                &layer.cross_mha,
+                &a,
+                &groups,
+                sessions
+                    .iter()
+                    .map(|s| CacheRef::flat(&s.layers[l].cross_k))
+                    .collect(),
+                sessions
+                    .iter()
+                    .map(|s| CacheRef::flat(&s.layers[l].cross_v))
+                    .collect(),
+                false,
+            );
             let (c, _) = layer.ffn.forward(&bm);
             x = c;
         }
-        for session in sessions.iter_mut() {
-            session.pos += 1;
+        for (session, chunk) in sessions.iter_mut().zip(chunks) {
+            session.pos += chunk.len();
         }
+        // Only each session's last chunk row carries next-token logits;
+        // gather those b rows and project once.
         let last_ffn = &self.decoder_layers().last().expect("nonempty decoder").ffn;
-        let x_f32 = last_ffn.dequantize_output(&x);
-        let logits = self.output_projection_rows(&x_f32);
-        (0..b).map(|r| logits.row(r).to_vec()).collect()
+        let mut last = Mat::zeros(b, d_model);
+        let mut r0 = 0;
+        for (i, chunk) in chunks.iter().enumerate() {
+            r0 += chunk.len();
+            last.row_mut(i).copy_from_slice(x.row(r0 - 1));
+        }
+        let last_f32 = last_ffn.dequantize_output(&last);
+        let logits = self.output_projection_rows(&last_f32);
+        (0..b).map(|i| logits.row(i).to_vec()).collect()
     }
 
-    /// Greedy decoding through the INT8 KV cache.
+    /// Greedy decoding through the INT8 KV cache (private arena; pages
+    /// are reclaimed when it drops).
     pub fn greedy_decode_incremental(&self, src: &[usize], max_len: usize) -> Vec<usize> {
-        let mut session = self.start_session(src);
+        let mut arena = KvArena::for_model(self);
+        let mut session = self.start_session(&mut arena, src);
         let mut out = Vec::new();
         let mut token = BOS;
         for _ in 0..max_len {
-            let logits = self.step_session(&mut session, token);
+            let logits = self.step_session(&mut arena, &mut session, token);
             let next = tensor::ops::argmax(&logits);
             if next == EOS {
                 break;
             }
             out.push(next);
             token = next;
+        }
+        out
+    }
+
+    /// Sequential (token-at-a-time) reference for prompted decoding:
+    /// feeds `BOS` then every prompt token through single-row steps,
+    /// then greedily generates up to `max_new` tokens. Returns only the
+    /// generated tokens. The chunked-prefill serving path must match
+    /// this bit for bit — it is the differential test's golden path and
+    /// the throughput bench's "token-at-a-time prompt ingestion"
+    /// baseline.
+    pub fn greedy_decode_with_prompt(
+        &self,
+        src: &[usize],
+        prompt: &[usize],
+        max_new: usize,
+    ) -> Vec<usize> {
+        let mut arena = KvArena::for_model(self);
+        let mut session = self.start_session(&mut arena, src);
+        let mut logits = self.step_session(&mut arena, &mut session, BOS);
+        for &t in prompt {
+            logits = self.step_session(&mut arena, &mut session, t);
+        }
+        let mut out = Vec::new();
+        for _ in 0..max_new {
+            let next = tensor::ops::argmax(&logits);
+            if next == EOS {
+                break;
+            }
+            out.push(next);
+            logits = self.step_session(&mut arena, &mut session, next);
         }
         out
     }
@@ -273,6 +480,18 @@ impl QuantIncrementalSession {
         self.memory_rows
     }
 
+    /// Bytes of paged KV storage resident for this session (whole
+    /// pages, K and V, all layers).
+    pub fn resident_kv_bytes(&self, arena: &KvArena) -> usize {
+        self.layers
+            .iter()
+            .map(|c| {
+                (arena.k.resident_rows(&c.self_k) + arena.v.resident_rows(&c.self_v))
+                    * arena.k.cols()
+            })
+            .sum()
+    }
+
     /// Rewinds the session by one step: drops the newest row from every
     /// layer's projected self-attention K/V cache and decrements `pos`.
     ///
@@ -280,17 +499,46 @@ impl QuantIncrementalSession {
     /// tokens already consumed), so after a rollback the next
     /// `step_session` with the same token is bit-identical to the first
     /// attempt — the recovery primitive the serving layer's
-    /// retry-on-detected-fault path is built on.
+    /// retry-on-detected-fault path is built on. Truncation crosses page
+    /// boundaries: a page emptied by the rollback goes back to the
+    /// arena's free list.
     ///
     /// # Panics
     ///
     /// Panics if the session has not consumed any tokens yet.
-    pub fn rollback_step(&mut self) {
-        assert!(self.pos > 0, "rollback_step on a fresh session");
-        self.pos -= 1;
+    pub fn rollback_step(&mut self, arena: &mut KvArena) {
+        self.rollback_rows(arena, 1);
+    }
+
+    /// Rewinds the session by `rows` steps — the chunk-sized rollback a
+    /// faulted prefill step needs (a chunk is replayed whole, exactly
+    /// like a faulted decode row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has consumed fewer than `rows` tokens.
+    pub fn rollback_rows(&mut self, arena: &mut KvArena, rows: usize) {
+        assert!(rows > 0, "rollback of zero rows");
+        assert!(
+            self.pos >= rows,
+            "rollback_step on a fresh session (pos {} < rows {rows})",
+            self.pos
+        );
+        self.pos -= rows;
         for cache in &mut self.layers {
-            cache.self_k.truncate_rows(self.pos);
-            cache.self_v.truncate_rows(self.pos);
+            arena.k.truncate(&mut cache.self_k, self.pos);
+            arena.v.truncate(&mut cache.self_v, self.pos);
+        }
+    }
+
+    /// Returns every KV page this session holds to the arena's free
+    /// list (copy-free). The session is back to a fresh state
+    /// (`pos == 0`) but remains usable.
+    pub fn release(&mut self, arena: &mut KvArena) {
+        self.pos = 0;
+        for cache in &mut self.layers {
+            arena.k.release(&mut cache.self_k);
+            arena.v.release(&mut cache.self_v);
         }
     }
 }
@@ -336,10 +584,11 @@ mod tests {
         let mut tin = vec![BOS];
         tin.extend_from_slice(tgt);
         let full = q.forward_logits(src, &tin);
-        let mut session = q.start_session(src);
+        let mut arena = KvArena::for_model(&q);
+        let mut session = q.start_session(&mut arena, src);
         let mut got = Vec::new();
         for &t in &tin {
-            got = q.step_session(&mut session, t);
+            got = q.step_session(&mut arena, &mut session, t);
         }
         let want = full.row(tin.len() - 1);
         assert_eq!(got.len(), want.len());
@@ -352,21 +601,47 @@ mod tests {
     fn session_bookkeeping() {
         let (q, corpus) = setup();
         let (src, _) = &corpus[1];
-        let mut s = q.start_session(src);
+        let mut arena = KvArena::for_model(&q);
+        let mut s = q.start_session(&mut arena, src);
         assert_eq!(s.pos(), 0);
         assert_eq!(s.memory_rows(), src.len());
-        let _ = q.step_session(&mut s, BOS);
+        let _ = q.step_session(&mut arena, &mut s, BOS);
         assert_eq!(s.pos(), 1);
     }
 
     #[test]
-    fn kv_caches_reserve_decode_horizon() {
+    fn kv_pages_allocate_on_demand_and_release() {
+        // The old path reserved max_len rows per layer up front; the
+        // paged arena must hold zero pages for a fresh session, grow one
+        // page per pool per layer on the first step, and return
+        // everything on release.
         let (q, corpus) = setup();
-        let s = q.start_session(&corpus[0].0);
-        for cache in &s.layers {
-            assert!(cache.self_k.row_capacity() >= q.max_len());
-            assert!(cache.self_v.row_capacity() >= q.max_len());
+        let d_model = q.tgt_embedding().d_model();
+        let mut arena = KvArena::with_page_rows(d_model, 4);
+        let mut s = q.start_session(&mut arena, &corpus[0].0);
+        assert_eq!(arena.kv_bytes_in_use(), 0);
+        assert_eq!(s.resident_kv_bytes(&arena), 0);
+        let _ = q.step_session(&mut arena, &mut s, BOS);
+        let n_layers = 2;
+        let one_page = 4 * d_model;
+        assert_eq!(arena.kv_bytes_in_use(), n_layers * 2 * one_page);
+        // Steps 2..4 fit in the same pages; step 5 opens new ones.
+        for t in 0..3 {
+            let _ = q.step_session(&mut arena, &mut s, 3 + t);
         }
+        assert_eq!(arena.kv_bytes_in_use(), n_layers * 2 * one_page);
+        let _ = q.step_session(&mut arena, &mut s, 5);
+        assert_eq!(arena.kv_bytes_in_use(), 2 * n_layers * 2 * one_page);
+        assert_eq!(s.resident_kv_bytes(&arena), arena.kv_bytes_in_use());
+        s.release(&mut arena);
+        assert_eq!(arena.kv_bytes_in_use(), 0);
+        // A new session reuses the freed pages without fresh allocation.
+        let allocated = arena.kv_bytes_allocated();
+        let mut s2 = q.start_session(&mut arena, &corpus[1].0);
+        for t in 0..5 {
+            let _ = q.step_session(&mut arena, &mut s2, 3 + t);
+        }
+        assert_eq!(arena.kv_bytes_allocated(), allocated);
     }
 
     #[test]
@@ -376,74 +651,202 @@ mod tests {
         // bit for bit, even with sessions at different positions.
         let (q, corpus) = setup();
         let srcs: Vec<&Vec<usize>> = corpus.iter().map(|(s, _)| s).collect();
-        let mut singles: Vec<QuantIncrementalSession> =
-            srcs.iter().map(|s| q.start_session(s)).collect();
-        let mut batched: Vec<QuantIncrementalSession> =
-            srcs.iter().map(|s| q.start_session(s)).collect();
+        let mut arena_s = KvArena::for_model(&q);
+        let mut arena_b = KvArena::for_model(&q);
+        let mut singles: Vec<QuantIncrementalSession> = srcs
+            .iter()
+            .map(|s| q.start_session(&mut arena_s, s))
+            .collect();
+        let mut batched: Vec<QuantIncrementalSession> = srcs
+            .iter()
+            .map(|s| q.start_session(&mut arena_b, s))
+            .collect();
         // Desynchronize positions: pre-step a prefix of the sessions.
         for (i, (single, batch)) in singles.iter_mut().zip(&mut batched).enumerate().take(2) {
             let tok = 3 + i;
-            let a = q.step_session(single, tok);
-            let b = q.step_sessions(&mut [batch], &[tok]);
+            let a = q.step_session(&mut arena_s, single, tok);
+            let b = q.step_sessions(&mut arena_b, &mut [batch], &[tok]);
             assert_eq!(a, b[0]);
         }
         let tokens: Vec<usize> = (0..srcs.len()).map(|i| BOS + i % 3).collect();
         let want: Vec<Vec<f32>> = singles
             .iter_mut()
             .zip(&tokens)
-            .map(|(s, &t)| q.step_session(s, t))
+            .map(|(s, &t)| q.step_session(&mut arena_s, s, t))
             .collect();
         let mut refs: Vec<&mut QuantIncrementalSession> = batched.iter_mut().collect();
-        let got = q.step_sessions(&mut refs, &tokens);
+        let got = q.step_sessions(&mut arena_b, &mut refs, &tokens);
         assert_eq!(want, got);
         for (s, b) in singles.iter().zip(&batched) {
             assert_eq!(s.pos(), b.pos());
             for (lc_s, lc_b) in s.layers.iter().zip(&b.layers) {
-                assert_eq!(lc_s.self_k, lc_b.self_k);
-                assert_eq!(lc_s.self_v, lc_b.self_v);
+                assert_eq!(
+                    arena_s.k.to_mat(&lc_s.self_k),
+                    arena_b.k.to_mat(&lc_b.self_k)
+                );
+                assert_eq!(
+                    arena_s.v.to_mat(&lc_s.self_v),
+                    arena_b.v.to_mat(&lc_b.self_v)
+                );
             }
         }
+    }
+
+    #[test]
+    fn chunked_prefill_is_bit_identical_to_sequential_steps() {
+        // The same prompt consumed in one chunk, in page-straddling
+        // chunks, and token-at-a-time must leave bit-identical caches
+        // and produce bit-identical next-token logits.
+        let (q, corpus) = setup();
+        let (src, tgt) = &corpus[0];
+        let mut prompt = vec![BOS];
+        prompt.extend_from_slice(tgt);
+        prompt.extend(corpus[1].1.iter().copied());
+        let d_model = q.tgt_embedding().d_model();
+
+        // Sequential reference (page height 3 forces mid-chunk page
+        // boundaries for every split below).
+        let mut arena_ref = KvArena::with_page_rows(d_model, 3);
+        let mut s_ref = q.start_session(&mut arena_ref, src);
+        let mut want = Vec::new();
+        for &t in &prompt {
+            want = q.step_session(&mut arena_ref, &mut s_ref, t);
+        }
+
+        for split in [prompt.len(), 1, 3, 5] {
+            let mut arena = KvArena::with_page_rows(d_model, 3);
+            let mut s = q.start_session(&mut arena, src);
+            let mut got = Vec::new();
+            for chunk in prompt.chunks(split) {
+                got = q
+                    .prefill_sessions(&mut arena, &mut [&mut s], &[chunk])
+                    .remove(0);
+            }
+            assert_eq!(want, got, "chunk size {split}");
+            assert_eq!(s.pos(), s_ref.pos());
+            for (lc, lc_ref) in s.layers.iter().zip(&s_ref.layers) {
+                assert_eq!(
+                    arena.k.to_mat(&lc.self_k),
+                    arena_ref.k.to_mat(&lc_ref.self_k),
+                    "chunk size {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_prefill_and_decode_chunks_are_bit_identical() {
+        // One call carrying a 4-row prefill chunk for one session and a
+        // 1-row decode step for another must match the two advanced
+        // separately.
+        let (q, corpus) = setup();
+        let chunk: Vec<usize> = vec![BOS, 3, 4, 5];
+        let mut arena = KvArena::for_model(&q);
+        let mut a = q.start_session(&mut arena, &corpus[0].0);
+        let mut b = q.start_session(&mut arena, &corpus[1].0);
+        let _ = q.step_session(&mut arena, &mut b, BOS);
+
+        let mut arena2 = KvArena::for_model(&q);
+        let mut a2 = q.start_session(&mut arena2, &corpus[0].0);
+        let mut b2 = q.start_session(&mut arena2, &corpus[1].0);
+        let _ = q.step_session(&mut arena2, &mut b2, BOS);
+
+        let want_a = q.prefill_sessions(&mut arena, &mut [&mut a], &[&chunk]);
+        let want_b = q.step_session(&mut arena, &mut b, 7);
+        let got = q.prefill_sessions(&mut arena2, &mut [&mut a2, &mut b2], &[&chunk, &[7usize]]);
+        assert_eq!(got[0], want_a[0]);
+        assert_eq!(got[1], want_b);
+    }
+
+    #[test]
+    fn prompted_decode_matches_chunked_prefill_continuation() {
+        let (q, corpus) = setup();
+        let (src, tgt) = &corpus[2];
+        let want = q.greedy_decode_with_prompt(src, tgt, 6);
+        // Chunked path: prefill [BOS] + prompt in one chunk, then decode.
+        let mut arena = KvArena::for_model(&q);
+        let mut s = q.start_session(&mut arena, src);
+        let mut chunk = vec![BOS];
+        chunk.extend_from_slice(tgt);
+        let mut logits = q
+            .prefill_sessions(&mut arena, &mut [&mut s], &[&chunk])
+            .remove(0);
+        let mut got = Vec::new();
+        for _ in 0..6 {
+            let next = tensor::ops::argmax(&logits);
+            if next == EOS {
+                break;
+            }
+            got.push(next);
+            logits = q.step_session(&mut arena, &mut s, next);
+        }
+        assert_eq!(want, got);
     }
 
     #[test]
     fn rollback_then_restep_is_bit_identical() {
         let (q, corpus) = setup();
         let (src, _) = &corpus[0];
-        let mut s = q.start_session(src);
-        let first = q.step_session(&mut s, BOS);
-        let second = q.step_session(&mut s, 4);
+        let mut arena = KvArena::for_model(&q);
+        let mut s = q.start_session(&mut arena, src);
+        let first = q.step_session(&mut arena, &mut s, BOS);
+        let second = q.step_session(&mut arena, &mut s, 4);
         // Rewind the second step and replay it: logits and caches must
         // come back bit-identical.
-        s.rollback_step();
+        s.rollback_step(&mut arena);
         assert_eq!(s.pos(), 1);
-        let replay = q.step_session(&mut s, 4);
+        let replay = q.step_session(&mut arena, &mut s, 4);
         assert_eq!(second, replay);
         // Rewind everything and replay both steps.
-        s.rollback_step();
-        s.rollback_step();
+        s.rollback_step(&mut arena);
+        s.rollback_step(&mut arena);
         assert_eq!(s.pos(), 0);
         for cache in &s.layers {
             assert_eq!(cache.self_k.rows(), 0);
             assert_eq!(cache.self_v.rows(), 0);
         }
-        assert_eq!(first, q.step_session(&mut s, BOS));
-        assert_eq!(second, q.step_session(&mut s, 4));
+        assert_eq!(first, q.step_session(&mut arena, &mut s, BOS));
+        assert_eq!(second, q.step_session(&mut arena, &mut s, 4));
+    }
+
+    #[test]
+    fn chunk_rollback_across_page_boundary_is_bit_identical() {
+        // Consume a chunk that straddles a page boundary, roll the whole
+        // chunk back (pages must return to the free list), and replay:
+        // the logits must be bit-identical to the first attempt.
+        let (q, corpus) = setup();
+        let d_model = q.tgt_embedding().d_model();
+        let mut arena = KvArena::with_page_rows(d_model, 4);
+        let mut s = q.start_session(&mut arena, &corpus[0].0);
+        let warm: Vec<usize> = vec![BOS, 3];
+        let _ = q.prefill_sessions(&mut arena, &mut [&mut s], &[&warm]);
+        let chunk: Vec<usize> = vec![4, 5, 6, 7]; // rows 2..6: straddles page 0/1
+        let first = q.prefill_sessions(&mut arena, &mut [&mut s], &[&chunk]);
+        let pages_after = arena.pages_in_use();
+        s.rollback_rows(&mut arena, chunk.len());
+        assert_eq!(s.pos(), 2);
+        assert!(arena.pages_in_use() < pages_after, "rollback frees pages");
+        let replay = q.prefill_sessions(&mut arena, &mut [&mut s], &[&chunk]);
+        assert_eq!(first, replay);
+        assert_eq!(arena.pages_in_use(), pages_after);
     }
 
     #[test]
     #[should_panic(expected = "rollback_step on a fresh session")]
     fn rollback_on_fresh_session_panics() {
         let (q, corpus) = setup();
-        let mut s = q.start_session(&corpus[0].0);
-        s.rollback_step();
+        let mut arena = KvArena::for_model(&q);
+        let mut s = q.start_session(&mut arena, &corpus[0].0);
+        s.rollback_step(&mut arena);
     }
 
     #[test]
     #[should_panic(expected = "one token per session")]
     fn batched_step_rejects_length_mismatch() {
         let (q, corpus) = setup();
-        let mut s = q.start_session(&corpus[0].0);
-        let _ = q.step_sessions(&mut [&mut s], &[BOS, BOS]);
+        let mut arena = KvArena::for_model(&q);
+        let mut s = q.start_session(&mut arena, &corpus[0].0);
+        let _ = q.step_sessions(&mut arena, &mut [&mut s], &[BOS, BOS]);
     }
 
     #[test]

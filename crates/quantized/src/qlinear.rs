@@ -212,9 +212,26 @@ impl QLinear {
     /// `out_scale` INT8 codes.
     pub fn forward(&self, x: &Mat<i8>) -> Mat<i8> {
         let acc = self.forward_acc(x);
-        Mat::from_fn(acc.rows(), acc.cols(), |r, c| {
-            self.requantize_col(c, acc[(r, c)])
-        })
+        let (rows, cols) = acc.shape();
+        let mut out = Mat::zeros(rows, cols);
+        // Hoist the per-tensor/per-channel branch out of the element loop
+        // so the requantizer multiply vectorises over each row.
+        if self.requants.len() == 1 {
+            let rq = self.requants[0];
+            for r in 0..rows {
+                for (o, &a) in out.row_mut(r).iter_mut().zip(acc.row(r)) {
+                    *o = rq.apply_sat_i8(a);
+                }
+            }
+        } else {
+            for r in 0..rows {
+                let dst = out.row_mut(r);
+                for ((o, &a), rq) in dst.iter_mut().zip(acc.row(r)).zip(&self.requants) {
+                    *o = rq.apply_sat_i8(a);
+                }
+            }
+        }
+        out
     }
 
     /// Requantizes an accumulator drained from output column `col`.

@@ -81,36 +81,64 @@ fn hw_softmax(d_acc: &Mat<i32>, d_scale: f32, d_k: usize, mask: Option<&Mat<bool
     let ratio = d_scale as f64 / (d_k as f64).sqrt() * (1i64 << FRAC) as f64;
     let to_fx = Requantizer::from_ratio(ratio);
     let mut out = Mat::zeros(rows, cols);
+    // Masked columns carry a sentinel so low that every later stage
+    // treats them as probability zero without re-consulting the mask:
+    // `exp_unit` underflows to exactly 0, so they add nothing to the sum
+    // and quantize to the exact-zero code the mask contract requires.
+    // (i64::MIN / 4 leaves headroom for the `- max - ln_sum` arithmetic.)
+    const MASKED: i64 = i64::MIN / 4;
+    let mut x_fx = vec![0i64; cols];
+    let mut d32 = vec![0i32; cols];
     for r in 0..rows {
-        let legal = |c: usize| mask.is_none_or(|m| !m[(r, c)]);
-        // Stage 1: running maximum over legal columns.
-        let mut max_fx: Option<i64> = None;
-        let mut x_fx = vec![0i64; cols];
-        for (c, slot) in x_fx.iter_mut().enumerate() {
-            if legal(c) {
-                let v = to_fx.apply(d_acc[(r, c)]);
-                *slot = v;
-                max_fx = Some(max_fx.map_or(v, |m| m.max(v)));
+        // Stage 1: fixed-point conversion and running maximum over legal
+        // columns.
+        let mut max_fx = MASKED;
+        match mask {
+            None => {
+                for (slot, &acc) in x_fx.iter_mut().zip(d_acc.row(r)) {
+                    let v = to_fx.apply(acc);
+                    *slot = v;
+                    max_fx = max_fx.max(v);
+                }
+            }
+            Some(m) => {
+                for ((slot, &acc), &dead) in x_fx.iter_mut().zip(d_acc.row(r)).zip(m.row(r)) {
+                    let v = if dead { MASKED } else { to_fx.apply(acc) };
+                    *slot = v;
+                    max_fx = max_fx.max(v);
+                }
             }
         }
-        let Some(max_fx) = max_fx else {
+        if max_fx == MASKED {
             continue; // fully masked row -> zeros
-        };
-        // Stage 2: EXP and sum.
+        }
+        // The EXP unit underflows to exactly 0 for anything at or below
+        // -31 * ONE, so clamping to this floor (instead of i32::MIN)
+        // changes no output while keeping the unit's internal shift-adds
+        // far from i32 overflow for the sentinel values.
+        const EXP_FLOOR: i64 = -(1 << 26);
+        const EXP_FLOOR32: i32 = -(1 << 26);
+        // Stage 2: EXP and sum (masked sentinels underflow to +0). The
+        // clamp narrows each argument into i32 range so the EXP sweep
+        // auto-vectorises; the clamped arguments are kept for stage 4.
         let mut sum = 0i64;
-        for (c, &v) in x_fx.iter().enumerate() {
-            if legal(c) {
-                sum += exp_unit((v - max_fx).clamp(i32::MIN as i64, 0) as i32) as i64;
-            }
+        for (d, &v) in d32.iter_mut().zip(&x_fx) {
+            let c = (v - max_fx).clamp(EXP_FLOOR, 0) as i32;
+            *d = c;
+            sum += i64::from(exp_unit(c));
         }
         // Stage 3: LN of the sum (sum >= exp(0) = ONE > 0 always).
-        let ln_sum = ln_unit(sum.clamp(1, i32::MAX as i64) as i32) as i64;
-        // Stage 4: final EXP and INT8 quantization (multiply by 127).
-        for c in 0..cols {
-            if legal(c) {
-                let e = exp_unit((x_fx[c] - max_fx - ln_sum).clamp(i32::MIN as i64, 0) as i32);
-                out[(r, c)] = sat_i8(((e as i64 * 127 + (ONE as i64 / 2)) >> FRAC) as i32);
-            }
+        let ln_sum = ln_unit(sum.clamp(1, i32::MAX as i64) as i32);
+        // Stage 4: final EXP and INT8 quantization (multiply by 127;
+        // e <= ONE keeps `e * 127 + ONE/2` far inside i32, so the whole
+        // stage runs in i32). Re-clamping the stage-2 value is exact:
+        // `(v - max - ln).clamp(F, 0)` equals
+        // `((v - max).clamp(F, 0) - ln).clamp(F, 0)` because `ln >= 0`
+        // and anything below the floor stays pinned at the floor either
+        // way.
+        for (o, &d) in out.row_mut(r).iter_mut().zip(&d32) {
+            let e = exp_unit((d - ln_sum).max(EXP_FLOOR32));
+            *o = sat_i8((e * 127 + (ONE / 2)) >> FRAC);
         }
     }
     out

@@ -1,21 +1,42 @@
-//! Continuous-batching inference over the INT8 KV-cached decoder.
+//! Continuous-batching inference over the INT8 paged-KV decoder, with
+//! chunked prefill for long prompts.
 //!
 //! The paper's accelerator cuts per-block latency; this layer keeps the
 //! array busy across *requests*. A [`ContinuousBatcher`] owns a fixed
-//! number of decode **slots**. Waiting requests queue up, are admitted in
-//! length-sorted buckets ([`PaddedBatch::buckets`]), and every
-//! [`ContinuousBatcher::step`] advances *all* in-flight sessions together
-//! through one batched layer pass
-//! ([`QuantSeq2Seq::step_sessions`]) — one multi-row GEMM per weight
-//! matrix per step instead of one GEMM per request per layer. A request
-//! that emits `EOS` (or exhausts its token budget) retires its slot and
-//! the queue refills it on the next step, so the batch never drains just
-//! because one sentence finished early.
+//! number of decode **slots** and one [`KvArena`] — the shared pool of
+//! fixed-size KV pages every in-flight session's caches live in. Pages
+//! are allocated on demand as tokens are consumed and go back to the
+//! free list the moment a request retires, so the engine's KV footprint
+//! tracks the tokens actually resident
+//! ([`ServingStats::kv_bytes_in_use`]) instead of a per-slot
+//! `max_len` reservation.
 //!
-//! **Bit-identity guarantee:** the batched datapath is row-independent,
-//! so every response is bit-identical to decoding that request alone
-//! with [`QuantSeq2Seq::greedy_decode_incremental`] — regardless of
-//! batch size, arrival order, or which requests it shared steps with.
+//! Waiting requests queue up, are admitted in length-sorted buckets
+//! ([`PaddedBatch::buckets`]), and every [`ContinuousBatcher::step`]
+//! advances *all* in-flight sessions together through one batched layer
+//! pass ([`QuantSeq2Seq::prefill_sessions`]) — one multi-row GEMM per
+//! weight matrix per step instead of one GEMM per request per layer.
+//!
+//! **Chunked prefill:** a request may carry a target-side *prompt*
+//! ([`Request::with_prompt`]) that must be ingested before generation.
+//! Instead of feeding it one token per step (L steps for an L-token
+//! prompt), the engine consumes it in chunks of up to
+//! [`EngineConfig::prefill_chunk`] rows, and a length-1 chunk *is* a
+//! decode step — so one batched model call mixes prefill chunks from
+//! ramping-up requests with single decode rows from requests already
+//! generating. A per-step budget ([`EngineConfig::max_prefill_rows`])
+//! bounds how many prefill rows may share a step with decode rows, so a
+//! burst of long prompts cannot starve in-flight decodes; the first
+//! prefilling slot always makes progress even when the budget is
+//! exhausted.
+//!
+//! **Bit-identity guarantee:** the batched datapath is row-independent
+//! and the executor's intra-chunk causal mask produces exactly-zero
+//! probability codes for masked columns, so every response is
+//! bit-identical to decoding that request alone token-at-a-time
+//! ([`QuantSeq2Seq::greedy_decode_incremental`] /
+//! [`QuantSeq2Seq::greedy_decode_with_prompt`]) — regardless of batch
+//! size, chunk size, arrival order, or which requests shared its steps.
 //! Tests (including a property test over random arrival orders) assert
 //! this.
 //!
@@ -23,8 +44,9 @@
 //! [`ServingError`]s instead of panicking. When the `faults` crate's
 //! ABFT checker is live ([`faults::checker_enabled`]), every batched
 //! step is bracketed by the process-wide detection counter: a
-//! checker-flagged step is rolled back
-//! ([`QuantIncrementalSession::rollback_step`]) and recomputed up to
+//! checker-flagged step is rolled back chunk-for-chunk
+//! ([`QuantIncrementalSession::rollback_rows`] — paged truncation frees
+//! any page the rollback empties) and recomputed up to
 //! [`EngineConfig::max_step_retries`] times — a transient upset fires
 //! once per GEMM-pass index, so the replay is clean and the affected
 //! request still completes bit-identically. Steps that stay flagged
@@ -35,14 +57,15 @@
 //! [`EngineConfig::deadline_steps`]) bound how many engine steps a
 //! request may hold a slot. For multi-instance deployments,
 //! [`run_sharded`] fans length buckets out across `N` engine instances
-//! on scoped threads (`tensor::par`), and a panicking shard is isolated:
-//! its requests are reported in [`ShardedRun::failures`] while every
-//! other shard's responses come back unaffected.
+//! on scoped threads (`tensor::par`), each with its own arena, and a
+//! panicking shard is isolated: its requests are reported in
+//! [`ShardedRun::failures`] while every other shard's responses come
+//! back unaffected.
 //!
-//! Under the hood every decode step runs the shared cached-KV operator
-//! graph (`graph::mha_cached_graph`) through the `Executor` seam:
-//! [`QuantSeq2Seq::step_sessions`] drives `quantized::QuantRowExec`
-//! over one stacked row per slot, so this layer is a *consumer* of the
+//! Under the hood every step runs the shared cached-KV operator graph
+//! (`graph::mha_cached_graph`) through the `Executor` seam:
+//! [`QuantSeq2Seq::prefill_sessions`] drives `quantized::QuantRowExec`
+//! over the stacked chunk rows, so this layer is a *consumer* of the
 //! executor abstraction rather than a fifth hand-written forward path —
 //! swapping in another `graph::Executor` backend would not change any
 //! scheduling logic here.
@@ -54,7 +77,7 @@ use std::any::Any;
 use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use quantized::incremental::QuantIncrementalSession;
+use quantized::incremental::{KvArena, QuantIncrementalSession};
 use quantized::QuantSeq2Seq;
 use transformer::batching::PaddedBatch;
 use transformer::tasks::{BOS, EOS};
@@ -103,6 +126,10 @@ pub struct Request {
     pub id: u64,
     /// Source-token sentence (must be non-empty).
     pub src: Vec<usize>,
+    /// Target-side prompt consumed (after `BOS`) before generation
+    /// begins — the long-context prefill workload. May be empty. Prompt
+    /// tokens are ingested in chunks and never appear in the response.
+    pub prompt: Vec<usize>,
     /// Maximum number of tokens to generate.
     pub max_new_tokens: usize,
     /// Optional per-request deadline: the maximum number of engine steps
@@ -114,14 +141,21 @@ pub struct Request {
 }
 
 impl Request {
-    /// A request with no per-request deadline.
+    /// A request with no prompt and no per-request deadline.
     pub fn new(id: u64, src: Vec<usize>, max_new_tokens: usize) -> Self {
         Self {
             id,
             src,
+            prompt: Vec::new(),
             max_new_tokens,
             deadline_steps: None,
         }
+    }
+
+    /// Attaches a target-side prompt to prefill before generating.
+    pub fn with_prompt(mut self, prompt: Vec<usize>) -> Self {
+        self.prompt = prompt;
+        self
     }
 }
 
@@ -130,21 +164,37 @@ impl Request {
 pub struct Response {
     /// The request's identifier.
     pub id: u64,
-    /// Generated tokens (no BOS; no EOS unless EOS is being ignored).
+    /// Generated tokens (no BOS, no prompt; no EOS unless EOS is being
+    /// ignored).
     pub tokens: Vec<usize>,
     /// Whether decoding stopped on `EOS` (as opposed to the budget, a
     /// deadline, or slot quarantine).
     pub hit_eos: bool,
+    /// Engine step index (0-based) at which this request's first token
+    /// was generated — the time-to-first-token in steps. `None` if the
+    /// request produced no tokens. Scheduling metadata: it depends on
+    /// queueing and chunk policy, not on the decoded content.
+    pub first_token_step: Option<usize>,
 }
 
 /// Engine knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Number of decode slots — the maximum rows stacked per step.
+    /// Number of decode slots — the maximum number of *requests*
+    /// stacked per step (a prefilling request may contribute several
+    /// rows).
     pub max_batch: usize,
     /// Padding-waste budget handed to [`PaddedBatch::buckets`] during
     /// admission and sharding.
     pub bucket_max_waste: usize,
+    /// Maximum prompt rows one prefilling request consumes per step.
+    /// `1` degenerates to token-at-a-time prefill.
+    pub prefill_chunk: usize,
+    /// Per-step budget of prefill rows summed over all prefilling
+    /// slots, so prompt ingestion cannot starve in-flight decodes. The
+    /// first prefilling slot always progresses even when the budget is
+    /// already spent by a smaller value than its chunk.
+    pub max_prefill_rows: usize,
     /// When `true`, `EOS` neither stops a request nor is stripped from
     /// its output: every request generates exactly `max_new_tokens`
     /// tokens. Benchmarks use this so each batch size does identical
@@ -171,6 +221,8 @@ impl EngineConfig {
         Self {
             max_batch,
             bucket_max_waste: 4,
+            prefill_chunk: 16,
+            max_prefill_rows: 64,
             ignore_eos: false,
             deadline_steps: None,
             max_step_retries: 2,
@@ -188,18 +240,30 @@ impl Default for EngineConfig {
 /// Counters accumulated across an engine's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServingStats {
-    /// Batched decode steps executed.
+    /// Batched steps executed.
     pub steps: usize,
-    /// Total active rows summed over all steps (`≤ steps · max_batch`).
+    /// Total active requests summed over all steps
+    /// (`≤ steps · max_batch`).
     pub rows: usize,
+    /// Prompt rows consumed by chunked prefill (including each
+    /// request's `BOS` row), summed over all steps.
+    pub prefill_rows: usize,
     /// Tokens appended to responses.
     pub tokens_generated: usize,
-    /// Largest number of rows any single step carried.
+    /// Largest number of requests any single step carried.
     pub peak_batch: usize,
     /// Requests admitted into slots.
     pub admitted: usize,
     /// Requests retired (EOS, budget, deadline, or quarantine).
     pub retired: usize,
+    /// Resident KV-pool bytes after the most recent step (whole pages
+    /// held by live sessions; retired sessions' pages are already back
+    /// on the free list).
+    pub kv_bytes_in_use: usize,
+    /// High-water mark of resident KV-pool bytes across all steps,
+    /// measured before retirement releases — the budget a deployment
+    /// must actually provision.
+    pub kv_bytes_peak: usize,
     /// Steps the ABFT checker flagged (counting each failed attempt).
     pub faulty_steps: usize,
     /// Rollback-and-recompute retries performed.
@@ -211,10 +275,10 @@ pub struct ServingStats {
 }
 
 impl ServingStats {
-    /// Mean slot occupancy: the fraction of the engine's row capacity
-    /// that carried real requests, `rows / (steps · max_batch)`. This is
-    /// the serving-level analogue of array utilization — idle slots are
-    /// idle array rows.
+    /// Mean slot occupancy: the fraction of the engine's request
+    /// capacity that carried real requests, `rows / (steps · max_batch)`.
+    /// This is the serving-level analogue of array utilization — idle
+    /// slots are idle array rows.
     pub fn occupancy(&self, max_batch: usize) -> f64 {
         if self.steps == 0 || max_batch == 0 {
             return 0.0;
@@ -222,14 +286,18 @@ impl ServingStats {
         self.rows as f64 / (self.steps * max_batch) as f64
     }
 
-    /// Accumulates another engine's counters (used to roll up shards).
+    /// Accumulates another engine's counters (used to roll up shards;
+    /// KV byte counters add because each shard owns its own arena).
     pub fn merge(&mut self, other: &ServingStats) {
         self.steps += other.steps;
         self.rows += other.rows;
+        self.prefill_rows += other.prefill_rows;
         self.tokens_generated += other.tokens_generated;
         self.peak_batch = self.peak_batch.max(other.peak_batch);
         self.admitted += other.admitted;
         self.retired += other.retired;
+        self.kv_bytes_in_use += other.kv_bytes_in_use;
+        self.kv_bytes_peak += other.kv_bytes_peak;
         self.faulty_steps += other.faulty_steps;
         self.retries += other.retries;
         self.quarantined += other.quarantined;
@@ -238,13 +306,20 @@ impl ServingStats {
 }
 
 /// An in-flight request occupying a decode slot.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Slot {
     id: u64,
     session: QuantIncrementalSession,
-    next_token: usize,
+    /// Tokens still to feed the model: the un-ingested tail of
+    /// `[BOS] + prompt` while prefilling, then exactly the one
+    /// last-generated token while decoding.
+    pending: VecDeque<usize>,
+    /// `true` until the first token is generated — while set, consumed
+    /// rows count as prefill and intermediate logits are discarded.
+    in_prefill: bool,
     out: Vec<usize>,
     budget: usize,
+    first_token_step: Option<usize>,
     /// Engine steps this request has participated in.
     age: usize,
     /// Effective deadline (request override, else config default).
@@ -258,11 +333,34 @@ enum Retire {
     Deadline,
 }
 
-/// The continuous-batching engine (one model instance).
+/// Borrows the planned slots' sessions in slot order. `plan` holds
+/// ascending slot indices, so one pass over `slots` suffices.
+fn planned_sessions<'a>(
+    slots: &'a mut [Option<Slot>],
+    plan: &[(usize, Vec<usize>)],
+) -> Vec<&'a mut QuantIncrementalSession> {
+    let mut want = plan.iter().map(|(i, _)| *i).peekable();
+    slots
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, slot)| {
+            if want.peek() == Some(&i) {
+                want.next();
+                slot.as_mut().map(|s| &mut s.session)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// The continuous-batching engine (one model instance). Owns the
+/// [`KvArena`] all of its sessions page their KV caches into.
 #[derive(Debug)]
 pub struct ContinuousBatcher<'m> {
     model: &'m QuantSeq2Seq,
     cfg: EngineConfig,
+    arena: KvArena,
     pending: VecDeque<Request>,
     slots: Vec<Option<Slot>>,
     /// Slots withdrawn from service after repeated persistent faults.
@@ -276,7 +374,8 @@ pub struct ContinuousBatcher<'m> {
 }
 
 impl<'m> ContinuousBatcher<'m> {
-    /// Creates an engine with `cfg.max_batch` empty slots.
+    /// Creates an engine with `cfg.max_batch` empty slots and a fresh
+    /// KV arena sized for `model`.
     ///
     /// # Errors
     ///
@@ -288,6 +387,7 @@ impl<'m> ContinuousBatcher<'m> {
         Ok(Self {
             model,
             cfg,
+            arena: KvArena::for_model(model),
             pending: VecDeque::new(),
             slots: (0..cfg.max_batch).map(|_| None).collect(),
             quarantined: vec![false; cfg.max_batch],
@@ -317,6 +417,7 @@ impl<'m> ContinuousBatcher<'m> {
                 id: req.id,
                 tokens: Vec::new(),
                 hit_eos: false,
+                first_token_step: None,
             });
             return Ok(());
         }
@@ -344,10 +445,17 @@ impl<'m> ContinuousBatcher<'m> {
         self.stats
     }
 
+    /// Resident KV-pool bytes right now (whole pages held by live
+    /// sessions).
+    pub fn kv_bytes_in_use(&self) -> usize {
+        self.arena.kv_bytes_in_use()
+    }
+
     /// Length-bucketed admission: fills free (non-quarantined) slots
     /// from the queue, admitting the bucket containing the oldest
-    /// waiting request first (so similar-length prefills land together
-    /// and no request starves).
+    /// waiting request first (so similar-length sources land together
+    /// and no request starves). Buckets are formed on source length;
+    /// prompts only shape the prefill schedule, not admission.
     fn refill(&mut self) {
         while self.pending.front().is_some() {
             let free: Vec<usize> = (0..self.slots.len())
@@ -374,12 +482,18 @@ impl<'m> ContinuousBatcher<'m> {
                     .pending
                     .remove(qpos - removed)
                     .expect("position in range");
+                let model = self.model;
+                let mut pending = VecDeque::with_capacity(1 + req.prompt.len());
+                pending.push_back(BOS);
+                pending.extend(req.prompt.iter().copied());
                 self.slots[*slot_i] = Some(Slot {
                     id: req.id,
-                    session: self.model.start_session(&req.src),
-                    next_token: BOS,
+                    session: model.start_session(&mut self.arena, &req.src),
+                    pending,
+                    in_prefill: true,
                     out: Vec::new(),
                     budget: req.max_new_tokens,
+                    first_token_step: None,
                     age: 0,
                     deadline: req.deadline_steps.or(self.cfg.deadline_steps),
                 });
@@ -392,38 +506,72 @@ impl<'m> ContinuousBatcher<'m> {
         }
     }
 
-    /// Advances every in-flight session by one token (admitting queued
-    /// requests into free slots first). Returns `false` when there is
-    /// nothing left to do — queue and slots are both empty, or every
-    /// remaining slot is quarantined (check
-    /// [`ContinuousBatcher::pending_len`] for stranded requests).
+    /// Plans this step's per-slot chunks: a prefilling slot takes up to
+    /// `prefill_chunk` of its remaining prompt rows, bounded by the
+    /// shared `max_prefill_rows` budget (the first prefilling slot
+    /// always progresses, so prefill can never stall outright; slots
+    /// the budget squeezes to zero rows sit the step out). A decoding
+    /// slot always takes its single pending token. Returns ascending
+    /// `(slot index, chunk)` pairs.
+    fn plan_step(&self) -> Vec<(usize, Vec<usize>)> {
+        let chunk_cap = self.cfg.prefill_chunk.max(1);
+        let mut budget = self.cfg.max_prefill_rows;
+        let mut granted = false;
+        let mut plan = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            let take = if slot.in_prefill {
+                let want = slot.pending.len().min(chunk_cap);
+                let take = want.min(budget);
+                if take == 0 && !granted {
+                    want
+                } else {
+                    take
+                }
+            } else {
+                1
+            };
+            if take == 0 {
+                continue;
+            }
+            if slot.in_prefill {
+                budget = budget.saturating_sub(take);
+                granted = true;
+            }
+            plan.push((i, slot.pending.iter().take(take).copied().collect()));
+        }
+        plan
+    }
+
+    /// Advances every in-flight session — prefilling slots by one
+    /// prompt chunk, decoding slots by one token — in a single batched
+    /// model call (admitting queued requests into free slots first).
+    /// Returns `false` when there is nothing left to do — queue and
+    /// slots are both empty, or every remaining slot is quarantined
+    /// (check [`ContinuousBatcher::pending_len`] for stranded
+    /// requests).
     ///
     /// When the ABFT checker is live, a step that raises the
-    /// process-wide detection counter is rolled back and recomputed (up
-    /// to `max_step_retries` times); the transient-upset replay is
-    /// bit-identical to a fault-free step, so detected faults are
-    /// invisible in the output stream.
+    /// process-wide detection counter is rolled back chunk-for-chunk
+    /// and recomputed (up to `max_step_retries` times); the
+    /// transient-upset replay is bit-identical to a fault-free step, so
+    /// detected faults are invisible in the output stream.
     pub fn step(&mut self) -> bool {
         self.refill();
-        let mut active: Vec<(usize, &mut Slot)> = self
-            .slots
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_mut().map(|s| (i, s)))
-            .collect();
-        if active.is_empty() {
+        let plan = self.plan_step();
+        if plan.is_empty() {
             return false;
         }
-        let tokens: Vec<usize> = active.iter().map(|(_, s)| s.next_token).collect();
+        let model = self.model;
+        let chunk_refs: Vec<&[usize]> = plan.iter().map(|(_, c)| c.as_slice()).collect();
         let verify = faults::hooks_active() && faults::checker_enabled();
         let mut persistent_fault = false;
         let logits = if verify {
             let mut attempt = 0;
             loop {
                 let before = faults::counters().detected;
-                let mut sessions: Vec<&mut QuantIncrementalSession> =
-                    active.iter_mut().map(|(_, s)| &mut s.session).collect();
-                let logits = self.model.step_sessions(&mut sessions, &tokens);
+                let mut sessions = planned_sessions(&mut self.slots, &plan);
+                let logits = model.prefill_sessions(&mut self.arena, &mut sessions, &chunk_refs);
                 if faults::counters().detected == before {
                     break logits;
                 }
@@ -436,55 +584,76 @@ impl<'m> ContinuousBatcher<'m> {
                 }
                 attempt += 1;
                 self.stats.retries += 1;
-                // step_sessions advanced every session exactly one row;
-                // rewind them all and replay the step.
-                for (_, slot) in active.iter_mut() {
-                    slot.session.rollback_step();
+                // prefill_sessions advanced every planned session by its
+                // whole chunk; rewind exactly those rows (freeing any
+                // page the rollback empties) and replay the step.
+                for (i, chunk) in &plan {
+                    let slot = self.slots[*i].as_mut().expect("planned slot is occupied");
+                    slot.session.rollback_rows(&mut self.arena, chunk.len());
                 }
             }
         } else {
-            let mut sessions: Vec<&mut QuantIncrementalSession> =
-                active.iter_mut().map(|(_, s)| &mut s.session).collect();
-            self.model.step_sessions(&mut sessions, &tokens)
+            let mut sessions = planned_sessions(&mut self.slots, &plan);
+            model.prefill_sessions(&mut self.arena, &mut sessions, &chunk_refs)
         };
-        let b = active.len();
-        let mut retire: Vec<(usize, Retire)> = Vec::new();
-        for ((slot_i, slot), row) in active.iter_mut().zip(&logits) {
-            let next = tensor::ops::argmax(row);
-            slot.age += 1;
-            if next == EOS && !self.cfg.ignore_eos {
-                retire.push((*slot_i, Retire::Eos));
-                continue;
-            }
-            slot.out.push(next);
-            slot.next_token = next;
-            self.stats.tokens_generated += 1;
-            if slot.out.len() >= slot.budget {
-                retire.push((*slot_i, Retire::Budget));
-            } else if slot.deadline.is_some_and(|d| slot.age >= d) {
-                retire.push((*slot_i, Retire::Deadline));
-            }
-        }
-        drop(active);
+        // High-water mark before retirement hands pages back.
+        self.stats.kv_bytes_peak = self.stats.kv_bytes_peak.max(self.arena.kv_bytes_in_use());
         if persistent_fault {
             // The checker cannot attribute a mismatch to a row, so every
             // slot that shared the flagged step is charged; repeat
             // offenders are withdrawn from service below.
-            for i in 0..self.slots.len() {
-                if self.slots[i].is_some() {
-                    self.slot_faults[i] += 1;
-                    if self.cfg.quarantine_after > 0
-                        && self.slot_faults[i] >= self.cfg.quarantine_after
-                        && !self.quarantined[i]
-                    {
-                        self.quarantined[i] = true;
-                        self.stats.quarantined += 1;
-                    }
+            for (i, _) in &plan {
+                self.slot_faults[*i] += 1;
+                if self.cfg.quarantine_after > 0
+                    && self.slot_faults[*i] >= self.cfg.quarantine_after
+                    && !self.quarantined[*i]
+                {
+                    self.quarantined[*i] = true;
+                    self.stats.quarantined += 1;
                 }
             }
         }
+        let b = plan.len();
+        let mut retire: Vec<(usize, Retire)> = Vec::new();
+        for ((i, chunk), row) in plan.iter().zip(&logits) {
+            let slot = self.slots[*i].as_mut().expect("planned slot is occupied");
+            slot.age += 1;
+            for _ in 0..chunk.len() {
+                slot.pending.pop_front();
+            }
+            if slot.in_prefill {
+                self.stats.prefill_rows += chunk.len();
+            }
+            if !slot.pending.is_empty() {
+                // Mid-prefill: the chunk's last-row logits are an
+                // intermediate position, not the generation frontier.
+                if slot.deadline.is_some_and(|d| slot.age >= d) {
+                    retire.push((*i, Retire::Deadline));
+                }
+                continue;
+            }
+            let next = tensor::ops::argmax(row);
+            if next == EOS && !self.cfg.ignore_eos {
+                retire.push((*i, Retire::Eos));
+                continue;
+            }
+            if slot.in_prefill {
+                slot.in_prefill = false;
+                slot.first_token_step = Some(self.stats.steps);
+            }
+            slot.out.push(next);
+            self.stats.tokens_generated += 1;
+            if slot.out.len() >= slot.budget {
+                retire.push((*i, Retire::Budget));
+            } else if slot.deadline.is_some_and(|d| slot.age >= d) {
+                retire.push((*i, Retire::Deadline));
+            } else {
+                slot.pending.push_back(next);
+            }
+        }
         for (i, why) in retire {
-            let slot = self.slots[i].take().expect("retiring an occupied slot");
+            let mut slot = self.slots[i].take().expect("retiring an occupied slot");
+            slot.session.release(&mut self.arena);
             if matches!(why, Retire::Deadline) {
                 self.stats.deadline_expired += 1;
             }
@@ -492,6 +661,7 @@ impl<'m> ContinuousBatcher<'m> {
                 id: slot.id,
                 tokens: slot.out,
                 hit_eos: matches!(why, Retire::Eos),
+                first_token_step: slot.first_token_step,
             });
             self.stats.retired += 1;
         }
@@ -499,11 +669,13 @@ impl<'m> ContinuousBatcher<'m> {
         // they have generated so far (degraded, not lost).
         for i in 0..self.slots.len() {
             if self.quarantined[i] {
-                if let Some(slot) = self.slots[i].take() {
+                if let Some(mut slot) = self.slots[i].take() {
+                    slot.session.release(&mut self.arena);
                     self.finished.push(Response {
                         id: slot.id,
                         tokens: slot.out,
                         hit_eos: false,
+                        first_token_step: slot.first_token_step,
                     });
                     self.stats.retired += 1;
                 }
@@ -512,6 +684,7 @@ impl<'m> ContinuousBatcher<'m> {
         self.stats.steps += 1;
         self.stats.rows += b;
         self.stats.peak_batch = self.stats.peak_batch.max(b);
+        self.stats.kv_bytes_in_use = self.arena.kv_bytes_in_use();
         true
     }
 
@@ -564,10 +737,10 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
 /// Runs `requests` across `shards` engine instances on scoped threads:
 /// requests are length-bucketed ([`PaddedBatch::buckets`]), buckets are
 /// dealt to the least-loaded shard (by total member count), and each
-/// shard runs its own [`ContinuousBatcher`] over the shared model.
-/// Responses are bit-identical to a single engine (and to sequential
-/// decoding) and come back sorted by id, alongside each shard's
-/// counters.
+/// shard runs its own [`ContinuousBatcher`] (with its own KV arena)
+/// over the shared model. Token streams are bit-identical to a single
+/// engine (and to sequential decoding) and come back sorted by id,
+/// alongside each shard's counters.
 ///
 /// Shards are **fault-isolated**: a panic inside one shard (poisoned
 /// weights, out-of-range tokens, a wedged datapath) is caught on that
@@ -684,6 +857,15 @@ mod tests {
             .collect()
     }
 
+    /// The decoded content of a response set — everything except the
+    /// scheduling metadata (`first_token_step` depends on queueing).
+    fn decoded(responses: &[Response]) -> Vec<(u64, Vec<usize>, bool)> {
+        responses
+            .iter()
+            .map(|r| (r.id, r.tokens.clone(), r.hit_eos))
+            .collect()
+    }
+
     #[test]
     fn continuous_batch_matches_sequential_greedy() {
         let (q, srcs) = setup(6);
@@ -700,6 +882,94 @@ mod tests {
                 assert_eq!(resp.tokens, want, "batch {max_batch}, id {}", resp.id);
             }
         }
+    }
+
+    #[test]
+    fn prompted_requests_match_sequential_prompt_decode() {
+        // Chunked prefill at several chunk sizes (and a tight per-step
+        // prefill-row budget) must generate exactly what token-at-a-time
+        // prompt ingestion generates — bit for bit.
+        let (q, srcs) = setup(4);
+        let prompts: Vec<Vec<usize>> = srcs
+            .iter()
+            .map(|s| s.iter().cycle().take(11).copied().collect())
+            .collect();
+        let want: Vec<Vec<usize>> = srcs
+            .iter()
+            .zip(&prompts)
+            .map(|(s, p)| q.greedy_decode_with_prompt(s, p, 6))
+            .collect();
+        for (prefill_chunk, max_prefill_rows) in [(1, 64), (4, 64), (16, 64), (16, 5), (5, 0)] {
+            let mut cfg = EngineConfig::with_max_batch(4);
+            cfg.prefill_chunk = prefill_chunk;
+            cfg.max_prefill_rows = max_prefill_rows;
+            let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+            for (i, (s, p)) in srcs.iter().zip(&prompts).enumerate() {
+                engine
+                    .submit(Request::new(i as u64, s.clone(), 6).with_prompt(p.clone()))
+                    .unwrap();
+            }
+            let responses = engine.run_to_completion();
+            assert_eq!(responses.len(), srcs.len());
+            for (resp, want) in responses.iter().zip(&want) {
+                assert_eq!(
+                    &resp.tokens, want,
+                    "chunk {prefill_chunk}, budget {max_prefill_rows}, id {}",
+                    resp.id
+                );
+            }
+            let stats = engine.stats();
+            // Every [BOS]+prompt row went through chunked prefill.
+            let total_prefill: usize = prompts.iter().map(|p| 1 + p.len()).sum();
+            assert_eq!(stats.prefill_rows, total_prefill);
+        }
+    }
+
+    #[test]
+    fn prefill_budget_paces_prompt_ingestion() {
+        // With a 4-row/step budget, 2 prompts of 11 (+BOS = 24 rows)
+        // need at least 6 steps of prefill; with chunk 1 a lone request
+        // records its first token at exactly step `1 + prompt len`.
+        let (q, srcs) = setup(2);
+        let prompt: Vec<usize> = srcs[0].iter().cycle().take(11).copied().collect();
+        let mut cfg = EngineConfig::with_max_batch(2);
+        cfg.prefill_chunk = 4;
+        cfg.max_prefill_rows = 4;
+        let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+        for (i, s) in srcs.iter().enumerate() {
+            engine
+                .submit(Request::new(i as u64, s.clone(), 4).with_prompt(prompt.clone()))
+                .unwrap();
+        }
+        let _ = engine.run_to_completion();
+        assert!(engine.stats().steps >= 6, "steps {}", engine.stats().steps);
+
+        let mut cfg = EngineConfig::with_max_batch(1);
+        cfg.prefill_chunk = 1;
+        let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+        engine
+            .submit(Request::new(9, srcs[0].clone(), 4).with_prompt(prompt.clone()))
+            .unwrap();
+        let responses = engine.run_to_completion();
+        assert_eq!(responses[0].first_token_step, Some(prompt.len()));
+    }
+
+    #[test]
+    fn kv_pages_are_recycled_after_retirement() {
+        let (q, srcs) = setup(6);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(2)).unwrap();
+        for r in requests(&srcs, 8) {
+            engine.submit(r).unwrap();
+        }
+        assert_eq!(engine.kv_bytes_in_use(), 0);
+        let _ = engine.run_to_completion();
+        let stats = engine.stats();
+        assert!(stats.kv_bytes_peak > 0, "decoding must page KV in");
+        assert_eq!(
+            stats.kv_bytes_in_use, 0,
+            "every retired session's pages go back to the free list"
+        );
+        assert_eq!(engine.kv_bytes_in_use(), 0);
     }
 
     #[test]
@@ -732,6 +1002,7 @@ mod tests {
         for resp in engine.run_to_completion() {
             assert_eq!(resp.tokens.len(), 5);
             assert!(!resp.hit_eos);
+            assert_eq!(resp.first_token_step, Some(0));
         }
     }
 
@@ -754,10 +1025,10 @@ mod tests {
         for r in requests(&srcs, 8) {
             single.submit(r).unwrap();
         }
-        let want = single.run_to_completion();
+        let want = decoded(&single.run_to_completion());
         for shards in [1usize, 2, 3, 8] {
             let run = run_sharded(&q, cfg, requests(&srcs, 8), shards).unwrap();
-            assert_eq!(run.responses, want, "shards {shards}");
+            assert_eq!(decoded(&run.responses), want, "shards {shards}");
             assert_eq!(run.stats.len(), shards);
             assert!(run.failures.is_empty());
             let mut total = ServingStats::default();

@@ -110,8 +110,9 @@ fn baseline(n: usize) -> Vec<Response> {
 /// decode steps (the retry-protected region).
 fn prefill_passes(n: usize) -> u64 {
     faults::install(FaultPlan::empty());
+    let mut arena = quantized::incremental::KvArena::for_model(model());
     for src in sources().iter().take(n) {
-        let _ = model().start_session(src);
+        let _ = model().start_session(&mut arena, src);
     }
     let p = faults::with_injector(|i| i.passes_seen()).expect("plan installed");
     faults::clear();
@@ -153,7 +154,12 @@ proptest! {
         faults::install(FaultPlan::empty());
         faults::set_checker(Some(true));
         let (got, stats) = decode(max_batch, n);
-        prop_assert_eq!(got, want);
+        // Compare the decoded content; `first_token_step` is queueing
+        // metadata and legitimately shifts with `max_batch`.
+        let strip = |rs: &[Response]| -> Vec<(u64, Vec<usize>, bool)> {
+            rs.iter().map(|r| (r.id, r.tokens.clone(), r.hit_eos)).collect()
+        };
+        prop_assert_eq!(strip(&got), strip(&want));
         prop_assert_eq!(stats.faulty_steps, 0);
         prop_assert_eq!(faults::counters().injected, 0);
         prop_assert_eq!(faults::counters().detected, 0);

@@ -16,20 +16,25 @@
 //! [`crate::par::threads`], i.e. the `ACCEL_THREADS` environment variable
 //! or the machine's available parallelism). Small problems below
 //! [`SERIAL_CUTOFF_MACS`] run on the calling thread to avoid dispatch
-//! overhead. The INT8 band kernel dispatches to the AVX2 microkernels in
-//! [`crate::simd`] when the hardware supports them (bit-identical either
-//! way); single-row INT8 GEMMs use a dedicated GEMV kernel. Weight
-//! matrices that are multiplied repeatedly should be packed once via
-//! [`crate::prepack`] instead of paying [`pack_tiles`] per call.
+//! overhead. The INT8 kernels dispatch to the AVX-512 VNNI microkernels
+//! in [`crate::simd`] when the hardware supports them (bit-identical
+//! either way); single-row INT8 GEMMs use a dedicated GEMV kernel.
+//! Weight matrices that are multiplied repeatedly should be packed once
+//! via [`crate::prepack`] instead of paying the pack per call.
 //!
-//! The non-transposed kernels pack `B` once into `NR`-lane column tiles
-//! (`[tile][k][lane]` layout, integer operands widened to `i32` during
-//! packing) shared read-only by all bands, then run a register-tiled
-//! `MR x NR` microkernel: `MR` rows of `A` against one tile, with the
-//! `MR * NR` accumulators living in registers across the whole `k` sweep
-//! so each output element is loaded and stored exactly once. The `*_nt`
-//! kernels read `B`'s rows directly (they already are the contiguous
-//! panels of `B^T`) with a blocked dot product.
+//! The `f32` kernel packs `B` once into `NR`-lane column tiles
+//! (`[tile][k][lane]` layout via [`pack_tiles`]) shared read-only by all
+//! bands, then runs a register-tiled `MR x NR` microkernel: `MR` rows of
+//! `A` against one tile, with the `MR * NR` accumulators living in
+//! registers across the whole `k` sweep so each output element is loaded
+//! and stored exactly once. The INT8 kernel packs `B` into the
+//! `[tile][kq][lane][KQ]` **quad** layout ([`pack_quads`]) that both the
+//! scalar kernel and the `vpdpbusd`-based VNNI microkernel consume — one
+//! 64-byte load covers a reduction quad of all `NR` lanes, and the i8
+//! (not i32-widened) storage keeps the per-token weight traffic of the
+//! decode GEMV at 1x the weight bytes. The `*_nt` kernels read `B`'s
+//! rows directly (they already are the contiguous panels of `B^T`) with
+//! a blocked dot product.
 //!
 //! Every kernel is **bit-identical** to its naive reference
 //! ([`matmul_ref`] etc.) for any thread count: tiling over `n`, register
@@ -46,7 +51,7 @@
 //! both the environment lookup and the serial cutoff; they exist for
 //! equivalence tests and benchmarks that pin the worker count.
 
-use crate::{par, Mat, ShapeError};
+use crate::{par, simd, Mat, ShapeError};
 
 /// Column-tile width of the register microkernel (one 512-bit vector of
 /// `i32`/`f32` lanes; also vectorises as two 256-bit ops on AVX2).
@@ -175,7 +180,197 @@ macro_rules! band_kernel {
 }
 
 band_kernel!(band_f32, f32, f32, widen_f32);
-band_kernel!(band_i8, i8, i32, widen_i8);
+
+// ---------------------------------------------------------------------------
+// INT8 quad packing (the VNNI-friendly layout)
+// ---------------------------------------------------------------------------
+
+/// Reduction-depth group size of the INT8 packed layout: the four
+/// adjacent `k` values one `vpdpbusd` lane consumes.
+pub(crate) const KQ: usize = 4;
+
+/// Packs an INT8 `b` (`k x n`) into `[tile][kq][lane][KQ]` quads plus
+/// per-`(tile, lane)` column sums.
+///
+/// Each column tile holds `NR` output lanes; within a tile, the `KQ`
+/// values of rows `q*KQ .. q*KQ+4` for one lane are adjacent, so a
+/// 64-byte vector load covers one reduction quad of all 16 lanes —
+/// exactly the operand shape `vpdpbusd` consumes. Rows beyond `k` and
+/// lanes beyond `n` are zero-padded (padded products are exactly zero,
+/// so they cannot perturb real lanes).
+///
+/// The column sums exist for the unsigned-offset trick: the VNNI
+/// microkernel feeds activations as `a + 128` (u8) and subtracts
+/// `128 * colsum` afterwards, which is exact in `i32` — worst case
+/// `|acc| <= 4096 * 255 * 127 + 128 * 4096 * 128 < 2^31`.
+pub(crate) fn pack_quads(b: &Mat<i8>) -> (Vec<i8>, Vec<i32>) {
+    let (k, n) = b.shape();
+    let tiles = n.div_ceil(NR);
+    let kq = k.div_ceil(KQ);
+    let mut quads = vec![0i8; tiles * kq * NR * KQ];
+    let mut colsum = vec![0i32; tiles * NR];
+    if !simd::pack_quads_into(b, &mut quads, &mut colsum) {
+        pack_quads_scalar_range(b, &mut quads, &mut colsum, 0, tiles);
+    }
+    (quads, colsum)
+}
+
+/// Scalar [`pack_quads`] body over column tiles `t0 .. t1`, writing into
+/// caller-provided (zeroed) buffers. The SIMD pack delegates ragged
+/// edges here; both producers are byte-identical.
+pub(crate) fn pack_quads_scalar_range(
+    b: &Mat<i8>,
+    quads: &mut [i8],
+    colsum: &mut [i32],
+    t0: usize,
+    t1: usize,
+) {
+    let (k, n) = b.shape();
+    let kq = k.div_ceil(KQ);
+    for t in t0..t1 {
+        let j0 = t * NR;
+        let w = NR.min(n - j0);
+        for p in 0..k {
+            let brow = &b.row(p)[j0..j0 + w];
+            let (q, u) = (p / KQ, p % KQ);
+            let base = (t * kq + q) * NR * KQ + u;
+            for (l, &v) in brow.iter().enumerate() {
+                quads[base + l * KQ] = v;
+                colsum[t * NR + l] += i32::from(v);
+            }
+        }
+    }
+}
+
+/// [`pack_quads`] for a `B` given as its transpose: `bt` is `n x k`
+/// row-major (the attention K-cache shape), and the result is the quad
+/// layout of `bt^T` — each `bt` row becomes one output lane, read
+/// contiguously and scattered into its `KQ`-byte quad slots. Packing
+/// per call costs `O(n * k)` byte moves, which the multi-row chunked
+/// score GEMM amortises across its rows; the single-row decode shape
+/// keeps the direct `*_nt` kernel instead.
+pub(crate) fn pack_quads_t(bt: &Mat<i8>) -> (Vec<i8>, Vec<i32>) {
+    let (n, k) = bt.shape();
+    let tiles = n.div_ceil(NR);
+    let kq = k.div_ceil(KQ);
+    let mut quads = vec![0i8; tiles * kq * NR * KQ];
+    let mut colsum = vec![0i32; tiles * NR];
+    if !simd::pack_quads_t_into(bt, &mut quads, &mut colsum) {
+        pack_quads_t_scalar_range(bt, &mut quads, &mut colsum, 0, tiles);
+    }
+    (quads, colsum)
+}
+
+/// Scalar [`pack_quads_t`] body over column tiles `t0 .. t1`, writing
+/// into caller-provided (zeroed) buffers. The SIMD pack delegates ragged
+/// edges here; both producers are byte-identical.
+pub(crate) fn pack_quads_t_scalar_range(
+    bt: &Mat<i8>,
+    quads: &mut [i8],
+    colsum: &mut [i32],
+    t0: usize,
+    t1: usize,
+) {
+    let (n, k) = bt.shape();
+    let kq = k.div_ceil(KQ);
+    for t in t0..t1 {
+        let j0 = t * NR;
+        let w = NR.min(n - j0);
+        let tbase = t * kq * NR * KQ;
+        for l in 0..w {
+            let src = bt.row(j0 + l);
+            let mut s = 0i32;
+            for (q, chunk) in src.chunks(KQ).enumerate() {
+                let dst = tbase + q * NR * KQ + l * KQ;
+                for (u, &v) in chunk.iter().enumerate() {
+                    quads[dst + u] = v;
+                    s += i32::from(v);
+                }
+            }
+            colsum[t * NR + l] += s;
+        }
+    }
+}
+
+/// The activation matrix recoded for the VNNI microkernel: each row of
+/// `a` as `a + 128` (u8), zero-padded to a whole number of quads.
+/// Padded bytes multiply the packed `B`'s zero padding, contributing
+/// exactly nothing.
+pub(crate) fn offset_rows(a: &Mat<i8>, threads_hint: usize) -> Vec<u8> {
+    let (m, k) = a.shape();
+    let kq4 = k.div_ceil(KQ) * KQ;
+    let mut au = vec![0u8; m * kq4];
+    let fill = |first_row: usize, chunk: &mut [u8]| {
+        for (r, dst) in chunk.chunks_mut(kq4).enumerate() {
+            for (d, &v) in dst.iter_mut().zip(a.row(first_row + r)) {
+                *d = (i32::from(v) + 128) as u8;
+            }
+        }
+    };
+    if threads_hint <= 1 || m < 64 {
+        fill(0, &mut au);
+    } else {
+        par::row_bands(&mut au, m, kq4, threads_hint, |first_row, chunk| {
+            fill(first_row, chunk)
+        });
+    }
+    au
+}
+
+/// Scalar band kernel over the INT8 quad layout: bit-identical to the
+/// naive reference (integer accumulation is exact in any order) and to
+/// the VNNI microkernel. Reads the original signed activations — the
+/// unsigned-offset trick is a VNNI implementation detail.
+fn band_i8q(a: &Mat<i8>, quads: &[i8], first_row: usize, out_band: &mut [i32], n: usize) {
+    if n == 0 {
+        return;
+    }
+    let k = a.cols();
+    let kq = k.div_ceil(KQ);
+    let rows = out_band.len() / n;
+    let tiles = n.div_ceil(NR);
+    for t in 0..tiles {
+        let bt = &quads[t * kq * NR * KQ..(t + 1) * kq * NR * KQ];
+        let j0 = t * NR;
+        let w = NR.min(n - j0);
+        for r in 0..rows {
+            let arow = a.row(first_row + r);
+            let mut c = [0i32; NR];
+            for q in 0..kq {
+                let p0 = q * KQ;
+                let take = KQ.min(k - p0);
+                let aq = &arow[p0..p0 + take];
+                let bq = &bt[q * NR * KQ..(q + 1) * NR * KQ];
+                for (l, cl) in c.iter_mut().enumerate() {
+                    let bl = &bq[l * KQ..l * KQ + take];
+                    let mut dot = 0i32;
+                    for (&x, &y) in aq.iter().zip(bl) {
+                        dot += i32::from(x) * i32::from(y);
+                    }
+                    *cl += dot;
+                }
+            }
+            out_band[r * n + j0..r * n + j0 + w].copy_from_slice(&c[..w]);
+        }
+    }
+}
+
+/// Direct (pack-free) single-row INT8 GEMV: `out = a.row(0) * b`,
+/// streaming `b`'s rows once in axpy order. For `m == 1` the quad pack
+/// is `O(k * n)` — the same order as the multiply itself — so packing
+/// can never pay for itself; this kernel reads `b` in place instead.
+/// Each output element accumulates its `k` products in ascending order
+/// from zero, so the result is bit-identical to the naive reference
+/// (and to the packed kernels — integer accumulation is exact).
+fn gemv_i8_direct(a: &Mat<i8>, b: &Mat<i8>, out: &mut [i32]) {
+    let arow = a.row(0);
+    for (p, &av) in arow.iter().enumerate() {
+        let av = i32::from(av);
+        for (o, &bv) in out.iter_mut().zip(b.row(p)) {
+            *o += av * i32::from(bv);
+        }
+    }
+}
 
 /// Identity widening for the `f32` dot-product kernel.
 #[inline]
@@ -203,33 +398,44 @@ pub(crate) fn run_band_f32(
     band_f32(a, packed, first_row, out_band, n);
 }
 
-/// Runs the INT8 band kernel over prepacked tiles: the AVX2 microkernel
-/// from [`crate::simd`] when available/enabled, otherwise the scalar
-/// kernel. Both are bit-identical, so dispatch only affects speed.
+/// Runs the INT8 band kernel over the quad-packed layout: the VNNI
+/// microkernel from [`crate::simd`] when available/enabled (consuming
+/// the precomputed unsigned-offset activations `au`), otherwise the
+/// scalar quad kernel. Both are bit-identical, so dispatch only affects
+/// speed.
 #[inline]
-pub(crate) fn run_band_i8(
+pub(crate) fn run_band_i8q(
     a: &Mat<i8>,
-    packed: &[i32],
+    au: &[u8],
+    quads: &[i8],
+    colsum: &[i32],
     first_row: usize,
     out_band: &mut [i32],
     n: usize,
 ) {
-    if crate::simd::band_i8(a, packed, first_row, out_band, n) {
+    if crate::simd::band_i8q(au, a.cols(), quads, colsum, first_row, out_band, n) {
         return;
     }
-    band_i8(a, packed, first_row, out_band, n);
+    band_i8q(a, quads, first_row, out_band, n);
 }
 
-/// Runs the single-row INT8 GEMV over prepacked tiles: the dedicated
-/// AVX2 kernel when available/enabled, otherwise the scalar band kernel
-/// restricted to one row. Bit-identical either way.
+/// Runs the single-row INT8 GEMV over the quad-packed layout: the
+/// dedicated VNNI kernel when available/enabled, otherwise the scalar
+/// quad kernel restricted to one row. Bit-identical either way.
 #[inline]
-pub(crate) fn run_gemv_i8(a: &Mat<i8>, packed: &[i32], out: &mut [i32], n: usize) {
+pub(crate) fn run_gemv_i8q(
+    a: &Mat<i8>,
+    au: &[u8],
+    quads: &[i8],
+    colsum: &[i32],
+    out: &mut [i32],
+    n: usize,
+) {
     debug_assert_eq!(a.rows(), 1);
-    if crate::simd::gemv_i8(a.row(0), packed, n, out) {
+    if crate::simd::gemv_i8q(au, a.cols(), quads, colsum, out, n) {
         return;
     }
-    band_i8(a, packed, 0, out, n);
+    band_i8q(a, quads, 0, out, n);
 }
 
 macro_rules! band_kernel_nt {
@@ -408,13 +614,22 @@ pub fn matmul_i8_with_threads(
     }
     let (m, n) = (a.rows(), b.cols());
     let mut out = Mat::<i32>::zeros(m, n);
-    let packed = pack_tiles(b, widen_i8);
     if m == 1 {
-        run_gemv_i8(a, &packed, out.as_mut_slice(), n);
+        // Packing costs as much as the multiply at m = 1; stream `b`
+        // directly. (Repeatedly-multiplied weights go through
+        // `crate::prepack`, which amortises the pack and keeps the VNNI
+        // GEMV.)
+        gemv_i8_direct(a, b, out.as_mut_slice());
         return Ok(out);
     }
+    let (quads, colsum) = pack_quads(b);
+    let au = if crate::simd::int8_simd_active() {
+        offset_rows(a, threads)
+    } else {
+        Vec::new()
+    };
     par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
-        run_band_i8(a, &packed, first_row, band, n);
+        run_band_i8q(a, &au, &quads, &colsum, first_row, band, n);
     });
     Ok(out)
 }
@@ -461,6 +676,33 @@ pub fn matmul_i8_nt_with_threads(
     }
     let (m, n) = (a.rows(), b.rows());
     let mut out = Mat::zeros(m, n);
+    if crate::simd::int8_simd_active() && m >= 8 {
+        // Multi-row `a * b^T` (the chunked-prefill attention scores):
+        // transpose-pack `b` into the quad layout once and run the far
+        // faster register-tiled GEMM microkernel — the `O(n * k)` pack
+        // amortises across the chunk's rows.
+        let (quads, colsum) = pack_quads_t(b);
+        let au = offset_rows(a, threads);
+        par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+            run_band_i8q(a, &au, &quads, &colsum, first_row, band, n);
+        });
+        return Ok(out);
+    }
+    if crate::simd::int8_simd_active() {
+        // The *_nt VNNI kernel reads `b`'s rows directly (no packing),
+        // so it only needs the offset activations plus `b`'s row sums
+        // for the unsigned-offset compensation.
+        let au = offset_rows(a, threads);
+        let rowsum: Vec<i32> = (0..n)
+            .map(|j| b.row(j).iter().map(|&v| i32::from(v)).sum())
+            .collect();
+        par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+            if !crate::simd::band_nt_i8q(&au, a.cols(), b, &rowsum, first_row, band, n) {
+                band_nt_i8(a, b, first_row, band, n);
+            }
+        });
+        return Ok(out);
+    }
     par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
         band_nt_i8(a, b, first_row, band, n);
     });
@@ -683,6 +925,45 @@ mod tests {
         assert!(matmul(&a, &b).unwrap()[(0, 0)].is_nan());
         assert!(matmul_ref(&a, &b).unwrap()[(0, 0)].is_nan());
         assert!(matmul_nt(&a, &b.transposed()).unwrap()[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn pack_dispatch_matches_scalar() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        // Shapes hitting every edge: ragged tiles, ragged quads, shapes
+        // below every SIMD block size, and the real serving shapes.
+        for &(k, n) in &[
+            (1usize, 1usize),
+            (3, 16),
+            (7, 130),
+            (64, 64),
+            (65, 63),
+            (513, 64),
+            (64, 513),
+            (100, 200),
+        ] {
+            let b = Mat::from_fn(k, n, |_, _| rng.random_range(-127i8..=127));
+            let (q_fast, c_fast) = pack_quads(&b);
+            let tiles = n.div_ceil(NR);
+            let kq = k.div_ceil(KQ);
+            let mut q_ref = vec![0i8; tiles * kq * NR * KQ];
+            let mut c_ref = vec![0i32; tiles * NR];
+            pack_quads_scalar_range(&b, &mut q_ref, &mut c_ref, 0, tiles);
+            assert_eq!(q_fast, q_ref, "pack_quads quads ({k},{n})");
+            assert_eq!(c_fast, c_ref, "pack_quads colsum ({k},{n})");
+
+            // pack_quads_t parity on the transpose-given (n x k) shape.
+            let src = Mat::from_fn(n, k, |_, _| rng.random_range(-127i8..=127));
+            let (qt2, ct2) = pack_quads_t(&src);
+            let t2 = n.div_ceil(NR);
+            let kq2 = k.div_ceil(KQ);
+            let mut qt_ref = vec![0i8; t2 * kq2 * NR * KQ];
+            let mut ct_ref = vec![0i32; t2 * NR];
+            pack_quads_t_scalar_range(&src, &mut qt_ref, &mut ct_ref, 0, t2);
+            assert_eq!(qt2, qt_ref, "pack_quads_t quads ({n},{k})");
+            assert_eq!(ct2, ct_ref, "pack_quads_t colsum ({n},{k})");
+        }
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Paged block storage for incremental-decoding KV caches.
+//!
+//! The incremental decoders used to give every session a flat
+//! [`Mat`] per layer, reserved to the model's `max_len` up front —
+//! worst-case provisioning that caps how many sessions fit in a fixed
+//! memory budget. [`KvPool`] replaces that with the classic paged
+//! layout: storage is a set of fixed-size **pages** (`page_rows × cols`
+//! each), a free list recycles pages across sessions, and every
+//! sequence is a [`KvSeq`] *block table* — an ordered list of page
+//! indices plus a logical row count. Sessions allocate pages on demand
+//! as rows are pushed, shrink across page boundaries on rollback, and
+//! release every page copy-free on retirement.
+//!
+//! **Bit-identity:** a page stores exactly the rows that a flat `Mat`
+//! would hold, in the same order; [`KvPool::gather_panel`] copies them
+//! out row by row, so any kernel consuming a gathered panel sees the
+//! same bytes it would have read from the flat cache. (The attention
+//! executors already copy per-head panels out of flat caches, so the
+//! gather is cost-neutral — one copy either way.)
+//!
+//! The page size is tunable via the `ACCEL_KV_PAGE` environment
+//! variable (see [`page_rows_from_env`]); CI runs a tiny-page stress
+//! matrix so page-boundary paths are exercised on every change.
+
+use crate::Mat;
+
+/// Default page height (rows per page) when `ACCEL_KV_PAGE` is unset.
+pub const DEFAULT_PAGE_ROWS: usize = 16;
+
+/// Reads the page height from the `ACCEL_KV_PAGE` environment variable,
+/// falling back to `default`. Parsed on every call (cheap — once per
+/// arena construction), so tests and CI matrices can vary it without
+/// process-global caching.
+pub fn page_rows_from_env(default: usize) -> usize {
+    match std::env::var("ACCEL_KV_PAGE") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
+
+/// A sequence's block table: the ordered pages it owns inside one
+/// [`KvPool`], plus its logical row count. Create with [`KvSeq::new`],
+/// grow with [`KvPool::push_row`], shrink with [`KvPool::truncate`],
+/// and hand back with [`KvPool::release`].
+///
+/// A `KvSeq` is only meaningful against the pool that grew it; the
+/// pool's accessors assert index validity in debug builds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvSeq {
+    pages: Vec<usize>,
+    rows: usize,
+}
+
+impl KvSeq {
+    /// An empty sequence holding no pages.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logical rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Pages currently held (resident, whether full or partial).
+    pub fn pages_held(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// A shared pool of fixed-size `page_rows × cols` pages with free-list
+/// recycling. One pool serves every session and layer of a model side
+/// (all caches share `cols = d_model`).
+#[derive(Debug, Clone)]
+pub struct KvPool<T> {
+    page_rows: usize,
+    cols: usize,
+    pages: Vec<Mat<T>>,
+    free: Vec<usize>,
+    max_pages: Option<usize>,
+}
+
+impl<T: Copy + Default> KvPool<T> {
+    /// An unbounded pool of `page_rows × cols` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_rows` or `cols` is zero.
+    pub fn new(page_rows: usize, cols: usize) -> Self {
+        assert!(page_rows > 0, "page_rows must be positive");
+        assert!(cols > 0, "cols must be positive");
+        Self {
+            page_rows,
+            cols,
+            pages: Vec::new(),
+            free: Vec::new(),
+            max_pages: None,
+        }
+    }
+
+    /// A pool that refuses to allocate more than `max_pages` pages
+    /// (the fixed KV memory budget of a serving host).
+    pub fn with_max_pages(page_rows: usize, cols: usize, max_pages: usize) -> Self {
+        let mut p = Self::new(page_rows, cols);
+        p.max_pages = Some(max_pages);
+        p
+    }
+
+    /// Rows per page.
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Columns per row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Pages handed out to live sequences.
+    pub fn pages_in_use(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    /// Pages on the free list, ready for reuse.
+    pub fn pages_free(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Bytes resident in pages currently held by sequences. Free-listed
+    /// pages are excluded — they are reusable capacity, not live KV.
+    pub fn bytes_in_use(&self) -> usize {
+        self.pages_in_use() * self.page_rows * self.cols * std::mem::size_of::<T>()
+    }
+
+    /// Bytes ever allocated (live + free-listed pages) — the pool's
+    /// high-water footprint.
+    pub fn bytes_allocated(&self) -> usize {
+        self.pages.len() * self.page_rows * self.cols * std::mem::size_of::<T>()
+    }
+
+    /// Rows of page storage resident for `seq` (its logical rows rounded
+    /// up to whole pages).
+    pub fn resident_rows(&self, seq: &KvSeq) -> usize {
+        seq.pages.len() * self.page_rows
+    }
+
+    fn acquire_page(&mut self) -> usize {
+        if let Some(i) = self.free.pop() {
+            return i;
+        }
+        if let Some(max) = self.max_pages {
+            assert!(
+                self.pages.len() < max,
+                "KV pool exhausted: {max} pages allocated and none free"
+            );
+        }
+        self.pages.push(Mat::zeros(self.page_rows, self.cols));
+        self.pages.len() - 1
+    }
+
+    /// Appends one row to `seq`, allocating a page on demand when the
+    /// sequence's last page is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`, or the pool's page budget
+    /// ([`KvPool::with_max_pages`]) is exhausted.
+    pub fn push_row(&mut self, seq: &mut KvSeq, row: &[T]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "push_row width {} != cols {}",
+            row.len(),
+            self.cols
+        );
+        if seq.rows == seq.pages.len() * self.page_rows {
+            let page = self.acquire_page();
+            seq.pages.push(page);
+        }
+        let p = seq.rows / self.page_rows;
+        let r = seq.rows % self.page_rows;
+        self.pages[seq.pages[p]].row_mut(r).copy_from_slice(row);
+        seq.rows += 1;
+    }
+
+    /// Borrow of `seq`'s logical row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= seq.rows()`.
+    pub fn row<'a>(&'a self, seq: &KvSeq, r: usize) -> &'a [T] {
+        assert!(r < seq.rows, "row {r} out of bounds ({})", seq.rows);
+        self.pages[seq.pages[r / self.page_rows]].row(r % self.page_rows)
+    }
+
+    /// Copies `seq`'s rows, columns `c0 .. c0 + width`, into a dense
+    /// matrix — the paged equivalent of `Mat::submatrix` over a flat
+    /// cache, and bit-identical to it (same values, same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column range exceeds the pool width.
+    pub fn gather_panel(&self, seq: &KvSeq, c0: usize, width: usize) -> Mat<T> {
+        assert!(
+            c0 + width <= self.cols,
+            "panel {c0}..{} exceeds cols {}",
+            c0 + width,
+            self.cols
+        );
+        let mut out = Mat::zeros(seq.rows, width);
+        for r in 0..seq.rows {
+            let src = self.row(seq, r);
+            out.row_mut(r).copy_from_slice(&src[c0..c0 + width]);
+        }
+        out
+    }
+
+    /// Copies all of `seq`'s rows into a dense `rows × cols` matrix.
+    pub fn to_mat(&self, seq: &KvSeq) -> Mat<T> {
+        self.gather_panel(seq, 0, self.cols)
+    }
+
+    /// Shrinks `seq` to its first `rows` rows, returning now-unused
+    /// trailing pages to the free list. Works across page boundaries —
+    /// truncating from row 17 to row 15 with 16-row pages frees the
+    /// second page — which is what the serving layer's
+    /// rollback-and-recompute relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds the sequence's current row count.
+    pub fn truncate(&mut self, seq: &mut KvSeq, rows: usize) {
+        assert!(
+            rows <= seq.rows,
+            "truncate {rows} exceeds current rows {}",
+            seq.rows
+        );
+        seq.rows = rows;
+        let needed = rows.div_ceil(self.page_rows);
+        while seq.pages.len() > needed {
+            let page = seq.pages.pop().expect("len checked");
+            debug_assert!(!self.free.contains(&page), "page {page} double-freed");
+            self.free.push(page);
+        }
+    }
+
+    /// Returns every page `seq` holds to the free list (copy-free — the
+    /// page contents are left in place and overwritten by the next
+    /// owner).
+    pub fn release(&mut self, seq: &mut KvSeq) {
+        self.truncate(seq, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(pool: &mut KvPool<i8>, seq: &mut KvSeq, n: usize, base: i8) {
+        for i in 0..n {
+            let row = vec![base.wrapping_add(i as i8); pool.cols()];
+            pool.push_row(seq, &row);
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_across_pages() {
+        let mut pool = KvPool::<i8>::new(4, 3);
+        let mut seq = KvSeq::new();
+        fill(&mut pool, &mut seq, 10, 1);
+        assert_eq!(seq.rows(), 10);
+        assert_eq!(seq.pages_held(), 3);
+        assert_eq!(pool.resident_rows(&seq), 12);
+        for r in 0..10 {
+            assert_eq!(pool.row(&seq, r), vec![1 + r as i8; 3].as_slice());
+        }
+    }
+
+    #[test]
+    fn gather_panel_matches_flat_submatrix() {
+        let mut pool = KvPool::<i8>::new(3, 8);
+        let mut seq = KvSeq::new();
+        let mut flat = Mat::zeros(0, 8);
+        for r in 0..7 {
+            let row: Vec<i8> = (0..8).map(|c| (r * 8 + c) as i8).collect();
+            pool.push_row(&mut seq, &row);
+            flat.push_row(&row);
+        }
+        for (c0, w) in [(0usize, 8usize), (2, 4), (6, 2)] {
+            assert_eq!(
+                pool.gather_panel(&seq, c0, w),
+                flat.submatrix(0, c0, 7, w).unwrap()
+            );
+        }
+        assert_eq!(pool.to_mat(&seq), flat);
+    }
+
+    #[test]
+    fn truncate_frees_pages_across_boundaries() {
+        let mut pool = KvPool::<i8>::new(4, 2);
+        let mut seq = KvSeq::new();
+        fill(&mut pool, &mut seq, 9, 0); // 3 pages
+        pool.truncate(&mut seq, 4); // exactly one page's worth
+        assert_eq!(seq.pages_held(), 1);
+        assert_eq!(pool.pages_free(), 2);
+        // Rollback one row below a boundary from above it.
+        fill(&mut pool, &mut seq, 1, 50); // row 4 -> second page
+        assert_eq!(seq.pages_held(), 2);
+        pool.truncate(&mut seq, 3);
+        assert_eq!(seq.pages_held(), 1);
+        assert_eq!(pool.row(&seq, 2), &[2, 2]);
+    }
+
+    #[test]
+    fn release_recycles_pages_to_other_sequences() {
+        let mut pool = KvPool::<i8>::new(2, 2);
+        let mut a = KvSeq::new();
+        fill(&mut pool, &mut a, 6, 1);
+        let held = pool.pages_in_use();
+        pool.release(&mut a);
+        assert_eq!(pool.pages_in_use(), 0);
+        assert_eq!(a.rows(), 0);
+        let mut b = KvSeq::new();
+        fill(&mut pool, &mut b, 6, 9);
+        // No fresh allocation was needed.
+        assert_eq!(pool.pages_in_use(), held);
+        assert_eq!(pool.pages_free(), 0);
+        assert_eq!(pool.row(&b, 5), &[14, 14]);
+    }
+
+    #[test]
+    fn bytes_accounting_tracks_live_pages_only() {
+        let mut pool = KvPool::<f32>::new(4, 8);
+        assert_eq!(pool.bytes_in_use(), 0);
+        let mut seq = KvSeq::new();
+        pool.push_row(&mut seq, &[0.0; 8]);
+        assert_eq!(pool.bytes_in_use(), 4 * 8 * 4);
+        pool.release(&mut seq);
+        assert_eq!(pool.bytes_in_use(), 0);
+        assert_eq!(pool.bytes_allocated(), 4 * 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "KV pool exhausted")]
+    fn page_budget_is_enforced() {
+        let mut pool = KvPool::<i8>::with_max_pages(2, 2, 1);
+        let mut seq = KvSeq::new();
+        fill(&mut pool, &mut seq, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row width")]
+    fn wrong_width_rejected() {
+        let mut pool = KvPool::<i8>::new(2, 3);
+        let mut seq = KvSeq::new();
+        pool.push_row(&mut seq, &[1, 2]);
+    }
+
+    #[test]
+    fn env_page_rows_parsing() {
+        // Only exercises the fallback path (the variable is not set in
+        // the test environment unless the CI page-stress matrix sets it,
+        // in which case the parsed value must be positive).
+        let v = page_rows_from_env(16);
+        assert!(v > 0);
+        match std::env::var("ACCEL_KV_PAGE") {
+            Ok(s) => assert_eq!(v, s.trim().parse::<usize>().unwrap_or(16).max(1)),
+            Err(_) => assert_eq!(v, 16),
+        }
+    }
+}

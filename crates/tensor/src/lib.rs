@@ -37,6 +37,7 @@
 mod error;
 pub mod gemm;
 pub mod init;
+pub mod kvpool;
 mod mat;
 pub mod norm;
 pub mod ops;

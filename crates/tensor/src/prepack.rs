@@ -3,21 +3,29 @@
 //!
 //! The accelerator keeps each weight matrix resident next to the
 //! systolic array and streams only activations through it. The software
-//! GEMM in [`crate::gemm`] instead re-packs `B` into `NR`-lane column
-//! tiles on **every call**; for the batch-1 decode hot path (`m = 1`,
-//! `k = d_model`) that packing is `O(k * n)` work — the same order as
-//! the multiply-accumulate itself, i.e. roughly half of every decode
-//! GEMM was spent re-deriving a layout that never changes.
+//! GEMM in [`crate::gemm`] instead re-packs `B` on **every call**; for
+//! the batch-1 decode hot path (`m = 1`, `k = d_model`) that packing is
+//! `O(k * n)` work — the same order as the multiply-accumulate itself,
+//! i.e. roughly half of every decode GEMM was spent re-deriving a
+//! layout that never changes.
 //!
-//! [`PackedMat`] captures the `pack_tiles` layout once; the
-//! [`matmul_prepacked`] / [`matmul_i8_prepacked`] entry points then run
-//! the identical band kernels (including the AVX2 microkernels from
+//! [`PackedF32`] captures the `f32` `pack_tiles` layout once and
+//! [`PackedI8`] the INT8 quad layout ([`crate::gemm::pack_quads`]:
+//! `[tile][kq][lane][KQ]` `i8` quads plus the per-lane column sums the
+//! VNNI microkernel's unsigned-offset compensation needs). Storing the
+//! INT8 pack as `i8` rather than widened `i32` also matters for decode
+//! throughput on its own: the GEMV is memory-bound on the weight
+//! stream, and the quad layout moves 1x the weight bytes per token
+//! instead of 4x.
+//!
+//! The [`matmul_prepacked`] / [`matmul_i8_prepacked`] entry points run
+//! the identical band kernels (including the VNNI microkernels from
 //! [`crate::simd`] and the dedicated `m == 1` GEMV) straight from the
-//! cached tiles. Results are **bit-identical** to [`crate::gemm::matmul`]
-//! / [`crate::gemm::matmul_i8`] and the naive references for any shape
-//! and thread count, because the packed layout and the per-element
-//! accumulation order are exactly the same — only the packing work
-//! moves from per-call to per-weight-lifetime.
+//! cached tiles. Results are **bit-identical** to
+//! [`crate::gemm::matmul`] / [`crate::gemm::matmul_i8`] and the naive
+//! references for any shape and thread count, because the packed layout
+//! and the per-element accumulation order are exactly the same — only
+//! the packing work moves from per-call to per-weight-lifetime.
 //!
 //! `quantized::QLinear` packs eagerly at construction (its weights are
 //! immutable); `transformer::Linear` caches lazily and invalidates when
@@ -29,10 +37,8 @@ use serde::{Deserialize, Serialize};
 
 /// A `k x n` matrix frozen in the register-microkernel's packed-tile
 /// layout (`[tile][p][lane]`, `NR` lanes per tile, last tile
-/// zero-padded), with integer operands already widened to the
-/// accumulator type. Build once per weight matrix via [`PackedMat::from_f32`]
-/// or [`PackedMat::from_i8`]; multiply via [`matmul_prepacked`] /
-/// [`matmul_i8_prepacked`].
+/// zero-padded). Build once per weight matrix via
+/// [`PackedMat::from_f32`]; multiply via [`matmul_prepacked`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PackedMat<T> {
     /// Tiles in `[tile][p][lane]` order, `tiles * k * NR` elements.
@@ -45,9 +51,6 @@ pub struct PackedMat<T> {
 
 /// Prepacked `f32` weight matrix.
 pub type PackedF32 = PackedMat<f32>;
-/// Prepacked INT8 weight matrix (lanes pre-widened to the `i32`
-/// accumulator type, as the integer microkernel consumes them).
-pub type PackedI8 = PackedMat<i32>;
 
 impl<T> PackedMat<T> {
     /// Reduction depth — the `a.cols()` this packed matrix multiplies
@@ -75,16 +78,47 @@ impl PackedMat<f32> {
     }
 }
 
-impl PackedMat<i32> {
-    /// Packs an INT8 weight matrix once, widening `i8 -> i32` during the
-    /// pack (the layout [`crate::gemm::matmul_i8`] builds per call).
+/// An INT8 `k x n` weight matrix frozen in the quad-packed layout the
+/// INT8 kernels consume (`[tile][kq][lane][KQ]` `i8` quads, see
+/// [`crate::gemm::pack_quads`]), together with the per-`(tile, lane)`
+/// column sums used by the VNNI unsigned-offset compensation. Build
+/// once per weight matrix via [`PackedI8::from_i8`]; multiply via
+/// [`matmul_i8_prepacked`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedI8 {
+    /// Quad tiles in `[tile][kq][lane][KQ]` order.
+    quads: Vec<i8>,
+    /// `tiles * NR` column sums (zero for padded lanes).
+    colsum: Vec<i32>,
+    /// Reduction depth (rows of the original `B`).
+    k: usize,
+    /// Output width (columns of the original `B`).
+    n: usize,
+}
+
+impl PackedI8 {
+    /// Packs an INT8 weight matrix once into the quad layout
+    /// [`crate::gemm::matmul_i8`] builds per call.
     pub fn from_i8(b: &Mat<i8>) -> Self {
         let (k, n) = b.shape();
+        let (quads, colsum) = gemm::pack_quads(b);
         Self {
-            packed: gemm::pack_tiles(b, gemm::widen_i8),
+            quads,
+            colsum,
             k,
             n,
         }
+    }
+
+    /// Reduction depth — the `a.cols()` this packed matrix multiplies
+    /// against.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width — columns of the product.
+    pub fn n(&self) -> usize {
+        self.n
     }
 }
 
@@ -128,7 +162,7 @@ pub fn matmul_prepacked_with_threads(
 /// # Errors
 ///
 /// Returns [`ShapeError`] if `a.cols() != b.k()`.
-pub fn matmul_i8_prepacked(a: &Mat<i8>, b: &PackedMat<i32>) -> Result<Mat<i32>, ShapeError> {
+pub fn matmul_i8_prepacked(a: &Mat<i8>, b: &PackedI8) -> Result<Mat<i32>, ShapeError> {
     matmul_i8_prepacked_with_threads(a, b, gemm::auto_threads(a.rows(), a.cols(), b.n))
 }
 
@@ -140,7 +174,7 @@ pub fn matmul_i8_prepacked(a: &Mat<i8>, b: &PackedMat<i32>) -> Result<Mat<i32>, 
 /// Returns [`ShapeError`] if `a.cols() != b.k()`.
 pub fn matmul_i8_prepacked_with_threads(
     a: &Mat<i8>,
-    b: &PackedMat<i32>,
+    b: &PackedI8,
     threads: usize,
 ) -> Result<Mat<i32>, ShapeError> {
     if a.cols() != b.k {
@@ -152,12 +186,17 @@ pub fn matmul_i8_prepacked_with_threads(
     }
     let (m, n) = (a.rows(), b.n);
     let mut out = Mat::<i32>::zeros(m, n);
+    let au = if crate::simd::int8_simd_active() {
+        gemm::offset_rows(a, threads)
+    } else {
+        Vec::new()
+    };
     if m == 1 {
-        gemm::run_gemv_i8(a, &b.packed, out.as_mut_slice(), n);
+        gemm::run_gemv_i8q(a, &au, &b.quads, &b.colsum, out.as_mut_slice(), n);
         return Ok(out);
     }
     par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
-        gemm::run_band_i8(a, &b.packed, first_row, band, n);
+        gemm::run_band_i8q(a, &au, &b.quads, &b.colsum, first_row, band, n);
     });
     Ok(out)
 }
@@ -187,7 +226,9 @@ mod tests {
         for m in [1usize, 2, 7] {
             let a = Mat::from_fn(m, 40, |r, c| ((r * 31 + c * 7) % 255) as i8);
             let b = Mat::from_fn(40, 23, |r, c| ((r * 13 + c * 5) % 251) as i8);
-            let packed = PackedMat::from_i8(&b);
+            let packed = PackedI8::from_i8(&b);
+            assert_eq!(packed.k(), 40);
+            assert_eq!(packed.n(), 23);
             let got = matmul_i8_prepacked(&a, &packed).unwrap();
             assert_eq!(got, gemm::matmul_i8(&a, &b).unwrap(), "m={m}");
         }
@@ -195,7 +236,7 @@ mod tests {
 
     #[test]
     fn prepacked_shape_errors() {
-        let packed = PackedMat::from_i8(&Mat::<i8>::zeros(4, 4));
+        let packed = PackedI8::from_i8(&Mat::<i8>::zeros(4, 4));
         assert!(matmul_i8_prepacked(&Mat::<i8>::zeros(2, 3), &packed).is_err());
         let packed_f = PackedMat::from_f32(&Mat::<f32>::zeros(4, 4));
         assert!(matmul_prepacked(&Mat::<f32>::zeros(2, 3), &packed_f).is_err());
@@ -204,9 +245,9 @@ mod tests {
     #[test]
     fn packed_mat_serde_round_trips() {
         let b = Mat::from_fn(6, 9, |r, c| (r as i8) - 2 * (c as i8));
-        let packed = PackedMat::from_i8(&b);
+        let packed = PackedI8::from_i8(&b);
         let json = serde_json::to_string(&packed).unwrap();
-        let back: PackedMat<i32> = serde_json::from_str(&json).unwrap();
+        let back: PackedI8 = serde_json::from_str(&json).unwrap();
         assert_eq!(back, packed);
     }
 }

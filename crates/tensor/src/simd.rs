@@ -1,33 +1,37 @@
 //! Explicit SIMD microkernels for the INT8 datapath.
 //!
-//! The scalar band kernel in [`crate::gemm`] already auto-vectorises
-//! reasonably under `-C target-cpu=native`, but the decode hot path
-//! (`m ∈ [1, batch]` rows against a prepacked weight panel) leaves
-//! enough on the table that this module provides hand-written
-//! `std::arch` x86_64 AVX2 kernels:
+//! The scalar quad kernels in [`crate::gemm`] already auto-vectorise
+//! reasonably under `-C target-cpu=native`, but the INT8 GEMMs sit on
+//! the serving hot path (chunked prefill is one multi-row GEMM per
+//! weight matrix per chunk), so this module provides hand-written
+//! `std::arch` x86_64 **AVX-512 VNNI** kernels built around
+//! `vpdpbusd` — four `u8 x i8` products fused into each `i32` lane per
+//! instruction, i.e. 64 multiply-accumulates per 512-bit operation:
 //!
-//! * [`band_i8`] — the `MR x NR` register-tiled GEMM microkernel over
-//!   prepacked (`i8 -> i32` widened) `B` tiles, eight 256-bit
-//!   accumulators per row quad;
-//! * [`gemv_i8`] — a dedicated single-row (`m == 1`) kernel that walks
-//!   two packed tiles at once, keeping four independent 256-bit
-//!   accumulator chains busy per broadcast of the activation element.
+//! * [`band_i8q`] — the `MR x NR` register-tiled GEMM microkernel over
+//!   the quad-packed `B` tiles ([`crate::gemm::pack_quads`]);
+//! * [`gemv_i8q`] — a dedicated single-row (`m == 1`) kernel walking
+//!   four packed tiles at once to keep independent accumulator chains
+//!   busy;
+//! * [`band_nt_i8q`] — the `a * b^T` kernel (attention scores), reading
+//!   `b`'s rows directly with 64-byte `vpdpbusd` strides.
 //!
-//! Both are **exact** drop-in replacements for the scalar kernels: the
-//! lanes use `_mm256_mullo_epi32` / `_mm256_add_epi32`, which are
-//! bit-exact `i32` operations, and every output element still
-//! accumulates its `k` products in ascending-`k` order — so results are
-//! bit-identical to the scalar kernels and the naive references for any
-//! input. (There are deliberately no `f32` SIMD kernels: float
-//! reassociation would break the bit-identity invariant, and the scalar
-//! float path already auto-vectorises.)
+//! `vpdpbusd`'s first operand is **unsigned**, so activations are fed
+//! as `a + 128` (prepared once per GEMM by
+//! [`crate::gemm::offset_rows`]) and the kernels subtract
+//! `128 * colsum(B)` afterwards. The compensation is exact in `i32`
+//! (worst case `4096 * 255 * 127 + 128 * 4096 * 128 < 2^31`), and
+//! integer accumulation is order-independent, so results are
+//! **bit-identical** to the scalar quad kernels and the naive
+//! references for any input.
 //!
-//! Dispatch is runtime-gated: [`simd_enabled`] checks AVX2 support via
-//! `is_x86_64_feature_detected!` (cached) and honours the
-//! [`ENV_FORCE_SCALAR`] environment variable, read once per process,
-//! plus an in-process override for tests ([`set_simd_override`]). On
-//! non-x86_64 targets the entry points report "not handled" and callers
-//! fall back to the scalar kernels.
+//! Dispatch is runtime-gated: [`simd_enabled`] checks AVX-512
+//! F/BW/VNNI support via `is_x86_feature_detected!` (cached) and
+//! honours the [`ENV_FORCE_SCALAR`] environment variable, read once per
+//! process, plus an in-process override for tests
+//! ([`set_simd_override`]). On hardware without VNNI (or non-x86_64
+//! targets) the entry points report "not handled" and callers fall back
+//! to the scalar kernels.
 //!
 //! All `unsafe` in the `tensor` crate is confined to this module and the
 //! lifetime extension in [`crate::par`]; the rest of the crate remains
@@ -35,8 +39,6 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
-
-use crate::Mat;
 
 /// Environment variable forcing the scalar kernels (any non-empty value
 /// other than `0`). Useful for debugging and for CI legs that pin the
@@ -60,27 +62,40 @@ fn force_scalar_env() -> bool {
 }
 
 #[cfg(target_arch = "x86_64")]
-fn avx2_available() -> bool {
-    static AVX2: OnceLock<bool> = OnceLock::new();
-    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+fn vnni_available() -> bool {
+    static VNNI: OnceLock<bool> = OnceLock::new();
+    *VNNI.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vnni")
+    })
 }
 
 #[cfg(not(target_arch = "x86_64"))]
-fn avx2_available() -> bool {
+fn vnni_available() -> bool {
     false
 }
 
 /// Whether the SIMD kernels will be used for the next INT8 GEMM.
 ///
-/// `true` iff the target is x86_64 with AVX2, [`ENV_FORCE_SCALAR`] is
-/// not set, and no in-process override forces scalar. Because SIMD and
-/// scalar kernels are bit-identical, this only affects speed.
+/// `true` iff the target is x86_64 with AVX-512 VNNI,
+/// [`ENV_FORCE_SCALAR`] is not set, and no in-process override forces
+/// scalar. Because SIMD and scalar kernels are bit-identical, this only
+/// affects speed.
 pub fn simd_enabled() -> bool {
     match SIMD_OVERRIDE.load(Ordering::Relaxed) {
         1 => false,
-        2 => avx2_available(),
-        _ => !force_scalar_env() && avx2_available(),
+        2 => vnni_available(),
+        _ => !force_scalar_env() && vnni_available(),
     }
+}
+
+/// Crate-internal alias for [`simd_enabled`] used by the GEMM entry
+/// points to decide whether the unsigned-offset activation copy is
+/// worth preparing.
+#[inline]
+pub(crate) fn int8_simd_active() -> bool {
+    simd_enabled()
 }
 
 /// Overrides SIMD dispatch for this process: `Some(false)` forces the
@@ -97,91 +112,195 @@ pub fn set_simd_override(enabled: Option<bool>) {
     SIMD_OVERRIDE.store(v, Ordering::Relaxed);
 }
 
-/// AVX2 band GEMM over prepacked `B` tiles. Returns `false` (without
+/// VNNI band GEMM over quad-packed `B` tiles. Returns `false` (without
 /// touching `out_band`) when the SIMD path is unavailable or disabled,
 /// in which case the caller must run the scalar kernel.
 #[inline]
-pub(crate) fn band_i8(
-    a: &Mat<i8>,
-    packed: &[i32],
+pub(crate) fn band_i8q(
+    au: &[u8],
+    k: usize,
+    quads: &[i8],
+    colsum: &[i32],
     first_row: usize,
     out_band: &mut [i32],
     n: usize,
 ) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        if simd_enabled() {
-            // SAFETY: `simd_enabled` implies AVX2 was detected at runtime.
+        if simd_enabled() && !au.is_empty() {
+            // SAFETY: `simd_enabled` implies VNNI was detected at runtime.
             #[allow(unsafe_code)]
             unsafe {
-                x86::band_i8_avx2(a, packed, first_row, out_band, n);
+                x86::band_i8q_vnni(au, k, quads, colsum, first_row, out_band, n);
             }
             return true;
         }
     }
-    let _ = (a, packed, first_row, out_band, n);
+    let _ = (au, k, quads, colsum, first_row, out_band, n);
     false
 }
 
-/// AVX2 single-row GEMV over prepacked `B` tiles (`out = arow * B`).
+/// VNNI single-row GEMV over quad-packed `B` tiles (`out = arow * B`).
 /// Returns `false` (without touching `out`) when the SIMD path is
 /// unavailable or disabled.
 #[inline]
-pub(crate) fn gemv_i8(arow: &[i8], packed: &[i32], n: usize, out: &mut [i32]) -> bool {
+pub(crate) fn gemv_i8q(
+    au: &[u8],
+    k: usize,
+    quads: &[i8],
+    colsum: &[i32],
+    out: &mut [i32],
+    n: usize,
+) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        if simd_enabled() {
-            // SAFETY: `simd_enabled` implies AVX2 was detected at runtime.
+        if simd_enabled() && !au.is_empty() {
+            // SAFETY: `simd_enabled` implies VNNI was detected at runtime.
             #[allow(unsafe_code)]
             unsafe {
-                x86::gemv_i8_avx2(arow, packed, n, out);
+                x86::gemv_i8q_vnni(au, k, quads, colsum, out, n);
             }
             return true;
         }
     }
-    let _ = (arow, packed, n, out);
+    let _ = (au, k, quads, colsum, out, n);
+    false
+}
+
+/// VNNI `a * b^T` band kernel (`b` rows read directly; `rowsum[j]` is
+/// the sum of `b.row(j)` for the unsigned-offset compensation). Returns
+/// `false` when the SIMD path is unavailable or disabled.
+#[inline]
+pub(crate) fn band_nt_i8q(
+    au: &[u8],
+    k: usize,
+    b: &crate::Mat<i8>,
+    rowsum: &[i32],
+    first_row: usize,
+    out_band: &mut [i32],
+    n: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_enabled() && !au.is_empty() {
+            // SAFETY: `simd_enabled` implies VNNI was detected at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::band_nt_i8q_vnni(au, k, b, rowsum, first_row, out_band, n);
+            }
+            return true;
+        }
+    }
+    let _ = (au, k, b, rowsum, first_row, out_band, n);
+    false
+}
+
+/// SIMD fast path for [`crate::gemm::pack_quads`]: packs the whole of
+/// `b` into `quads`/`colsum` (which must be zeroed and correctly sized)
+/// and returns `true`, or returns `false` without touching them when the
+/// SIMD path is unavailable — the caller then runs the scalar pack.
+/// Byte-identical to the scalar pack either way.
+#[inline]
+pub(crate) fn pack_quads_into(b: &crate::Mat<i8>, quads: &mut [i8], colsum: &mut [i32]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_enabled() {
+            // SAFETY: `simd_enabled` implies VNNI was detected at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::pack_quads_vnni(b, quads, colsum);
+            }
+            return true;
+        }
+    }
+    let _ = (b, quads, colsum);
+    false
+}
+
+/// SIMD fast path for [`crate::gemm::pack_quads_t`] (same contract as
+/// [`pack_quads_into`]): packs the transpose-given `bt` or reports
+/// `false` for the scalar fallback.
+#[inline]
+pub(crate) fn pack_quads_t_into(bt: &crate::Mat<i8>, quads: &mut [i8], colsum: &mut [i32]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_enabled() {
+            // SAFETY: `simd_enabled` implies VNNI was detected at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::pack_quads_t_vnni(bt, quads, colsum);
+            }
+            return true;
+        }
+    }
+    let _ = (bt, quads, colsum);
     false
 }
 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use crate::gemm::{MR, NR};
+    use crate::gemm::{KQ, MR, NR};
     use crate::Mat;
     use std::arch::x86_64::{
-        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_mullo_epi32, _mm256_set1_epi32,
-        _mm256_setzero_si256, _mm256_storeu_si256,
+        __m512i, _mm512_dpbusd_epi32, _mm512_loadu_si512, _mm512_maskz_loadu_epi8,
+        _mm512_reduce_add_epi32, _mm512_set1_epi32, _mm512_set1_epi8, _mm512_setzero_si512,
+        _mm512_shuffle_i32x4, _mm512_slli_epi32, _mm512_storeu_si512, _mm512_sub_epi32,
+        _mm512_unpackhi_epi16, _mm512_unpackhi_epi32, _mm512_unpackhi_epi64, _mm512_unpackhi_epi8,
+        _mm512_unpacklo_epi16, _mm512_unpacklo_epi32, _mm512_unpacklo_epi64, _mm512_unpacklo_epi8,
     };
 
-    /// Spills two 256-bit accumulators (one `NR = 16` lane tile) into
-    /// `out[..w]`.
+    /// Spills one 16-lane `i32` accumulator into `out[..w]`.
     ///
     /// # Safety
     ///
-    /// Requires AVX2.
+    /// Requires AVX-512F.
     #[allow(unsafe_code)]
-    #[target_feature(enable = "avx2")]
+    #[target_feature(enable = "avx512f")]
     #[inline]
-    unsafe fn store_tile(lo: __m256i, hi: __m256i, out: &mut [i32], w: usize) {
+    unsafe fn store_tile(acc: __m512i, out: &mut [i32], w: usize) {
         let mut lanes = [0i32; NR];
-        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), lo);
-        _mm256_storeu_si256(lanes.as_mut_ptr().add(8).cast(), hi);
+        _mm512_storeu_si512(lanes.as_mut_ptr().cast(), acc);
         out[..w].copy_from_slice(&lanes[..w]);
     }
 
-    /// AVX2 twin of the scalar `band_i8` kernel in [`crate::gemm`]: same
-    /// `[tile][p][lane]` packed layout, same `MR`-row register quads,
-    /// same ascending-`k` per-element accumulation — the eight `ymm`
-    /// accumulators are simply the scalar kernel's `c0..c3[NR]` arrays
-    /// held in vector registers, updated with bit-exact `i32` lane ops.
+    /// Reads activation quad `q` of an offset row as the broadcast
+    /// 32-bit group `vpdpbusd` expects.
     ///
     /// # Safety
     ///
-    /// Requires AVX2 (callers check [`super::simd_enabled`]).
+    /// `row` must hold at least `(q + 1) * KQ` bytes.
     #[allow(unsafe_code)]
-    #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn band_i8_avx2(
-        a: &Mat<i8>,
-        packed: &[i32],
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn bcast_quad(row: *const u8, q: usize) -> __m512i {
+        _mm512_set1_epi32(row.add(q * KQ).cast::<i32>().read_unaligned())
+    }
+
+    /// VNNI twin of the scalar `band_i8q` kernel in [`crate::gemm`]:
+    /// same `[tile][kq][lane][4]` quad layout, `MR`-row register quads,
+    /// one `vpdpbusd` per row per 64-byte tile load (64 MACs), and the
+    /// `128 * colsum` compensation subtracted once per output tile.
+    /// Integer accumulation is exact, so the result is bit-identical to
+    /// the scalar kernel and the naive reference.
+    ///
+    /// The main loop walks **two** packed tiles per pass (`MR x 2`
+    /// register block, eight independent accumulators). With a single
+    /// tile the four `vpdpbusd` chains cap throughput at roughly
+    /// `MR / latency` ops per cycle — about 0.8 with the ~5-cycle VNNI
+    /// latency — leaving the FMA ports half idle; eight chains nearly
+    /// double the sustained MAC rate while each activation broadcast is
+    /// shared by both tiles.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512 F/BW/VNNI (callers check [`super::simd_enabled`]).
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub(super) unsafe fn band_i8q_vnni(
+        au: &[u8],
+        k: usize,
+        quads: &[i8],
+        colsum: &[i32],
         first_row: usize,
         out_band: &mut [i32],
         n: usize,
@@ -189,138 +308,464 @@ mod x86 {
         if n == 0 {
             return;
         }
-        let k = a.cols();
+        let kq = k.div_ceil(KQ);
+        let stride = kq * KQ;
+        let tile_len = kq * NR * KQ;
         let rows = out_band.len() / n;
         let tiles = n.div_ceil(NR);
-        for t in 0..tiles {
-            let bt = &packed[t * k * NR..(t + 1) * k * NR];
+        let mut t = 0;
+        while t + 2 <= tiles {
+            let bt0 = quads.as_ptr().add(t * tile_len);
+            let bt1 = quads.as_ptr().add((t + 1) * tile_len);
+            let comp0 =
+                _mm512_slli_epi32(_mm512_loadu_si512(colsum.as_ptr().add(t * NR).cast()), 7);
+            let comp1 = _mm512_slli_epi32(
+                _mm512_loadu_si512(colsum.as_ptr().add((t + 1) * NR).cast()),
+                7,
+            );
             let j0 = t * NR;
-            let w = NR.min(n - j0);
+            // A paired left tile is never the last, so it is always full
+            // width; only the right tile can be ragged.
+            let w1 = NR.min(n - j0 - NR);
             let mut r = 0;
             while r + MR <= rows {
-                let (a0, a1, a2, a3) = (
-                    a.row(first_row + r),
-                    a.row(first_row + r + 1),
-                    a.row(first_row + r + 2),
-                    a.row(first_row + r + 3),
-                );
-                let mut c0l = _mm256_setzero_si256();
-                let mut c0h = _mm256_setzero_si256();
-                let mut c1l = _mm256_setzero_si256();
-                let mut c1h = _mm256_setzero_si256();
-                let mut c2l = _mm256_setzero_si256();
-                let mut c2h = _mm256_setzero_si256();
-                let mut c3l = _mm256_setzero_si256();
-                let mut c3h = _mm256_setzero_si256();
-                for p in 0..k {
-                    let bp = bt.as_ptr().add(p * NR);
-                    let bl = _mm256_loadu_si256(bp.cast());
-                    let bh = _mm256_loadu_si256(bp.add(8).cast());
-                    let x0 = _mm256_set1_epi32(i32::from(a0[p]));
-                    let x1 = _mm256_set1_epi32(i32::from(a1[p]));
-                    let x2 = _mm256_set1_epi32(i32::from(a2[p]));
-                    let x3 = _mm256_set1_epi32(i32::from(a3[p]));
-                    c0l = _mm256_add_epi32(c0l, _mm256_mullo_epi32(x0, bl));
-                    c0h = _mm256_add_epi32(c0h, _mm256_mullo_epi32(x0, bh));
-                    c1l = _mm256_add_epi32(c1l, _mm256_mullo_epi32(x1, bl));
-                    c1h = _mm256_add_epi32(c1h, _mm256_mullo_epi32(x1, bh));
-                    c2l = _mm256_add_epi32(c2l, _mm256_mullo_epi32(x2, bl));
-                    c2h = _mm256_add_epi32(c2h, _mm256_mullo_epi32(x2, bh));
-                    c3l = _mm256_add_epi32(c3l, _mm256_mullo_epi32(x3, bl));
-                    c3h = _mm256_add_epi32(c3h, _mm256_mullo_epi32(x3, bh));
+                let a0 = au.as_ptr().add((first_row + r) * stride);
+                let a1 = au.as_ptr().add((first_row + r + 1) * stride);
+                let a2 = au.as_ptr().add((first_row + r + 2) * stride);
+                let a3 = au.as_ptr().add((first_row + r + 3) * stride);
+                let mut c00 = _mm512_setzero_si512();
+                let mut c01 = _mm512_setzero_si512();
+                let mut c10 = _mm512_setzero_si512();
+                let mut c11 = _mm512_setzero_si512();
+                let mut c20 = _mm512_setzero_si512();
+                let mut c21 = _mm512_setzero_si512();
+                let mut c30 = _mm512_setzero_si512();
+                let mut c31 = _mm512_setzero_si512();
+                for q in 0..kq {
+                    let off = q * NR * KQ;
+                    let bv0 = _mm512_loadu_si512(bt0.add(off).cast());
+                    let bv1 = _mm512_loadu_si512(bt1.add(off).cast());
+                    let x0 = bcast_quad(a0, q);
+                    c00 = _mm512_dpbusd_epi32(c00, x0, bv0);
+                    c01 = _mm512_dpbusd_epi32(c01, x0, bv1);
+                    let x1 = bcast_quad(a1, q);
+                    c10 = _mm512_dpbusd_epi32(c10, x1, bv0);
+                    c11 = _mm512_dpbusd_epi32(c11, x1, bv1);
+                    let x2 = bcast_quad(a2, q);
+                    c20 = _mm512_dpbusd_epi32(c20, x2, bv0);
+                    c21 = _mm512_dpbusd_epi32(c21, x2, bv1);
+                    let x3 = bcast_quad(a3, q);
+                    c30 = _mm512_dpbusd_epi32(c30, x3, bv0);
+                    c31 = _mm512_dpbusd_epi32(c31, x3, bv1);
                 }
-                let quads = [(c0l, c0h), (c1l, c1h), (c2l, c2h), (c3l, c3h)];
-                for (q, &(lo, hi)) in quads.iter().enumerate() {
-                    let at = (r + q) * n + j0;
-                    store_tile(lo, hi, &mut out_band[at..at + w], w);
+                let pairs = [(c00, c01), (c10, c11), (c20, c21), (c30, c31)];
+                for (i, (cl, cr)) in pairs.iter().copied().enumerate() {
+                    let at = (r + i) * n + j0;
+                    store_tile(_mm512_sub_epi32(cl, comp0), &mut out_band[at..at + NR], NR);
+                    store_tile(
+                        _mm512_sub_epi32(cr, comp1),
+                        &mut out_band[at + NR..at + NR + w1],
+                        w1,
+                    );
                 }
                 r += MR;
             }
             while r < rows {
-                let a0 = a.row(first_row + r);
-                let mut cl = _mm256_setzero_si256();
-                let mut ch = _mm256_setzero_si256();
-                for (p, &a0p) in a0.iter().enumerate() {
-                    let bp = bt.as_ptr().add(p * NR);
-                    let bl = _mm256_loadu_si256(bp.cast());
-                    let bh = _mm256_loadu_si256(bp.add(8).cast());
-                    let x0 = _mm256_set1_epi32(i32::from(a0p));
-                    cl = _mm256_add_epi32(cl, _mm256_mullo_epi32(x0, bl));
-                    ch = _mm256_add_epi32(ch, _mm256_mullo_epi32(x0, bh));
+                let a0 = au.as_ptr().add((first_row + r) * stride);
+                let mut c0 = _mm512_setzero_si512();
+                let mut c1 = _mm512_setzero_si512();
+                for q in 0..kq {
+                    let off = q * NR * KQ;
+                    let x0 = bcast_quad(a0, q);
+                    c0 = _mm512_dpbusd_epi32(c0, x0, _mm512_loadu_si512(bt0.add(off).cast()));
+                    c1 = _mm512_dpbusd_epi32(c1, x0, _mm512_loadu_si512(bt1.add(off).cast()));
                 }
                 let at = r * n + j0;
-                store_tile(cl, ch, &mut out_band[at..at + w], w);
+                store_tile(_mm512_sub_epi32(c0, comp0), &mut out_band[at..at + NR], NR);
+                store_tile(
+                    _mm512_sub_epi32(c1, comp1),
+                    &mut out_band[at + NR..at + NR + w1],
+                    w1,
+                );
+                r += 1;
+            }
+            t += 2;
+        }
+        if t < tiles {
+            let bt = quads.as_ptr().add(t * tile_len);
+            let comp = _mm512_slli_epi32(_mm512_loadu_si512(colsum.as_ptr().add(t * NR).cast()), 7);
+            let j0 = t * NR;
+            let w = NR.min(n - j0);
+            let mut r = 0;
+            while r + MR <= rows {
+                let a0 = au.as_ptr().add((first_row + r) * stride);
+                let a1 = au.as_ptr().add((first_row + r + 1) * stride);
+                let a2 = au.as_ptr().add((first_row + r + 2) * stride);
+                let a3 = au.as_ptr().add((first_row + r + 3) * stride);
+                let mut c0 = _mm512_setzero_si512();
+                let mut c1 = _mm512_setzero_si512();
+                let mut c2 = _mm512_setzero_si512();
+                let mut c3 = _mm512_setzero_si512();
+                for q in 0..kq {
+                    let bv = _mm512_loadu_si512(bt.add(q * NR * KQ).cast());
+                    c0 = _mm512_dpbusd_epi32(c0, bcast_quad(a0, q), bv);
+                    c1 = _mm512_dpbusd_epi32(c1, bcast_quad(a1, q), bv);
+                    c2 = _mm512_dpbusd_epi32(c2, bcast_quad(a2, q), bv);
+                    c3 = _mm512_dpbusd_epi32(c3, bcast_quad(a3, q), bv);
+                }
+                for (i, c) in [c0, c1, c2, c3].iter().copied().enumerate() {
+                    let at = (r + i) * n + j0;
+                    store_tile(_mm512_sub_epi32(c, comp), &mut out_band[at..at + w], w);
+                }
+                r += MR;
+            }
+            while r < rows {
+                let a0 = au.as_ptr().add((first_row + r) * stride);
+                let mut c0 = _mm512_setzero_si512();
+                for q in 0..kq {
+                    let bv = _mm512_loadu_si512(bt.add(q * NR * KQ).cast());
+                    c0 = _mm512_dpbusd_epi32(c0, bcast_quad(a0, q), bv);
+                }
+                let at = r * n + j0;
+                store_tile(_mm512_sub_epi32(c0, comp), &mut out_band[at..at + w], w);
                 r += 1;
             }
         }
     }
 
-    /// Dedicated single-row GEMV over prepacked tiles: processes two
-    /// tiles per pass so each broadcast activation element feeds four
-    /// independent accumulator chains (hiding the `mullo` latency that a
-    /// single-tile loop would expose). Per output element the sum is
-    /// still ascending-`k`, so the result is bit-identical to the scalar
-    /// remainder path of the band kernel.
+    /// Dedicated single-row GEMV over quad-packed tiles: walks four
+    /// tiles per pass so each broadcast activation quad feeds four
+    /// independent `vpdpbusd` chains (the chain latency would otherwise
+    /// leave the unit idle — the GEMV is bandwidth-bound on `B` either
+    /// way). Bit-identical to the scalar quad kernel.
     ///
     /// # Safety
     ///
-    /// Requires AVX2 (callers check [`super::simd_enabled`]).
+    /// Requires AVX-512 F/BW/VNNI (callers check [`super::simd_enabled`]).
     #[allow(unsafe_code)]
-    #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn gemv_i8_avx2(arow: &[i8], packed: &[i32], n: usize, out: &mut [i32]) {
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub(super) unsafe fn gemv_i8q_vnni(
+        au: &[u8],
+        k: usize,
+        quads: &[i8],
+        colsum: &[i32],
+        out: &mut [i32],
+        n: usize,
+    ) {
         if n == 0 {
             return;
         }
-        let k = arow.len();
+        let kq = k.div_ceil(KQ);
+        let tile_len = kq * NR * KQ;
         let tiles = n.div_ceil(NR);
+        let arow = au.as_ptr();
         let mut t = 0;
-        // Tile pairs: 4 independent accumulator chains.
-        while t + 2 <= tiles {
-            let b0 = &packed[t * k * NR..(t + 1) * k * NR];
-            let b1 = &packed[(t + 1) * k * NR..(t + 2) * k * NR];
-            let mut c0l = _mm256_setzero_si256();
-            let mut c0h = _mm256_setzero_si256();
-            let mut c1l = _mm256_setzero_si256();
-            let mut c1h = _mm256_setzero_si256();
-            for (p, &ap) in arow.iter().enumerate() {
-                let x = _mm256_set1_epi32(i32::from(ap));
-                let p0 = b0.as_ptr().add(p * NR);
-                let p1 = b1.as_ptr().add(p * NR);
-                c0l = _mm256_add_epi32(c0l, _mm256_mullo_epi32(x, _mm256_loadu_si256(p0.cast())));
-                c0h = _mm256_add_epi32(
-                    c0h,
-                    _mm256_mullo_epi32(x, _mm256_loadu_si256(p0.add(8).cast())),
-                );
-                c1l = _mm256_add_epi32(c1l, _mm256_mullo_epi32(x, _mm256_loadu_si256(p1.cast())));
-                c1h = _mm256_add_epi32(
-                    c1h,
-                    _mm256_mullo_epi32(x, _mm256_loadu_si256(p1.add(8).cast())),
-                );
+        while t + 4 <= tiles {
+            let b0 = quads.as_ptr().add(t * tile_len);
+            let b1 = quads.as_ptr().add((t + 1) * tile_len);
+            let b2 = quads.as_ptr().add((t + 2) * tile_len);
+            let b3 = quads.as_ptr().add((t + 3) * tile_len);
+            let mut c0 = _mm512_setzero_si512();
+            let mut c1 = _mm512_setzero_si512();
+            let mut c2 = _mm512_setzero_si512();
+            let mut c3 = _mm512_setzero_si512();
+            for q in 0..kq {
+                let x = bcast_quad(arow, q);
+                let off = q * NR * KQ;
+                c0 = _mm512_dpbusd_epi32(c0, x, _mm512_loadu_si512(b0.add(off).cast()));
+                c1 = _mm512_dpbusd_epi32(c1, x, _mm512_loadu_si512(b1.add(off).cast()));
+                c2 = _mm512_dpbusd_epi32(c2, x, _mm512_loadu_si512(b2.add(off).cast()));
+                c3 = _mm512_dpbusd_epi32(c3, x, _mm512_loadu_si512(b3.add(off).cast()));
             }
-            let j0 = t * NR;
-            store_tile(c0l, c0h, &mut out[j0..j0 + NR], NR);
-            let j1 = (t + 1) * NR;
-            let w1 = NR.min(n - j1);
-            store_tile(c1l, c1h, &mut out[j1..j1 + w1], w1);
-            t += 2;
+            for (i, c) in [c0, c1, c2, c3].iter().copied().enumerate() {
+                let j0 = (t + i) * NR;
+                let w = NR.min(n - j0);
+                let comp = _mm512_slli_epi32(
+                    _mm512_loadu_si512(colsum.as_ptr().add((t + i) * NR).cast()),
+                    7,
+                );
+                store_tile(_mm512_sub_epi32(c, comp), &mut out[j0..j0 + w], w);
+            }
+            t += 4;
         }
-        if t < tiles {
-            let bt = &packed[t * k * NR..(t + 1) * k * NR];
-            let mut cl = _mm256_setzero_si256();
-            let mut ch = _mm256_setzero_si256();
-            for (p, &ap) in arow.iter().enumerate() {
-                let x = _mm256_set1_epi32(i32::from(ap));
-                let bp = bt.as_ptr().add(p * NR);
-                cl = _mm256_add_epi32(cl, _mm256_mullo_epi32(x, _mm256_loadu_si256(bp.cast())));
-                ch = _mm256_add_epi32(
-                    ch,
-                    _mm256_mullo_epi32(x, _mm256_loadu_si256(bp.add(8).cast())),
-                );
+        while t < tiles {
+            let bt = quads.as_ptr().add(t * tile_len);
+            let mut c0 = _mm512_setzero_si512();
+            for q in 0..kq {
+                let bv = _mm512_loadu_si512(bt.add(q * NR * KQ).cast());
+                c0 = _mm512_dpbusd_epi32(c0, bcast_quad(arow, q), bv);
             }
+            let comp = _mm512_slli_epi32(_mm512_loadu_si512(colsum.as_ptr().add(t * NR).cast()), 7);
             let j0 = t * NR;
             let w = NR.min(n - j0);
-            store_tile(cl, ch, &mut out[j0..j0 + w], w);
+            store_tile(_mm512_sub_epi32(c0, comp), &mut out[j0..j0 + w], w);
+            t += 1;
         }
+    }
+
+    /// VNNI `a * b^T` kernel: each output element is a length-`k` dot
+    /// product taken in 64-byte `vpdpbusd` strides over `b`'s contiguous
+    /// rows, four `b` rows sharing every activation load. The
+    /// `128 * rowsum(b_j)` compensation is subtracted after the lane
+    /// reduction. Bit-identical to the scalar `band_nt` kernel.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512 F/BW/VNNI (callers check [`super::simd_enabled`]).
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub(super) unsafe fn band_nt_i8q_vnni(
+        au: &[u8],
+        k: usize,
+        b: &Mat<i8>,
+        rowsum: &[i32],
+        first_row: usize,
+        out_band: &mut [i32],
+        n: usize,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let kq4 = k.div_ceil(KQ) * KQ;
+        let rows = out_band.len() / n;
+        let kb = k / 64 * 64;
+        let tail = k - kb;
+        let tail_mask: u64 = if tail == 0 { 0 } else { (1u64 << tail) - 1 };
+        for r in 0..rows {
+            let arow = au.as_ptr().add((first_row + r) * kq4);
+            let orow = &mut out_band[r * n..(r + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let mut c0 = _mm512_setzero_si512();
+                let mut c1 = _mm512_setzero_si512();
+                let mut c2 = _mm512_setzero_si512();
+                let mut c3 = _mm512_setzero_si512();
+                let b0 = b.row(j).as_ptr();
+                let b1 = b.row(j + 1).as_ptr();
+                let b2 = b.row(j + 2).as_ptr();
+                let b3 = b.row(j + 3).as_ptr();
+                let mut p = 0;
+                while p < kb {
+                    let av = _mm512_loadu_si512(arow.add(p).cast());
+                    c0 = _mm512_dpbusd_epi32(c0, av, _mm512_loadu_si512(b0.add(p).cast()));
+                    c1 = _mm512_dpbusd_epi32(c1, av, _mm512_loadu_si512(b1.add(p).cast()));
+                    c2 = _mm512_dpbusd_epi32(c2, av, _mm512_loadu_si512(b2.add(p).cast()));
+                    c3 = _mm512_dpbusd_epi32(c3, av, _mm512_loadu_si512(b3.add(p).cast()));
+                    p += 64;
+                }
+                if tail != 0 {
+                    let av = _mm512_maskz_loadu_epi8(tail_mask, arow.add(p).cast());
+                    c0 = _mm512_dpbusd_epi32(
+                        c0,
+                        av,
+                        _mm512_maskz_loadu_epi8(tail_mask, b0.add(p).cast()),
+                    );
+                    c1 = _mm512_dpbusd_epi32(
+                        c1,
+                        av,
+                        _mm512_maskz_loadu_epi8(tail_mask, b1.add(p).cast()),
+                    );
+                    c2 = _mm512_dpbusd_epi32(
+                        c2,
+                        av,
+                        _mm512_maskz_loadu_epi8(tail_mask, b2.add(p).cast()),
+                    );
+                    c3 = _mm512_dpbusd_epi32(
+                        c3,
+                        av,
+                        _mm512_maskz_loadu_epi8(tail_mask, b3.add(p).cast()),
+                    );
+                }
+                orow[j] = _mm512_reduce_add_epi32(c0) - 128 * rowsum[j];
+                orow[j + 1] = _mm512_reduce_add_epi32(c1) - 128 * rowsum[j + 1];
+                orow[j + 2] = _mm512_reduce_add_epi32(c2) - 128 * rowsum[j + 2];
+                orow[j + 3] = _mm512_reduce_add_epi32(c3) - 128 * rowsum[j + 3];
+                j += 4;
+            }
+            while j < n {
+                let bj = b.row(j).as_ptr();
+                let mut c0 = _mm512_setzero_si512();
+                let mut p = 0;
+                while p < kb {
+                    let av = _mm512_loadu_si512(arow.add(p).cast());
+                    c0 = _mm512_dpbusd_epi32(c0, av, _mm512_loadu_si512(bj.add(p).cast()));
+                    p += 64;
+                }
+                if tail != 0 {
+                    let av = _mm512_maskz_loadu_epi8(tail_mask, arow.add(p).cast());
+                    c0 = _mm512_dpbusd_epi32(
+                        c0,
+                        av,
+                        _mm512_maskz_loadu_epi8(tail_mask, bj.add(p).cast()),
+                    );
+                }
+                orow[j] = _mm512_reduce_add_epi32(c0) - 128 * rowsum[j];
+                j += 1;
+            }
+        }
+    }
+
+    /// SIMD [`crate::gemm::pack_quads`]: packs `b` (`k x n`, row-major)
+    /// into the `[tile][kq][lane][KQ]` quad layout four tiles at a time.
+    ///
+    /// One pass loads 64 columns of four adjacent `b` rows (one
+    /// reduction quad) as four vectors and byte-interleaves them — the
+    /// `epi8`/`epi16` unpacks operate per 128-bit lane, which is exactly
+    /// per column tile — then regroups the lanes with `shuffle_i32x4` so
+    /// each vector holds one tile's finished 64-byte quad group. Column
+    /// sums fall out of a `vpdpbusd` against an all-ones u8 vector on
+    /// each finished group (each lane's four bytes land in their own
+    /// `i32` lane). Ragged `k` tails and tiles beyond the last full
+    /// four-tile group are delegated to the scalar pack, so the result
+    /// is byte-identical to [`crate::gemm::pack_quads_scalar_range`].
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512 F/BW/VNNI (callers check [`super::simd_enabled`]).
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub(super) unsafe fn pack_quads_vnni(b: &Mat<i8>, quads: &mut [i8], colsum: &mut [i32]) {
+        let (k, n) = b.shape();
+        let kq = k.div_ceil(KQ);
+        let tile_len = kq * NR * KQ;
+        let tiles = n.div_ceil(NR);
+        let groups = n / (4 * NR);
+        let kfull = k / KQ;
+        let ones = _mm512_set1_epi8(1);
+        for g in 0..groups {
+            let j0 = g * 4 * NR;
+            let t0 = g * 4;
+            let mut acc = [_mm512_setzero_si512(); 4];
+            for q in 0..kfull {
+                let r0 = _mm512_loadu_si512(b.row(q * KQ).as_ptr().add(j0).cast());
+                let r1 = _mm512_loadu_si512(b.row(q * KQ + 1).as_ptr().add(j0).cast());
+                let r2 = _mm512_loadu_si512(b.row(q * KQ + 2).as_ptr().add(j0).cast());
+                let r3 = _mm512_loadu_si512(b.row(q * KQ + 3).as_ptr().add(j0).cast());
+                // Per 128-bit lane L (tile t0 + L): interleave the four
+                // rows' bytes into [col][row] quad order.
+                let t01l = _mm512_unpacklo_epi8(r0, r1);
+                let t01h = _mm512_unpackhi_epi8(r0, r1);
+                let t23l = _mm512_unpacklo_epi8(r2, r3);
+                let t23h = _mm512_unpackhi_epi8(r2, r3);
+                let u0 = _mm512_unpacklo_epi16(t01l, t23l); // lanes 0-3 of each tile
+                let u1 = _mm512_unpackhi_epi16(t01l, t23l); // lanes 4-7
+                let u2 = _mm512_unpacklo_epi16(t01h, t23h); // lanes 8-11
+                let u3 = _mm512_unpackhi_epi16(t01h, t23h); // lanes 12-15
+                                                            // Gather each tile's four 128-bit pieces into one vector.
+                let w01l = _mm512_shuffle_i32x4::<0x44>(u0, u1);
+                let w23l = _mm512_shuffle_i32x4::<0x44>(u2, u3);
+                let w01h = _mm512_shuffle_i32x4::<0xee>(u0, u1);
+                let w23h = _mm512_shuffle_i32x4::<0xee>(u2, u3);
+                let z = [
+                    _mm512_shuffle_i32x4::<0x88>(w01l, w23l),
+                    _mm512_shuffle_i32x4::<0xdd>(w01l, w23l),
+                    _mm512_shuffle_i32x4::<0x88>(w01h, w23h),
+                    _mm512_shuffle_i32x4::<0xdd>(w01h, w23h),
+                ];
+                for (l, &zv) in z.iter().enumerate() {
+                    let dst = quads.as_mut_ptr().add((t0 + l) * tile_len + q * NR * KQ);
+                    _mm512_storeu_si512(dst.cast(), zv);
+                    acc[l] = _mm512_dpbusd_epi32(acc[l], ones, zv);
+                }
+            }
+            for (l, &a) in acc.iter().enumerate() {
+                _mm512_storeu_si512(colsum.as_mut_ptr().add((t0 + l) * NR).cast(), a);
+            }
+            // Ragged k tail (a final partial reduction quad).
+            for p in kfull * KQ..k {
+                let brow = &b.row(p)[j0..j0 + 4 * NR];
+                let (q, u) = (p / KQ, p % KQ);
+                for (l, &v) in brow.iter().enumerate() {
+                    let t = t0 + l / NR;
+                    let lane = l % NR;
+                    quads[t * tile_len + q * NR * KQ + lane * KQ + u] = v;
+                    colsum[t * NR + lane] += i32::from(v);
+                }
+            }
+        }
+        crate::gemm::pack_quads_scalar_range(b, quads, colsum, groups * 4, tiles);
+    }
+
+    /// SIMD [`crate::gemm::pack_quads_t`]: packs a transpose-given `bt`
+    /// (`n x k` row-major, the K-cache shape) one full tile at a time.
+    ///
+    /// Viewed as `u32` elements, a tile's quad layout is exactly the
+    /// transpose of the 16-row `u32` matrix formed by the tile's `bt`
+    /// rows — so the kernel loads 64 bytes from each of the 16 rows and
+    /// runs the classic four-stage AVX-512 16x16 `u32` transpose
+    /// (`unpack epi32/epi64`, then two `shuffle_i32x4` rounds), storing
+    /// 16 finished quad groups per pass. Column sums come from a
+    /// `vpdpbusd` against all-ones on each stored group. Ragged `k`
+    /// tails and the last partial tile go through the scalar pack;
+    /// byte-identical to [`crate::gemm::pack_quads_t_scalar_range`].
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512 F/BW/VNNI (callers check [`super::simd_enabled`]).
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub(super) unsafe fn pack_quads_t_vnni(bt: &Mat<i8>, quads: &mut [i8], colsum: &mut [i32]) {
+        let (n, k) = bt.shape();
+        let kq = k.div_ceil(KQ);
+        let tile_len = kq * NR * KQ;
+        let tiles = n.div_ceil(NR);
+        let full_tiles = n / NR;
+        let blocks = k / 64; // 16-quad blocks fully covered by 64-byte loads
+        let ones = _mm512_set1_epi8(1);
+        for t in 0..full_tiles {
+            let j0 = t * NR;
+            let tbase = t * tile_len;
+            let mut acc = _mm512_setzero_si512();
+            for blk in 0..blocks {
+                let off = blk * 64;
+                let mut r = [_mm512_setzero_si512(); 16];
+                for (l, rv) in r.iter_mut().enumerate() {
+                    *rv = _mm512_loadu_si512(bt.row(j0 + l).as_ptr().add(off).cast());
+                }
+                // 16x16 u32 transpose: rows l -> columns (quads).
+                let mut s = [_mm512_setzero_si512(); 16];
+                for i in 0..8 {
+                    s[2 * i] = _mm512_unpacklo_epi32(r[2 * i], r[2 * i + 1]);
+                    s[2 * i + 1] = _mm512_unpackhi_epi32(r[2 * i], r[2 * i + 1]);
+                }
+                let mut u = [_mm512_setzero_si512(); 16];
+                for gp in 0..4 {
+                    u[4 * gp] = _mm512_unpacklo_epi64(s[4 * gp], s[4 * gp + 2]);
+                    u[4 * gp + 1] = _mm512_unpackhi_epi64(s[4 * gp], s[4 * gp + 2]);
+                    u[4 * gp + 2] = _mm512_unpacklo_epi64(s[4 * gp + 1], s[4 * gp + 3]);
+                    u[4 * gp + 3] = _mm512_unpackhi_epi64(s[4 * gp + 1], s[4 * gp + 3]);
+                }
+                let mut out = [_mm512_setzero_si512(); 16];
+                for c in 0..4 {
+                    let p0 = _mm512_shuffle_i32x4::<0x88>(u[c], u[4 + c]);
+                    let p1 = _mm512_shuffle_i32x4::<0xdd>(u[c], u[4 + c]);
+                    let q0 = _mm512_shuffle_i32x4::<0x88>(u[8 + c], u[12 + c]);
+                    let q1 = _mm512_shuffle_i32x4::<0xdd>(u[8 + c], u[12 + c]);
+                    out[c] = _mm512_shuffle_i32x4::<0x88>(p0, q0);
+                    out[c + 8] = _mm512_shuffle_i32x4::<0xdd>(p0, q0);
+                    out[c + 4] = _mm512_shuffle_i32x4::<0x88>(p1, q1);
+                    out[c + 12] = _mm512_shuffle_i32x4::<0xdd>(p1, q1);
+                }
+                for (j, &ov) in out.iter().enumerate() {
+                    let dst = quads.as_mut_ptr().add(tbase + (blk * NR + j) * NR * KQ);
+                    _mm512_storeu_si512(dst.cast(), ov);
+                    acc = _mm512_dpbusd_epi32(acc, ones, ov);
+                }
+            }
+            _mm512_storeu_si512(colsum.as_mut_ptr().add(t * NR).cast(), acc);
+            // Ragged k tail: the bytes past the last whole 64-byte block.
+            for l in 0..NR {
+                let src = bt.row(j0 + l);
+                let mut s = 0i32;
+                for (p, &v) in src.iter().enumerate().skip(blocks * 64) {
+                    let (q, u) = (p / KQ, p % KQ);
+                    quads[tbase + q * NR * KQ + l * KQ + u] = v;
+                    s += i32::from(v);
+                }
+                colsum[t * NR + l] += s;
+            }
+        }
+        crate::gemm::pack_quads_t_scalar_range(bt, quads, colsum, full_tiles, tiles);
     }
 }
 
@@ -335,7 +780,7 @@ mod tests {
         assert!(!simd_enabled());
         set_simd_override(Some(true));
         // Forcing SIMD on still requires hardware support.
-        assert_eq!(simd_enabled(), avx2_available());
+        assert_eq!(simd_enabled(), vnni_available());
         set_simd_override(None);
         assert_eq!(simd_enabled(), ambient);
     }

@@ -16,7 +16,7 @@
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
-use tensor::prepack::{self, PackedMat};
+use tensor::prepack::{self, PackedI8, PackedMat};
 use tensor::{gemm, init, par, simd, Mat};
 
 fn bits(m: &Mat<f32>) -> Vec<u32> {
@@ -49,7 +49,7 @@ fn check_prepacked_i8(m: usize, k: usize, n: usize, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = init::uniform_i8(&mut rng, m, k);
     let b = init::uniform_i8(&mut rng, k, n);
-    let packed = PackedMat::from_i8(&b);
+    let packed = PackedI8::from_i8(&b);
     let want = gemm::matmul_i8_ref(&a, &b).unwrap();
     assert_eq!(
         gemm::matmul_i8(&a, &b).unwrap(),
@@ -124,7 +124,7 @@ fn pool_is_deterministic_across_thread_counts() {
     let ai = init::uniform_i8(&mut rng, 96, 128);
     let bi = init::uniform_i8(&mut rng, 128, 80);
     let packed_f = PackedMat::from_f32(&b);
-    let packed_i = PackedMat::from_i8(&bi);
+    let packed_i = PackedI8::from_i8(&bi);
     let items: Vec<u64> = (0..100).collect();
 
     let run = || {
@@ -165,7 +165,7 @@ fn simd_and_scalar_kernels_agree() {
     ] {
         let a = init::uniform_i8(&mut rng, m, k);
         let b = init::uniform_i8(&mut rng, k, n);
-        let packed = PackedMat::from_i8(&b);
+        let packed = PackedI8::from_i8(&b);
 
         simd::set_simd_override(Some(false));
         let scalar_plain = gemm::matmul_i8(&a, &b).unwrap();

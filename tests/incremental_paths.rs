@@ -6,11 +6,11 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use transformer_accel::quantized::incremental::QuantIncrementalSession;
+use transformer_accel::quantized::incremental::{KvArena, QuantIncrementalSession};
 use transformer_accel::quantized::{QuantSeq2Seq, SoftmaxMode};
 use transformer_accel::transformer::config::ModelConfig;
 use transformer_accel::transformer::incremental::{
-    greedy_decode_incremental, step_batch, IncrementalSession,
+    greedy_decode_incremental, step_batch, FpKvArena, IncrementalSession,
 };
 use transformer_accel::transformer::model::Seq2SeqTransformer;
 use transformer_accel::transformer::tasks::{Task, TaskGen, BOS, EOS};
@@ -40,23 +40,25 @@ fn float_single_row_and_batched_decodes_agree() {
     }
     // Single-row vs batched: advance every prompt in lockstep and
     // compare each step's logits bit for bit.
+    let mut arena_s = FpKvArena::for_model(&model);
+    let mut arena_b = FpKvArena::for_model(&model);
     let mut singles: Vec<IncrementalSession> = srcs
         .iter()
-        .map(|s| IncrementalSession::new(&model, s))
+        .map(|s| IncrementalSession::new(&model, &mut arena_s, s))
         .collect();
     let mut batched: Vec<IncrementalSession> = srcs
         .iter()
-        .map(|s| IncrementalSession::new(&model, s))
+        .map(|s| IncrementalSession::new(&model, &mut arena_b, s))
         .collect();
     let mut tokens: Vec<usize> = vec![BOS; srcs.len()];
     for _ in 0..6 {
         let want: Vec<Vec<f32>> = singles
             .iter_mut()
             .zip(&tokens)
-            .map(|(s, &t)| s.step(&model, t))
+            .map(|(s, &t)| s.step(&model, &mut arena_s, t))
             .collect();
         let mut refs: Vec<&mut IncrementalSession> = batched.iter_mut().collect();
-        let got = step_batch(&model, &mut refs, &tokens);
+        let got = step_batch(&model, &mut arena_b, &mut refs, &tokens);
         assert_eq!(want, got, "batched logits must be bit-identical");
         tokens = want.iter().map(|l| tensor::ops::argmax(l)).collect();
     }
@@ -72,19 +74,25 @@ fn quant_single_row_and_batched_decodes_agree() {
             "src {src:?}"
         );
     }
-    let mut singles: Vec<QuantIncrementalSession> =
-        srcs.iter().map(|s| quant.start_session(s)).collect();
-    let mut batched: Vec<QuantIncrementalSession> =
-        srcs.iter().map(|s| quant.start_session(s)).collect();
+    let mut arena_s = KvArena::for_model(&quant);
+    let mut arena_b = KvArena::for_model(&quant);
+    let mut singles: Vec<QuantIncrementalSession> = srcs
+        .iter()
+        .map(|s| quant.start_session(&mut arena_s, s))
+        .collect();
+    let mut batched: Vec<QuantIncrementalSession> = srcs
+        .iter()
+        .map(|s| quant.start_session(&mut arena_b, s))
+        .collect();
     let mut tokens: Vec<usize> = vec![BOS; srcs.len()];
     for _ in 0..6 {
         let want: Vec<Vec<f32>> = singles
             .iter_mut()
             .zip(&tokens)
-            .map(|(s, &t)| quant.step_session(s, t))
+            .map(|(s, &t)| quant.step_session(&mut arena_s, s, t))
             .collect();
         let mut refs: Vec<&mut QuantIncrementalSession> = batched.iter_mut().collect();
-        let got = quant.step_sessions(&mut refs, &tokens);
+        let got = quant.step_sessions(&mut arena_b, &mut refs, &tokens);
         assert_eq!(want, got, "batched logits must be bit-identical");
         tokens = want.iter().map(|l| tensor::ops::argmax(l)).collect();
     }

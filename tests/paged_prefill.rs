@@ -1,0 +1,156 @@
+//! Differential tests for the long-context serving path: chunked
+//! prefill through the paged INT8 KV cache versus the sequential
+//! token-at-a-time reference, and the FP32 model's two KV page modes
+//! versus the never-paged full-recompute decode.
+//!
+//! The INT8 paged path stores exactly the i8 codes a flat cache held,
+//! so chunked prefill + paging must be **bit-identical** to
+//! `greedy_decode_with_prompt` at every chunk size and page size. The
+//! FP32 model's `Fp32` page mode carries the same guarantee against
+//! `greedy_decode`; its `Int8` page mode is lossy by design and is held
+//! to a pinned SQNR/agreement budget instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transformer_accel::quantized::{QuantSeq2Seq, SoftmaxMode};
+use transformer_accel::serving::{ContinuousBatcher, EngineConfig, Request};
+use transformer_accel::transformer::config::ModelConfig;
+use transformer_accel::transformer::incremental::{
+    greedy_decode_incremental_paged, FpKvArena, IncrementalSession, PagedKvMode,
+};
+use transformer_accel::transformer::model::Seq2SeqTransformer;
+use transformer_accel::transformer::tasks::{Task, TaskGen, BOS, EOS};
+
+fn setup(seed: u64) -> (Seq2SeqTransformer, QuantSeq2Seq, Vec<Vec<usize>>) {
+    let mut cfg = ModelConfig::tiny_for_tests();
+    cfg.n_layers = 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = Seq2SeqTransformer::new(&cfg, &mut rng);
+    let gen = TaskGen::new(Task::Reverse, cfg.vocab, 3, 7);
+    let corpus = gen.corpus(6, &mut StdRng::seed_from_u64(seed ^ 0xABCD));
+    let quant = QuantSeq2Seq::from_trained(&model, &corpus, SoftmaxMode::Hardware);
+    let srcs = corpus.into_iter().map(|(s, _)| s).collect();
+    (model, quant, srcs)
+}
+
+/// Long target-side prompts built from valid vocabulary tokens.
+fn prompts(srcs: &[Vec<usize>], len: usize) -> Vec<Vec<usize>> {
+    srcs.iter()
+        .map(|s| s.iter().cycle().take(len).copied().collect())
+        .collect()
+}
+
+#[test]
+fn chunked_prefill_paged_int8_matches_sequential_reference() {
+    // The serving engine (chunked prefill, paged INT8 KV, mixed
+    // prefill/decode batches) against the single-session token-at-a-time
+    // golden path, across chunk sizes and prefill budgets. Page size
+    // follows ACCEL_KV_PAGE here, so the CI page-stress matrix also
+    // exercises 1-row pages through this test.
+    let (_, quant, srcs) = setup(0xC0FFEE);
+    let prompts = prompts(&srcs, 19);
+    let want: Vec<Vec<usize>> = srcs
+        .iter()
+        .zip(&prompts)
+        .map(|(s, p)| quant.greedy_decode_with_prompt(s, p, 8))
+        .collect();
+    for (chunk, budget) in [(1usize, 64usize), (3, 64), (16, 64), (8, 6), (64, 64)] {
+        let mut cfg = EngineConfig::with_max_batch(4);
+        cfg.prefill_chunk = chunk;
+        cfg.max_prefill_rows = budget;
+        let mut engine = ContinuousBatcher::new(&quant, cfg).unwrap();
+        for (i, (s, p)) in srcs.iter().zip(&prompts).enumerate() {
+            engine
+                .submit(Request::new(i as u64, s.clone(), 8).with_prompt(p.clone()))
+                .unwrap();
+        }
+        let responses = engine.run_to_completion();
+        assert_eq!(responses.len(), srcs.len());
+        for (resp, want) in responses.iter().zip(&want) {
+            assert_eq!(
+                &resp.tokens, want,
+                "chunk {chunk} budget {budget} id {} diverged from sequential",
+                resp.id
+            );
+        }
+        // Retired sessions hand every page back.
+        assert_eq!(engine.stats().kv_bytes_in_use, 0);
+        assert!(engine.stats().kv_bytes_peak > 0);
+    }
+}
+
+#[test]
+fn fp32_page_mode_is_bit_identical_to_pre_paging_decode() {
+    // Fp32 pages reproduce the exact bytes a flat cache held: the paged
+    // incremental decode must equal the full-prefix recompute (the
+    // pre-paging reference) at every page size, and the per-step logits
+    // must not differ by a single bit between page sizes.
+    let (mut model, _, srcs) = setup(0xF00D);
+    for src in &srcs {
+        let full = model.greedy_decode(src, BOS, EOS, 8);
+        let paged = greedy_decode_incremental_paged(&model, src, BOS, EOS, 8, PagedKvMode::Fp32);
+        assert_eq!(full, paged, "src {src:?}");
+    }
+    let d_model = model.config().d_model;
+    let prefix = [1usize, 5, 8, 6, 2, 9, 4, 3];
+    for src in &srcs {
+        let mut logits_by_page: Vec<Vec<Vec<u32>>> = Vec::new();
+        for page_rows in [1usize, 3, 64] {
+            let mut arena = FpKvArena::with_page_rows(d_model, PagedKvMode::Fp32, page_rows);
+            let mut session = IncrementalSession::new(&model, &mut arena, src);
+            let steps: Vec<Vec<u32>> = prefix
+                .iter()
+                .map(|&t| {
+                    session
+                        .step(&model, &mut arena, t)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect()
+                })
+                .collect();
+            logits_by_page.push(steps);
+        }
+        assert_eq!(logits_by_page[0], logits_by_page[1], "page 1 vs 3");
+        assert_eq!(logits_by_page[0], logits_by_page[2], "page 1 vs 64");
+    }
+}
+
+#[test]
+fn int8_page_mode_stays_within_pinned_accuracy_budget() {
+    // Int8 FP32-model pages are lossy; the budget pinned here: (1)
+    // teacher-forced logits keep >= 20 dB SQNR against the exact path
+    // at every step, and (2) greedy decodes agree on a clear majority
+    // of random tiny models.
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for seed in [0xBEEFu64, 0xBEF0, 0xBEF1, 0xBEF2, 0xBEF3] {
+        let (model, _, srcs) = setup(seed);
+        let src = &srcs[0];
+        let d_model = model.config().d_model;
+        let mut fa = FpKvArena::with_page_rows(d_model, PagedKvMode::Fp32, 4);
+        let mut qa = FpKvArena::with_page_rows(d_model, PagedKvMode::Int8, 4);
+        let mut fs = IncrementalSession::new(&model, &mut fa, src);
+        let mut qs = IncrementalSession::new(&model, &mut qa, src);
+        for &t in &[1usize, 5, 8, 6, 2, 9] {
+            let exact = fs.step(&model, &mut fa, t);
+            let lossy = qs.step(&model, &mut qa, t);
+            let (mut sig, mut err) = (0.0f64, 0.0f64);
+            for (e, l) in exact.iter().zip(&lossy) {
+                sig += (*e as f64).powi(2);
+                err += (*e as f64 - *l as f64).powi(2);
+            }
+            let sqnr_db = 10.0 * (sig / err.max(1e-30)).log10();
+            assert!(sqnr_db > 20.0, "seed {seed:#x}: logit SQNR {sqnr_db:.1} dB");
+        }
+        total += 1;
+        let fp = greedy_decode_incremental_paged(&model, src, BOS, EOS, 8, PagedKvMode::Fp32);
+        let q8 = greedy_decode_incremental_paged(&model, src, BOS, EOS, 8, PagedKvMode::Int8);
+        if fp == q8 {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree * 2 > total,
+        "Int8 paged decode agreed on only {agree}/{total} models"
+    );
+}
