@@ -88,7 +88,11 @@ pub fn lower_mha(g: &Graph, s_kv: usize) -> Vec<Command> {
             }
             // Panel writeback into data memory; no command.
             Op::Concat => {}
-            Op::Linear(WeightId::Wo) => {
+            // The hardware's output drain already performs the residual
+            // add, so the fused `LinearAdd(Wo)` node lowers to exactly
+            // the commands the unfused `Linear(Wo)` + `Add` pair did —
+            // graph fusion is timing-transparent here.
+            Op::Linear(WeightId::Wo) | Op::LinearAdd(WeightId::Wo) => {
                 for panel in 0..g.cfg.h {
                     prog.push(Command::OutputPanel { panel });
                 }
@@ -115,14 +119,18 @@ pub fn lower_ffn(g: &Graph) -> Vec<Command> {
     let mut prog = Vec::new();
     for node in &g.nodes {
         match node.op {
-            Op::Linear(WeightId::W1) => {
+            // ReLU runs on the bias adders and the residual add on the
+            // output drain (Fig. 5), so the fused nodes lower to the
+            // same panel commands as their unfused `Linear` producers —
+            // same program, same cycle count.
+            Op::Linear(WeightId::W1) | Op::LinearRelu(WeightId::W1) => {
                 for panel in 0..g.cfg.d_ff.div_ceil(PANEL_COLS) {
                     prog.push(Command::FfnHidden { panel });
                 }
             }
             // Fused into the bias adders (Fig. 5); no command.
             Op::Relu => {}
-            Op::Linear(WeightId::W2) => {
+            Op::Linear(WeightId::W2) | Op::LinearAdd(WeightId::W2) => {
                 for panel in 0..g.cfg.d_model.div_ceil(PANEL_COLS) {
                     prog.push(Command::FfnOutput { panel });
                 }
@@ -380,6 +388,30 @@ mod tests {
                 crate::isa::ffn_program(d_model, d_ff),
                 handwritten_ffn(d_model, d_ff)
             );
+        }
+    }
+
+    #[test]
+    fn fused_graphs_lower_to_identical_programs() {
+        // Fusion must be invisible to the accelerator: the fused graph
+        // lowers to the exact command stream of the unfused graph, so
+        // every pinned cycle count (MHA 20998 / FFN 35846 at the paper
+        // point) is preserved by construction.
+        for (h, s_kv) in [(8, 64), (2, 8), (4, 128)] {
+            let g = mha_graph(&GraphConfig {
+                d_model: h * PANEL_COLS,
+                d_ff: 0,
+                h,
+            });
+            assert_eq!(lower_mha(&graph::fuse(&g), s_kv), lower_mha(&g, s_kv));
+        }
+        for (d_model, d_ff) in [(512, 2048), (64, 256), (100, 300)] {
+            let g = ffn_graph(&GraphConfig {
+                d_model,
+                d_ff,
+                h: 1,
+            });
+            assert_eq!(lower_ffn(&graph::fuse(&g)), lower_ffn(&g));
         }
     }
 

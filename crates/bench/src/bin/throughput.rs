@@ -126,6 +126,30 @@ struct KvBench {
     session_gain_vs_flat_int8: f64,
 }
 
+/// Graph-fusion differential at the batch-16 operating point: the same
+/// workload with the rewrite pass on (default) and off (`ACCEL_NO_FUSE`
+/// semantics, i.e. the pre-fusion engine). Both runs happen in the same
+/// process on the same warmed pool, so the ratio isolates the fusion
+/// win from machine noise — the recorded pre-fusion number from the
+/// unfused engine's own bench run is kept alongside for reference.
+#[derive(Serialize)]
+struct FusionBench {
+    max_batch: usize,
+    fused_tok_s: f64,
+    unfused_tok_s: f64,
+    /// Same-run fused-over-unfused throughput ratio (asserted >= 1.15).
+    fusion_speedup: f64,
+    /// Batch-16 tokens/sec recorded by the unfused engine's bench run
+    /// (the committed pre-fusion `BENCH_decode.json`).
+    recorded_unfused_tok_s: f64,
+    speedup_vs_recorded: f64,
+    /// Fused drains per engine step per decoder layer (>= 2: both MHA
+    /// output projections always fuse; the FFN adds two more).
+    fused_ops_per_step_per_layer: f64,
+    /// Intermediate tensors' bytes never materialized, whole run.
+    intermediates_elided_mb: f64,
+}
+
 #[derive(Serialize)]
 struct DecodeBench {
     model: String,
@@ -137,6 +161,7 @@ struct DecodeBench {
     tokens_per_request: usize,
     pe_count: u64,
     points: Vec<BatchPoint>,
+    fusion: FusionBench,
     prefill: PrefillBench,
     kv: KvBench,
 }
@@ -196,6 +221,94 @@ fn model_decode_step(cfg: &ModelConfig, b: usize, ctx: usize, src: usize) -> Eng
         }
     }
     step
+}
+
+/// Batch-16 tokens/sec from the unfused engine's committed bench run —
+/// the pre-fusion `BENCH_decode.json` this change was measured against.
+const RECORDED_UNFUSED_B16_TOK_S: f64 = 6084.0;
+
+/// One decode run (no per-token latency attribution): submit every
+/// source, drain the engine, return throughput and the engine stats.
+fn decode_run(
+    q: &quantized::QuantSeq2Seq,
+    srcs: &[Vec<usize>],
+    max_batch: usize,
+) -> (f64, serving::ServingStats) {
+    let mut engine = ContinuousBatcher::new(
+        q,
+        EngineConfig {
+            max_batch,
+            bucket_max_waste: usize::MAX,
+            ignore_eos: true,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("nonzero max_batch");
+    for (id, src) in srcs.iter().enumerate() {
+        engine
+            .submit(Request::new(id as u64, src.clone(), MAX_NEW))
+            .expect("valid request");
+    }
+    let t0 = Instant::now();
+    let responses = engine.run_to_completion();
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(responses.len(), srcs.len());
+    let stats = engine.stats();
+    (stats.tokens_generated as f64 / elapsed, stats)
+}
+
+/// The fused-vs-unfused differential at `max_batch = 16`. Flips the
+/// process-wide fusion gate (`tensor::envcfg`) around two back-to-back
+/// runs of the identical workload; results are bit-identical either way
+/// (`tests/fusion_identity.rs`), so this measures speed alone.
+fn bench_fusion(q: &quantized::QuantSeq2Seq, srcs: &[Vec<usize>], n_layers: usize) -> FusionBench {
+    const B: usize = 16;
+    // Interleave two runs per side and keep each side's best: the
+    // differential is what the assert below pins, and best-of-N against
+    // best-of-N cancels the scheduler noise a shared box injects into
+    // any single pass.
+    let mut unfused_tok_s = f64::MIN;
+    let mut fused_tok_s = f64::MIN;
+    let mut stats = serving::ServingStats::default();
+    for _ in 0..2 {
+        tensor::envcfg::set_fuse_override(Some(false));
+        let (u, _) = decode_run(q, srcs, B);
+        unfused_tok_s = unfused_tok_s.max(u);
+        tensor::envcfg::set_fuse_override(Some(true));
+        let (f, s) = decode_run(q, srcs, B);
+        if f > fused_tok_s {
+            fused_tok_s = f;
+            stats = s;
+        }
+    }
+    tensor::envcfg::set_fuse_override(None);
+
+    let fusion_speedup = fused_tok_s / unfused_tok_s;
+    let per_step_layer = stats.ops_fused as f64 / (stats.steps * n_layers) as f64;
+    println!(
+        "fusion (batch {B}): unfused {unfused_tok_s:>7.1} tok/s -> fused {fused_tok_s:>7.1} \
+         tok/s ({fusion_speedup:.2}x)  {per_step_layer:.1} fused drains/step/layer  \
+         {:.1} MB of intermediates elided",
+        stats.intermediates_elided_bytes as f64 / (1 << 20) as f64
+    );
+    assert!(
+        fusion_speedup >= 1.15,
+        "fused decode must clear 1.15x the unfused engine at batch {B} (got {fusion_speedup:.2}x)"
+    );
+    assert!(
+        per_step_layer >= 2.0,
+        "expected >= 2 elided intermediates per decoder layer per step (got {per_step_layer:.2})"
+    );
+    FusionBench {
+        max_batch: B,
+        fused_tok_s,
+        unfused_tok_s,
+        fusion_speedup,
+        recorded_unfused_tok_s: RECORDED_UNFUSED_B16_TOK_S,
+        speedup_vs_recorded: fused_tok_s / RECORDED_UNFUSED_B16_TOK_S,
+        fused_ops_per_step_per_layer: per_step_layer,
+        intermediates_elided_mb: stats.intermediates_elided_bytes as f64 / (1 << 20) as f64,
+    }
 }
 
 fn main() {
@@ -313,6 +426,7 @@ fn main() {
         b16.speedup_vs_b1
     );
 
+    let fusion = bench_fusion(&q, &srcs, cfg.n_layers);
     let (prefill, kv) = bench_long_context();
 
     let report = DecodeBench {
@@ -325,6 +439,7 @@ fn main() {
         tokens_per_request: MAX_NEW,
         pe_count,
         points,
+        fusion,
         prefill,
         kv,
     };
@@ -460,9 +575,12 @@ fn bench_long_context() -> (PrefillBench, KvBench) {
          {sequential_tok_s:>7.1} tok/s -> chunked {chunked_tok_s:>8.1} tok/s ({speedup:.2}x)  \
          TTFT p50 {ttft_p50:.1} ms / p99 {ttft_p99:.1} ms (sequential {sequential_ttft_ms:.1} ms)"
     );
+    // The token-at-a-time baseline feeds one-row chunks, which now take
+    // the fused decode-attention drain — the sequential side got faster,
+    // so the chunked advantage tightened from >= 5x to >= 4x.
     assert!(
-        speedup >= 5.0,
-        "chunked prefill must be >= 5x token-at-a-time on a {PROMPT_LEN}-token prompt \
+        speedup >= 4.0,
+        "chunked prefill must be >= 4x token-at-a-time on a {PROMPT_LEN}-token prompt \
          (got {speedup:.2}x)"
     );
 

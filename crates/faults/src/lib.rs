@@ -479,23 +479,14 @@ fn global_injector() -> &'static Mutex<Option<Injector>> {
 }
 
 fn env_checker() -> bool {
-    static CELL: OnceLock<bool> = OnceLock::new();
-    *CELL.get_or_init(|| {
-        std::env::var("ACCEL_ABFT").is_ok_and(|v| {
-            let v = v.trim();
-            v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
-        })
-    })
+    // Parsing consolidated in `tensor::envcfg` with the other ACCEL_*
+    // variables; the in-process `set_checker` override layers on top.
+    tensor::envcfg::abft_env()
 }
 
 /// The seed from `ACCEL_FAULT_SEED`, if set to a parseable `u64`.
 pub fn env_seed() -> Option<u64> {
-    static CELL: OnceLock<Option<u64>> = OnceLock::new();
-    *CELL.get_or_init(|| {
-        std::env::var("ACCEL_FAULT_SEED")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-    })
+    tensor::envcfg::fault_seed()
 }
 
 /// Installs `plan` as the process-wide injector (fresh counters) and

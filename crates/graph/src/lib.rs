@@ -29,11 +29,15 @@
 #![warn(missing_docs)]
 
 mod exec;
+pub mod fuse;
 mod graph;
 mod op;
+pub mod tally;
 
 pub use exec::{Env, ExecStats, Executor};
+pub use fuse::{fuse, fuse_if};
 pub use graph::{
     ffn_graph, mha_cached_graph, mha_graph, ExecPlan, Graph, GraphConfig, GraphKind, Node, PlanStep,
 };
 pub use op::{Op, WeightId};
+pub use tally::{fusion_tally, FusionTally};

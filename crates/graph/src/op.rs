@@ -61,4 +61,16 @@ pub enum Op {
     Add,
     /// Row-wise layer normalization (Eq. (6)).
     LayerNorm,
+    /// Fused `Linear` → `Relu` (produced by [`crate::fuse::fuse`], never
+    /// by the builders): `y = max(0, x W + b)` with the ReLU applied in
+    /// the GEMM drain while the accumulators are still hot — the
+    /// pre-activation tensor of the unfused pair is never materialized.
+    /// Bit-identical to running `Linear` then `Relu`.
+    LinearRelu(WeightId),
+    /// Fused `Linear` → residual `Add` (produced by [`crate::fuse::fuse`]):
+    /// inputs `[linear_input, residual]`, `y = residual + (x W + b)` with
+    /// the residual added in the GEMM drain — the sublayer-output tensor
+    /// of the unfused pair is never materialized. Bit-identical to
+    /// running `Linear` then `Add`.
+    LinearAdd(WeightId),
 }

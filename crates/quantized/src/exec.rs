@@ -197,6 +197,11 @@ impl<'a> QuantExec<'a> {
             // order (sublayer, residual) mirrors the pre-refactor calls —
             // integer addition is exact and symmetric either way.
             Op::Add => QVal::I32(residual_add_i8(input(1).as_i8(), input(0).as_i8())),
+            Op::LinearRelu(id) => QVal::I8(self.weight(id).forward_relu(input(0).as_i8())),
+            Op::LinearAdd(id) => QVal::I32(
+                self.weight(id)
+                    .forward_add(input(0).as_i8(), input(1).as_i8()),
+            ),
             Op::LayerNorm => {
                 let ln = match self.block {
                     QuantBlock::Mha(b) => b.layernorm(),
@@ -204,6 +209,21 @@ impl<'a> QuantExec<'a> {
                 };
                 QVal::I8(ln.forward(input(0).as_i32()))
             }
+        }
+    }
+
+    /// Bumps the fusion counters when `node` is a fused op: one fused
+    /// node, and the elided INT8 producer output (same shape as the
+    /// fused output, one byte per code).
+    fn note_fused(&mut self, node: &Node, out: &QVal) {
+        if matches!(node.op, Op::LinearRelu(_) | Op::LinearAdd(_)) {
+            let (r, c) = match out {
+                QVal::I8(m) => m.shape(),
+                QVal::I32(m) => m.shape(),
+            };
+            self.stats.ops_fused += 1;
+            self.stats.intermediates_elided_bytes += r * c;
+            graph::tally::note_fused(1, r * c);
         }
     }
 }
@@ -241,6 +261,7 @@ impl Executor for QuantExec<'_> {
                 local: &[],
             };
             let out = self.eval(&graph.nodes[step.node], step, &scope, mask);
+            self.note_fused(&graph.nodes[step.node], &out);
             env.set(step.output, out);
         }
         if pre_end < post_start {
@@ -275,6 +296,7 @@ impl Executor for QuantExec<'_> {
                 local: &[],
             };
             let out = self.eval(&graph.nodes[step.node], step, &scope, mask);
+            self.note_fused(&graph.nodes[step.node], &out);
             env.set(step.output, out);
         }
         self.stats.nodes += plan.steps.len();
@@ -332,6 +354,16 @@ impl<'a> CacheRef<'a> {
         match self {
             CacheRef::Flat(m) => m.submatrix(0, c0, m.rows(), width).expect("head panel"),
             CacheRef::Paged { pool, seq } => pool.gather_panel(seq, c0, width),
+        }
+    }
+
+    /// Borrows logical row `r` (all `d_model` columns) — zero-copy for
+    /// both layouts, the access pattern of the fused decode-attention
+    /// drain.
+    pub fn row(&self, r: usize) -> &'a [i8] {
+        match self {
+            CacheRef::Flat(m) => m.row(r),
+            CacheRef::Paged { pool, seq } => pool.row(seq, r),
         }
     }
 
@@ -434,6 +466,16 @@ impl<'a> QuantRowExec<'a> {
     }
 }
 
+/// Whether the fused decode-attention drain may run: fusion enabled and
+/// no fault hooks installed. The fault injector numbers and probes the
+/// per-head GEMM passes, so with hooks live the per-head path (whose
+/// pass sequence the seeded campaigns calibrate against) must be taken —
+/// the same fallback seam the fused `QLinear` forwards use. Both paths
+/// are bit-identical, so this only affects speed.
+fn attention_fusible() -> bool {
+    tensor::envcfg::fuse_enabled() && !faults::hooks_active()
+}
+
 /// Computes row `r`'s concatenated requantized head outputs into `out`
 /// (one full `d_model` row) — the SplitHeads → score → softmax →
 /// context → requantize section of the cached graph.
@@ -445,6 +487,10 @@ fn head_section(
     vals: &CacheRef<'_>,
     out: &mut [i8],
 ) {
+    if attention_fusible() {
+        head_section_fused(block, q, r, keys, vals, out);
+        return;
+    }
     let d_k = block.d_k();
     for i in 0..block.heads() {
         let c0 = i * d_k;
@@ -457,6 +503,58 @@ fn head_section(
         for (slot, &a) in out[c0..c0 + d_k].iter_mut().zip(p_acc.row(0)) {
             *slot = block.requantize_p(a);
         }
+    }
+}
+
+/// The fused single-row attention drain: score, softmax, and `P·V` for
+/// **all** heads in one streaming pass over the cache rows, with no
+/// per-head K/V panel gathers and no per-head GEMV dispatch.
+///
+/// Bit-identity with [`head_section`]'s per-head GEMM path:
+///
+/// * **Scores** — [`tensor::simd::head_dots_i8`] accumulates each
+///   head's `q · k_t` in ascending-`j` order, exactly the inner product
+///   `matmul_i8_nt` computes; integer sums are order-independent.
+/// * **Softmax** — one `heads × ctx` call instead of `heads` separate
+///   `1 × ctx` calls. Both softmax modes process rows independently
+///   (per-row max, sum, and normalisation), so batching rows cannot
+///   change any bit.
+/// * **`P·V`** — [`tensor::simd::scaled_add_i8`] folds cache row `t`
+///   into the head accumulators in ascending-`t` order, the same `k`
+///   order as `matmul_i8(probs, vi)`; again exact integer adds.
+/// * **Requantize** — the identical per-element [`QuantMhaResBlock::requantize_p`].
+fn head_section_fused(
+    block: &QuantMhaResBlock,
+    q: &Mat<i8>,
+    r: usize,
+    keys: &CacheRef<'_>,
+    vals: &CacheRef<'_>,
+    out: &mut [i8],
+) {
+    let d_k = block.d_k();
+    let h = block.heads();
+    let d = h * d_k;
+    let ctx = keys.rows();
+    let qrow = &q.row(r)[..d];
+    let mut scores = Mat::zeros(h, ctx);
+    let mut col = vec![0i32; h];
+    for t in 0..ctx {
+        tensor::simd::head_dots_i8(qrow, &keys.row(t)[..d], d_k, &mut col);
+        for (i, &s) in col.iter().enumerate() {
+            scores[(i, t)] = s;
+        }
+    }
+    let probs = scaled_masked_softmax(&scores, block.d_scale(), d_k, None, block.softmax_mode());
+    let mut acc = vec![0i32; d];
+    for t in 0..ctx {
+        let vrow = &vals.row(t)[..d];
+        for i in 0..h {
+            let c0 = i * d_k;
+            tensor::simd::scaled_add_i8(&mut acc[c0..c0 + d_k], &vrow[c0..c0 + d_k], probs[(i, t)]);
+        }
+    }
+    for (slot, &a) in out[..d].iter_mut().zip(&acc) {
+        *slot = block.requantize_p(a);
     }
 }
 
@@ -478,6 +576,14 @@ fn head_section_chunk(
 ) -> Mat<i8> {
     let d_k = block.d_k();
     let ctx = keys.rows();
+    // A one-row chunk (the decode steady state: every session advances
+    // one token per engine step) has no intra-chunk mask and is exactly
+    // the single-row section — take the fused drain when it is legal.
+    if rows == 1 && attention_fusible() {
+        let mut out = Mat::zeros(1, block.heads() * d_k);
+        head_section_fused(block, q, r0, keys, vals, &mut out.row_mut(0)[..]);
+        return out;
+    }
     // Row j of the chunk may see cache positions 0 ..= ctx - rows + j;
     // later columns are the chunk's own future rows.
     let mask = (causal && rows > 1).then(|| Mat::from_fn(rows, ctx, |j, t| t > ctx - rows + j));
@@ -563,7 +669,44 @@ impl<'a> Executor for QuantRowExec<'a> {
         let causal = self.causal;
         let (wq, _, _, wo) = block.projections();
         let q = wq.forward(&x);
-        let g_matmul = if let Some(groups) = self.groups {
+        // The Wo projection and the residual add fuse into one drain
+        // (the fused-graph `LinearAdd(Wo)` rewrite, applied here by
+        // hand since this executor never walks the tail nodes); the
+        // projection's INT8 output codes are never materialized.
+        let mut fused_ops = 0usize;
+        let mut elided_bytes = 0usize;
+        // The fused decode-attention drain never materialises the
+        // per-head K/V panels — `2 * ctx * d_model` bytes per fused row.
+        // It fires for every single-row section (and one-row prefill
+        // chunks); multi-row chunks keep the masked per-head GEMMs.
+        if attention_fusible() {
+            match self.groups {
+                Some(groups) => {
+                    for (i, &rows) in groups.iter().enumerate() {
+                        if rows == 1 {
+                            fused_ops += 1;
+                            elided_bytes += 2 * keys[i].rows() * x.cols();
+                        }
+                    }
+                }
+                None => {
+                    for k in &keys {
+                        fused_ops += 1;
+                        elided_bytes += 2 * k.rows() * x.cols();
+                    }
+                }
+            }
+        }
+        let mut project_add = |p: &Mat<i8>| -> Mat<i32> {
+            if tensor::envcfg::fuse_enabled() {
+                fused_ops += 1;
+                elided_bytes += p.rows() * x.cols();
+                wo.forward_add(p, &x)
+            } else {
+                residual_add_i8(&wo.forward(p), &x)
+            }
+        };
+        let g = if let Some(groups) = self.groups {
             // Chunked prefill: fan per-session chunks out across threads;
             // each chunk is a contiguous row group attending its own cache.
             let offsets: Vec<usize> = groups
@@ -584,15 +727,15 @@ impl<'a> Executor for QuantRowExec<'a> {
                     p.row_mut(offsets[i] + j).copy_from_slice(chunk.row(j));
                 }
             }
-            wo.forward(&p)
+            project_add(&p)
         } else if x.rows() == 1 {
             if let Some(p_buf) = self.scratch.as_deref_mut() {
                 head_section(block, &q, 0, &keys[0], &vals[0], &mut p_buf.row_mut(0)[..]);
-                wo.forward(p_buf)
+                project_add(p_buf)
             } else {
                 let mut p = Mat::zeros(1, x.cols());
                 head_section(block, &q, 0, &keys[0], &vals[0], &mut p.row_mut(0)[..]);
-                wo.forward(&p)
+                project_add(&p)
             }
         } else {
             let rows: Vec<usize> = (0..x.rows()).collect();
@@ -605,9 +748,11 @@ impl<'a> Executor for QuantRowExec<'a> {
             for (r, row) in p_rows.iter().enumerate() {
                 p.row_mut(r).copy_from_slice(row);
             }
-            wo.forward(&p)
+            project_add(&p)
         };
-        let g = residual_add_i8(&g_matmul, &x);
+        self.stats.ops_fused += fused_ops;
+        self.stats.intermediates_elided_bytes += elided_bytes;
+        graph::tally::note_fused(fused_ops, elided_bytes);
         let y = block.layernorm().forward(&g);
         self.stats.nodes += graph.nodes.len();
         if let Some(d0) = detected0 {

@@ -115,7 +115,10 @@ impl QuantFfnResBlock {
         // [`crate::exec::QuantExec`]. ReLU on symmetric INT8 codes is a
         // plain max(0, ·), fused into the output of the bias adders
         // (Fig. 5's ReLU block).
-        let g = graph::ffn_graph(&self.graph_config());
+        let g = graph::fuse_if(
+            graph::ffn_graph(&self.graph_config()),
+            tensor::envcfg::fuse_enabled(),
+        );
         let mut exec = crate::exec::QuantExec::ffn(self);
         let mut env = exec.run(&g, vec![("x", crate::exec::QVal::I8(x.clone()))], None);
         let hidden = env.take("hidden").into_i8();

@@ -282,7 +282,10 @@ impl QuantMhaResBlock {
         // [`crate::exec::QuantExec`]: Algorithm 1's first loop fans out
         // per head across threads, the second loop (W_G, residual,
         // LayerNorm) runs in plan order.
-        let g = graph::mha_graph(&self.graph_config());
+        let g = graph::fuse_if(
+            graph::mha_graph(&self.graph_config()),
+            tensor::envcfg::fuse_enabled(),
+        );
         let mut exec = crate::exec::QuantExec::mha(self);
         let mut env = exec.run(
             &g,

@@ -234,6 +234,89 @@ impl QLinear {
         out
     }
 
+    /// Fused `Linear → ReLU`: bias, requantization and the activation
+    /// all run in the GEMM's drain while each accumulator row is still
+    /// in registers — the INT8 pre-activation tensor is never
+    /// materialized. Bit-identical to `forward(x)` followed by
+    /// `max(0)` on every code.
+    ///
+    /// Falls back to the unfused pair when fault hooks are active: the
+    /// ABFT row check needs the full pre-bias accumulator tensor, which
+    /// the fused drain never forms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    pub fn forward_relu(&self, x: &Mat<i8>) -> Mat<i8> {
+        if faults::hooks_active() {
+            return self.forward(x).map(|&v| v.max(0));
+        }
+        prepack::matmul_i8_prepacked_fused(x, &self.w_packed, |_r, acc, out: &mut [i8]| {
+            if self.requants.len() == 1 {
+                let rq = self.requants[0];
+                for ((o, &a), &b) in out.iter_mut().zip(acc).zip(&self.bias_q) {
+                    *o = rq.apply_sat_i8(a + b).max(0);
+                }
+            } else {
+                let cols = out
+                    .iter_mut()
+                    .zip(acc)
+                    .zip(&self.bias_q)
+                    .zip(&self.requants);
+                for (((o, &a), &b), rq) in cols {
+                    *o = rq.apply_sat_i8(a + b).max(0);
+                }
+            }
+        })
+        .expect("qlinear width mismatch")
+    }
+
+    /// Fused `Linear → residual Add`: bias, requantization and the
+    /// widening residual addition run in the GEMM's drain — the
+    /// sublayer's INT8 output codes are never materialized. Operands
+    /// must share a scale (the quantizer arranges the residual edges
+    /// that way, so the dequant→requant pair between them composes to
+    /// the identity rescale). Bit-identical to
+    /// [`residual_add_i8`]`(&self.forward(x), residual)`.
+    ///
+    /// Falls back to the unfused pair when fault hooks are active (see
+    /// [`QLinear::forward_relu`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in` or `residual`'s shape differs from
+    /// the output shape.
+    pub fn forward_add(&self, x: &Mat<i8>, residual: &Mat<i8>) -> Mat<i32> {
+        assert_eq!(
+            residual.shape(),
+            (x.rows(), self.bias_q.len()),
+            "residual shape must match the linear output"
+        );
+        if faults::hooks_active() {
+            return residual_add_i8(&self.forward(x), residual);
+        }
+        prepack::matmul_i8_prepacked_fused(x, &self.w_packed, |r, acc, out: &mut [i32]| {
+            let res = residual.row(r);
+            if self.requants.len() == 1 {
+                let rq = self.requants[0];
+                for (((o, &a), &b), &rv) in out.iter_mut().zip(acc).zip(&self.bias_q).zip(res) {
+                    *o = rq.apply_sat_i8(a + b) as i32 + rv as i32;
+                }
+            } else {
+                let cols = out
+                    .iter_mut()
+                    .zip(acc)
+                    .zip(&self.bias_q)
+                    .zip(&self.requants)
+                    .zip(res);
+                for ((((o, &a), &b), rq), &rv) in cols {
+                    *o = rq.apply_sat_i8(a + b) as i32 + rv as i32;
+                }
+            }
+        })
+        .expect("qlinear width mismatch")
+    }
+
     /// Requantizes an accumulator drained from output column `col`.
     pub fn requantize_col(&self, col: usize, acc: i32) -> i8 {
         let r = &self.requants[if self.requants.len() == 1 { 0 } else { col }];

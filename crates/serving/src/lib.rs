@@ -272,6 +272,14 @@ pub struct ServingStats {
     pub quarantined: usize,
     /// Requests cut off by a deadline.
     pub deadline_expired: usize,
+    /// Fused graph nodes executed by this engine's steps (`LinearRelu`,
+    /// `LinearAdd`, and the row executors' hand-fused drains). Zero when
+    /// `ACCEL_NO_FUSE=1`.
+    pub ops_fused: usize,
+    /// Bytes of intermediate tensors fusion never materialized across
+    /// this engine's steps — the memory traffic the fused drains
+    /// removed, the fusion analogue of [`Self::kv_bytes_in_use`].
+    pub intermediates_elided_bytes: usize,
 }
 
 impl ServingStats {
@@ -302,6 +310,8 @@ impl ServingStats {
         self.retries += other.retries;
         self.quarantined += other.quarantined;
         self.deadline_expired += other.deadline_expired;
+        self.ops_fused += other.ops_fused;
+        self.intermediates_elided_bytes += other.intermediates_elided_bytes;
     }
 }
 
@@ -562,6 +572,7 @@ impl<'m> ContinuousBatcher<'m> {
         if plan.is_empty() {
             return false;
         }
+        let fusion0 = graph::fusion_tally();
         let model = self.model;
         let chunk_refs: Vec<&[usize]> = plan.iter().map(|(_, c)| c.as_slice()).collect();
         let verify = faults::hooks_active() && faults::checker_enabled();
@@ -685,6 +696,11 @@ impl<'m> ContinuousBatcher<'m> {
         self.stats.rows += b;
         self.stats.peak_batch = self.stats.peak_batch.max(b);
         self.stats.kv_bytes_in_use = self.arena.kv_bytes_in_use();
+        // Fused-op work this step performed, read as a delta of the
+        // process-wide tally (retried attempts count — they ran).
+        let fusion = graph::fusion_tally().since(&fusion0);
+        self.stats.ops_fused += fusion.ops_fused as usize;
+        self.stats.intermediates_elided_bytes += fusion.intermediates_elided_bytes as usize;
         true
     }
 
@@ -970,6 +986,36 @@ mod tests {
             "every retired session's pages go back to the free list"
         );
         assert_eq!(engine.kv_bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn fusion_counters_surface_alongside_kv_bytes() {
+        let (q, srcs) = setup(6);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(2)).unwrap();
+        for r in requests(&srcs, 4) {
+            engine.submit(r).unwrap();
+        }
+        let _ = engine.run_to_completion();
+        let stats = engine.stats();
+        if tensor::envcfg::fuse_enabled() {
+            // Every decode ResBlock pass fuses at least the Wo → residual
+            // drain, so a full run must report fused work and the bytes
+            // its elided intermediates would have cost.
+            assert!(stats.ops_fused > 0, "fused drains must be counted");
+            assert!(stats.intermediates_elided_bytes > 0);
+        } else {
+            assert_eq!(stats.ops_fused, 0, "ACCEL_NO_FUSE must zero the counters");
+            assert_eq!(stats.intermediates_elided_bytes, 0);
+        }
+        // merge() rolls the new counters up like the KV byte counters.
+        let mut merged = ServingStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.ops_fused, 2 * stats.ops_fused);
+        assert_eq!(
+            merged.intermediates_elided_bytes,
+            2 * stats.intermediates_elided_bytes
+        );
     }
 
     #[test]

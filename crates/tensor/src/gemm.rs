@@ -100,6 +100,26 @@ pub(crate) fn pack_tiles<T: Copy, U: Copy + Default>(b: &Mat<T>, widen: impl Fn(
     packed
 }
 
+/// [`pack_tiles`] restricted to column tiles `t0 .. t1`, writing into
+/// `chunk` — the sub-slice of the full packed buffer covering exactly
+/// those tiles (`(t1 - t0) * k * NR` zero-initialised elements).
+/// Byte-identical to the corresponding range of [`pack_tiles`]; used by
+/// the prepack layer to parallelise (and first-touch-distribute) the
+/// one-time weight pack across pool workers.
+pub(crate) fn pack_tiles_f32_range(b: &Mat<f32>, chunk: &mut [f32], t0: usize, t1: usize) {
+    let (k, n) = b.shape();
+    for t in t0..t1 {
+        let j0 = t * NR;
+        let w = NR.min(n - j0);
+        for p in 0..k {
+            let brow = &b.row(p)[j0..j0 + w];
+            let base = ((t - t0) * k + p) * NR;
+            let dst = &mut chunk[base..base + w];
+            dst.copy_from_slice(brow);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Band kernels (each runs on one worker thread over a row band)
 // ---------------------------------------------------------------------------
@@ -237,6 +257,36 @@ pub(crate) fn pack_quads_scalar_range(
             for (l, &v) in brow.iter().enumerate() {
                 quads[base + l * KQ] = v;
                 colsum[t * NR + l] += i32::from(v);
+            }
+        }
+    }
+}
+
+/// [`pack_quads_scalar_range`] writing into tile-relative chunks:
+/// `quads_chunk` / `colsum_chunk` are the sub-slices of the full buffers
+/// covering exactly tiles `t0 .. t1` (zero-initialised). Byte-identical
+/// to the corresponding range of [`pack_quads`]; used by the prepack
+/// layer to parallelise (and first-touch-distribute) the one-time
+/// weight pack across pool workers.
+pub(crate) fn pack_quads_range(
+    b: &Mat<i8>,
+    quads_chunk: &mut [i8],
+    colsum_chunk: &mut [i32],
+    t0: usize,
+    t1: usize,
+) {
+    let (k, n) = b.shape();
+    let kq = k.div_ceil(KQ);
+    for t in t0..t1 {
+        let j0 = t * NR;
+        let w = NR.min(n - j0);
+        for p in 0..k {
+            let brow = &b.row(p)[j0..j0 + w];
+            let (q, u) = (p / KQ, p % KQ);
+            let base = ((t - t0) * kq + q) * NR * KQ + u;
+            for (l, &v) in brow.iter().enumerate() {
+                quads_chunk[base + l * KQ] = v;
+                colsum_chunk[(t - t0) * NR + l] += i32::from(v);
             }
         }
     }

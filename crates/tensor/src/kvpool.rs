@@ -30,15 +30,9 @@ pub const DEFAULT_PAGE_ROWS: usize = 16;
 /// Reads the page height from the `ACCEL_KV_PAGE` environment variable,
 /// falling back to `default`. Parsed on every call (cheap — once per
 /// arena construction), so tests and CI matrices can vary it without
-/// process-global caching.
+/// process-global caching. Parsing lives in [`crate::envcfg`].
 pub fn page_rows_from_env(default: usize) -> usize {
-    match std::env::var("ACCEL_KV_PAGE") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => default,
-        },
-        Err(_) => default,
-    }
+    crate::envcfg::kv_page_rows(default)
 }
 
 /// A sequence's block table: the ordered pages it owns inside one

@@ -28,12 +28,14 @@
 //! ```
 
 // `deny` rather than `forbid`: the SIMD microkernels ([`simd`]) and the
-// persistent pool's scoped-lifetime extension ([`par`]) carry the only
-// two documented `#[allow(unsafe_code)]` exemptions; everything else in
-// the crate remains safe code.
+// persistent pool ([`par`]: the scoped-lifetime extension and the
+// `sched_setaffinity` worker-pinning syscall) carry the only documented
+// `#[allow(unsafe_code)]` exemptions; everything else in the crate
+// remains safe code.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod envcfg;
 mod error;
 pub mod gemm;
 pub mod init;

@@ -36,7 +36,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 /// Unset, empty, unparsable, or `0` all mean "use the machine's
 /// available parallelism". Values are clamped to [`MAX_THREADS`]. Read
 /// once per process; see [`set_thread_override`] for in-process retuning.
-pub const ENV_THREADS: &str = "ACCEL_THREADS";
+pub use crate::envcfg::ENV_THREADS;
 
 /// Upper bound on the worker-thread count (a safety clamp for absurd
 /// `ACCEL_THREADS` values and the pool's maximum size).
@@ -53,19 +53,18 @@ static ENV_RESOLVED: OnceLock<usize> = OnceLock::new();
 /// The worker-thread count used by the parallel kernels.
 ///
 /// Resolution order: the in-process override ([`set_thread_override`]),
-/// then [`ENV_THREADS`] (parsed once and cached), then
-/// [`std::thread::available_parallelism`]. Always in `1..=MAX_THREADS`.
+/// then [`ENV_THREADS`] (parsed once via [`crate::envcfg`] and cached),
+/// then [`std::thread::available_parallelism`]. Always in
+/// `1..=MAX_THREADS`.
 pub fn threads() -> usize {
     let ov = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if ov > 0 {
         return ov.min(MAX_THREADS);
     }
-    *ENV_RESOLVED.get_or_init(|| match std::env::var(ENV_THREADS) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(t) if t > 0 => t.min(MAX_THREADS),
-            _ => default_threads(),
-        },
-        Err(_) => default_threads(),
+    *ENV_RESOLVED.get_or_init(|| {
+        crate::envcfg::threads_raw()
+            .map(|t| t.min(MAX_THREADS))
+            .unwrap_or_else(default_threads)
     })
 }
 
@@ -160,18 +159,59 @@ thread_local! {
     static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Pins the calling thread to one CPU via `sched_setaffinity(2)`.
+///
+/// Declared directly against glibc (which `std` already links) rather
+/// than through a bindings crate, per the offline-deps policy. Failures
+/// are ignored: affinity is a performance hint, never a correctness
+/// requirement, and restricted environments (containers with a trimmed
+/// cpuset, non-root sandboxes) may reject it.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+fn pin_to_core(core: usize) {
+    /// Mirrors glibc's fixed 1024-bit `cpu_set_t`.
+    #[repr(C)]
+    struct CpuSet([u64; 16]);
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+    }
+    let mut set = CpuSet([0; 16]);
+    let bit = core % (16 * 64);
+    set.0[bit / 64] |= 1u64 << (bit % 64);
+    // SAFETY: `set` is a valid, initialised cpu_set_t-sized mask and
+    // pid 0 means "this thread"; the call reads the mask and touches no
+    // other memory.
+    unsafe {
+        sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_core(_core: usize) {}
+
 impl Pool {
     /// Ensures at least `want` worker threads exist (clamped to
     /// [`MAX_THREADS`]).
+    ///
+    /// With the `ACCEL_PIN` opt-in ([`crate::envcfg::pin_enabled`]),
+    /// each new worker pins itself to core `index % cores` before
+    /// serving batches, so a worker's cache- and NUMA-local pages stay
+    /// local across GEMMs instead of following the scheduler around.
+    /// The dispatching (caller) thread is never pinned — it belongs to
+    /// the embedding application.
     fn ensure_workers(&'static self, want: usize) {
         let want = want.min(MAX_THREADS);
         let mut n = self.spawned.lock().expect("pool spawn counter");
         while *n < want {
             let rx = Arc::clone(&self.shared_rx);
+            let index = *n;
             std::thread::Builder::new()
                 .name(format!("accel-pool-{n}"))
                 .spawn(move || {
                     IN_POOL_WORKER.with(|f| f.set(true));
+                    if crate::envcfg::pin_enabled() {
+                        pin_to_core(index % default_threads());
+                    }
                     loop {
                         let batch = {
                             let guard = rx.lock().expect("pool receiver");
@@ -460,6 +500,19 @@ mod tests {
             let serial: Vec<u32> = items.iter().map(|x| x + round).collect();
             assert_eq!(map_with_threads(&items, 4, |x| x + round), serial);
         }
+    }
+
+    #[test]
+    fn pinned_workers_stay_bit_identical() {
+        // Pinning is a performance hint: with the opt-in forced on, the
+        // pool must keep producing exactly the serial results. (Workers
+        // spawned by earlier tests keep their old affinity; this only
+        // exercises the pinned spawn path plus determinism.)
+        crate::envcfg::set_pin_override(Some(true));
+        let items: Vec<u64> = (0..512).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 7 + 1).collect();
+        assert_eq!(map_with_threads(&items, 4, |x| x * 7 + 1), serial);
+        crate::envcfg::set_pin_override(None);
     }
 
     #[test]

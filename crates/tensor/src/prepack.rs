@@ -65,16 +65,44 @@ impl<T> PackedMat<T> {
     }
 }
 
+/// Below this many weight elements the one-time pack runs serially —
+/// splitting a small pack across the pool costs more in dispatch than
+/// the byte moves it saves.
+const PARALLEL_PACK_CUTOFF: usize = 1 << 15;
+
 impl PackedMat<f32> {
     /// Packs an `f32` weight matrix once, in the exact layout
     /// [`crate::gemm::matmul`] builds per call.
+    ///
+    /// Large matrices pack in parallel across the persistent pool
+    /// ([`Self::from_f32_with_threads`]): each worker writes — and
+    /// therefore **first-touches** — a contiguous range of column
+    /// tiles, so the packed pages are faulted in by (and stay local to)
+    /// the workers that stream them in the band loop, instead of all
+    /// landing on the packing thread's node. The packed bytes are
+    /// identical either way.
     pub fn from_f32(b: &Mat<f32>) -> Self {
+        Self::from_f32_with_threads(b, par::threads())
+    }
+
+    /// [`Self::from_f32`] with an explicit worker count.
+    pub fn from_f32_with_threads(b: &Mat<f32>, threads: usize) -> Self {
         let (k, n) = b.shape();
-        Self {
-            packed: gemm::pack_tiles(b, gemm::widen_f32),
-            k,
-            n,
+        let tiles = n.div_ceil(gemm::NR);
+        let t = threads.min(tiles).max(1);
+        if t <= 1 || k * n < PARALLEL_PACK_CUTOFF {
+            return Self {
+                packed: gemm::pack_tiles(b, gemm::widen_f32),
+                k,
+                n,
+            };
         }
+        let stride = k * gemm::NR;
+        let mut packed = vec![0f32; tiles * stride];
+        par::row_bands(&mut packed, tiles, stride, t, |t0, chunk| {
+            gemm::pack_tiles_f32_range(b, chunk, t0, t0 + chunk.len() / stride);
+        });
+        Self { packed, k, n }
     }
 }
 
@@ -99,9 +127,45 @@ pub struct PackedI8 {
 impl PackedI8 {
     /// Packs an INT8 weight matrix once into the quad layout
     /// [`crate::gemm::matmul_i8`] builds per call.
+    ///
+    /// Large matrices pack in parallel across the persistent pool with
+    /// per-worker first-touch of the tile ranges (see
+    /// [`PackedMat::from_f32`]); the packed bytes are identical either
+    /// way.
     pub fn from_i8(b: &Mat<i8>) -> Self {
+        Self::from_i8_with_threads(b, par::threads())
+    }
+
+    /// [`Self::from_i8`] with an explicit worker count.
+    pub fn from_i8_with_threads(b: &Mat<i8>, threads: usize) -> Self {
         let (k, n) = b.shape();
-        let (quads, colsum) = gemm::pack_quads(b);
+        let tiles = n.div_ceil(gemm::NR);
+        let t = threads.min(tiles).max(1);
+        if t <= 1 || k * n < PARALLEL_PACK_CUTOFF {
+            let (quads, colsum) = gemm::pack_quads(b);
+            return Self {
+                quads,
+                colsum,
+                k,
+                n,
+            };
+        }
+        let qstride = k.div_ceil(gemm::KQ) * gemm::NR * gemm::KQ;
+        let mut quads = vec![0i8; tiles * qstride];
+        let mut colsum = vec![0i32; tiles * gemm::NR];
+        let tile_chunk = tiles.div_ceil(t);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = quads
+            .chunks_mut(tile_chunk * qstride)
+            .zip(colsum.chunks_mut(tile_chunk * gemm::NR))
+            .enumerate()
+            .map(|(idx, (qc, cc))| {
+                let t0 = idx * tile_chunk;
+                Box::new(move || {
+                    gemm::pack_quads_range(b, qc, cc, t0, t0 + cc.len() / gemm::NR);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        par::scope_run(tasks);
         Self {
             quads,
             colsum,
@@ -201,6 +265,141 @@ pub fn matmul_i8_prepacked_with_threads(
     Ok(out)
 }
 
+/// [`matmul_prepacked_epilogue`] with the same automatic worker count
+/// as [`matmul_prepacked`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.k()`.
+pub fn matmul_prepacked_fused<F>(
+    a: &Mat<f32>,
+    b: &PackedMat<f32>,
+    epi: F,
+) -> Result<Mat<f32>, ShapeError>
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    matmul_prepacked_epilogue(a, b, gemm::auto_threads(a.rows(), a.cols(), b.n), epi)
+}
+
+/// [`matmul_i8_prepacked_epilogue`] with the same automatic worker
+/// count as [`matmul_i8_prepacked`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.k()`.
+pub fn matmul_i8_prepacked_fused<O, F>(
+    a: &Mat<i8>,
+    b: &PackedI8,
+    epi: F,
+) -> Result<Mat<O>, ShapeError>
+where
+    O: Copy + Default + Send,
+    F: Fn(usize, &[i32], &mut [O]) + Sync,
+{
+    matmul_i8_prepacked_epilogue(a, b, gemm::auto_threads(a.rows(), a.cols(), b.n), epi)
+}
+
+/// `f32` GEMM against a prepacked `B` with a **fused epilogue**: after a
+/// band's rows are computed, `epi(global_row, row)` rewrites each row in
+/// place while it is still cache-hot — bias add, ReLU, residual add —
+/// instead of a second full pass over a materialized intermediate.
+///
+/// The accumulator values handed to `epi` are bit-identical to
+/// [`matmul_prepacked_with_threads`] output, and `epi` runs over rows in
+/// ascending order within each band, so any per-element epilogue that
+/// matches the unfused op sequence element-for-element yields
+/// bit-identical results to the unfused pipeline.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.k()`.
+pub fn matmul_prepacked_epilogue<F>(
+    a: &Mat<f32>,
+    b: &PackedMat<f32>,
+    threads: usize,
+    epi: F,
+) -> Result<Mat<f32>, ShapeError>
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if a.cols() != b.k {
+        return Err(ShapeError::new("matmul_prepacked", a.shape(), (b.k, b.n)));
+    }
+    let (m, n) = (a.rows(), b.n);
+    let mut out = Mat::zeros(m, n);
+    if n == 0 {
+        return Ok(out);
+    }
+    par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+        gemm::run_band_f32(a, &b.packed, first_row, band, n);
+        for (r, row) in band.chunks_mut(n).enumerate() {
+            epi(first_row + r, row);
+        }
+    });
+    Ok(out)
+}
+
+/// INT8 GEMM against a prepacked `B` with a **fused epilogue** draining
+/// the `i32` accumulators directly into the output element type: each
+/// band accumulates into a band-local `i32` scratch (one row for the
+/// `m == 1` decode GEMV) and `epi(global_row, acc_row, out_row)` drains
+/// every row — bias add, requantize, ReLU, residual add — while the
+/// accumulators are still in cache. The full-tensor `i32` intermediate
+/// of the unfused path is never materialized.
+///
+/// The accumulator rows handed to `epi` are bit-identical to
+/// [`matmul_i8_prepacked_with_threads`] output (integer accumulation,
+/// same kernels), so any per-element epilogue matching the unfused op
+/// sequence yields bit-identical results to the unfused pipeline.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `a.cols() != b.k()`.
+pub fn matmul_i8_prepacked_epilogue<O, F>(
+    a: &Mat<i8>,
+    b: &PackedI8,
+    threads: usize,
+    epi: F,
+) -> Result<Mat<O>, ShapeError>
+where
+    O: Copy + Default + Send,
+    F: Fn(usize, &[i32], &mut [O]) + Sync,
+{
+    if a.cols() != b.k {
+        return Err(ShapeError::new(
+            "matmul_i8_prepacked",
+            a.shape(),
+            (b.k, b.n),
+        ));
+    }
+    let (m, n) = (a.rows(), b.n);
+    let mut out = Mat::<O>::zeros(m, n);
+    if n == 0 {
+        return Ok(out);
+    }
+    let au = if crate::simd::int8_simd_active() {
+        gemm::offset_rows(a, threads)
+    } else {
+        Vec::new()
+    };
+    if m == 1 {
+        let mut acc = vec![0i32; n];
+        gemm::run_gemv_i8q(a, &au, &b.quads, &b.colsum, &mut acc, n);
+        epi(0, &acc, out.as_mut_slice());
+        return Ok(out);
+    }
+    par::row_bands(out.as_mut_slice(), m, n, threads, |first_row, band| {
+        let rows = band.len() / n;
+        let mut acc = vec![0i32; rows * n];
+        gemm::run_band_i8q(a, &au, &b.quads, &b.colsum, first_row, &mut acc, n);
+        for (r, (acc_row, out_row)) in acc.chunks(n).zip(band.chunks_mut(n)).enumerate() {
+            epi(first_row + r, acc_row, out_row);
+        }
+    });
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +439,76 @@ mod tests {
         assert!(matmul_i8_prepacked(&Mat::<i8>::zeros(2, 3), &packed).is_err());
         let packed_f = PackedMat::from_f32(&Mat::<f32>::zeros(4, 4));
         assert!(matmul_prepacked(&Mat::<f32>::zeros(2, 3), &packed_f).is_err());
+    }
+
+    #[test]
+    fn parallel_pack_bytes_match_serial() {
+        // Both packers must produce identical packed bytes regardless of
+        // worker count (the parallel path is the first-touch pack).
+        let bf = Mat::from_fn(96, 384, |r, c| (r as f32 * 0.3 - c as f32 * 0.1).sin());
+        let bi = Mat::from_fn(96, 384, |r, c| ((r * 17 + c * 3) % 253) as i8);
+        let serial_f = PackedMat::from_f32_with_threads(&bf, 1);
+        let serial_i = PackedI8::from_i8_with_threads(&bi, 1);
+        for t in [2, 3, 8] {
+            assert_eq!(PackedMat::from_f32_with_threads(&bf, t), serial_f, "t={t}");
+            assert_eq!(PackedI8::from_i8_with_threads(&bi, t), serial_i, "t={t}");
+        }
+    }
+
+    #[test]
+    fn f32_epilogue_matches_separate_pass() {
+        let a = Mat::from_fn(6, 40, |r, c| (r as f32 - c as f32) * 0.21);
+        let b = Mat::from_fn(40, 33, |r, c| (r * c) as f32 * 0.07 - 0.9);
+        let bias: Vec<f32> = (0..33).map(|c| c as f32 * 0.05 - 0.4).collect();
+        let packed = PackedMat::from_f32(&b);
+        for t in [1usize, 2, 4] {
+            let fused = matmul_prepacked_epilogue(&a, &packed, t, |_r, row| {
+                for (v, &bc) in row.iter_mut().zip(&bias) {
+                    *v = (*v + bc).max(0.0);
+                }
+            })
+            .unwrap();
+            let mut want = matmul_prepacked_with_threads(&a, &packed, t).unwrap();
+            for r in 0..want.rows() {
+                for c in 0..want.cols() {
+                    want[(r, c)] = (want[(r, c)] + bias[c]).max(0.0);
+                }
+            }
+            assert_eq!(
+                fused
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                want.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn i8_epilogue_matches_separate_pass_incl_gemv() {
+        for m in [1usize, 2, 9] {
+            let a = Mat::from_fn(m, 36, |r, c| ((r * 29 + c * 11) % 255) as i8);
+            let b = Mat::from_fn(36, 21, |r, c| ((r * 7 + c * 13) % 251) as i8);
+            let packed = PackedI8::from_i8(&b);
+            // Epilogue: add a row-dependent bias, halve with truncation,
+            // saturate into i8 — stand-in for bias + requantize + ReLU.
+            let fused: Mat<i8> = matmul_i8_prepacked_epilogue(&a, &packed, 3, |r, acc, out| {
+                for (o, &v) in out.iter_mut().zip(acc) {
+                    *o = ((v + r as i32) / 2).clamp(-127, 127) as i8;
+                }
+            })
+            .unwrap();
+            let raw = matmul_i8_prepacked_with_threads(&a, &packed, 3).unwrap();
+            let want = Mat::from_fn(m, 21, |r, c| {
+                ((raw[(r, c)] + r as i32) / 2).clamp(-127, 127) as i8
+            });
+            assert_eq!(fused, want, "m={m}");
+        }
     }
 
     #[test]

@@ -42,23 +42,16 @@ use std::sync::OnceLock;
 
 /// Environment variable forcing the scalar kernels (any non-empty value
 /// other than `0`). Useful for debugging and for CI legs that pin the
-/// fallback path. Read once per process and cached.
-pub const ENV_FORCE_SCALAR: &str = "ACCEL_FORCE_SCALAR";
+/// fallback path. Read once per process and cached (parsing lives in
+/// [`crate::envcfg`]).
+pub use crate::envcfg::ENV_FORCE_SCALAR;
 
 /// In-process override: 0 = follow env + detection, 1 = force scalar,
 /// 2 = force SIMD (still requires hardware support).
 static SIMD_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
-static FORCE_SCALAR_ENV: OnceLock<bool> = OnceLock::new();
-
 fn force_scalar_env() -> bool {
-    *FORCE_SCALAR_ENV.get_or_init(|| match std::env::var(ENV_FORCE_SCALAR) {
-        Ok(v) => {
-            let v = v.trim();
-            !v.is_empty() && v != "0"
-        }
-        Err(_) => false,
-    })
+    crate::envcfg::force_scalar()
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -237,17 +230,143 @@ pub(crate) fn pack_quads_t_into(bt: &crate::Mat<i8>, quads: &mut [i8], colsum: &
     false
 }
 
+/// Per-head dot products of one activation row against one cache row:
+/// `out[i] = sum_j q[i*d_k + j] * krow[i*d_k + j]` for each head `i`.
+///
+/// This is the score kernel of the fused decode-attention drain: instead
+/// of gathering per-head K panels and dispatching one `1 x ctx` GEMV per
+/// head, the caller walks the cache rows once and computes every head's
+/// score for that row in a single pass. Integer accumulation is exact
+/// and order-independent, so the result is bit-identical to the per-head
+/// GEMV path regardless of dispatch.
+pub fn head_dots_i8(q: &[i8], krow: &[i8], d_k: usize, out: &mut [i32]) {
+    assert_eq!(q.len(), krow.len(), "row widths must match");
+    assert_eq!(out.len() * d_k, q.len(), "heads * d_k must cover the row");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_enabled() && d_k > 0 && d_k.is_multiple_of(32) {
+            // SAFETY: `simd_enabled` implies VNNI was detected at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::head_dots_i8_vnni(q, krow, d_k, out);
+            }
+            return;
+        }
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        let base = i * d_k;
+        let mut acc = 0i32;
+        for j in 0..d_k {
+            acc += i32::from(q[base + j]) * i32::from(krow[base + j]);
+        }
+        *o = acc;
+    }
+}
+
+/// Probability-weighted accumulation `acc[j] += p * v[j]`.
+///
+/// The P*V kernel of the fused decode-attention drain: each cache V row
+/// is folded into the per-head accumulators as soon as it is visited, so
+/// no per-head V panel is ever materialised. `|p * v| <= 127 * 127`
+/// fits `i16` exactly and the adds are plain `i32`, so SIMD and scalar
+/// are bit-identical. `p == 0` (common after the hardware softmax
+/// floors small probabilities) is skipped outright — adding zero is a
+/// no-op in integer arithmetic.
+pub fn scaled_add_i8(acc: &mut [i32], v: &[i8], p: i8) {
+    assert_eq!(acc.len(), v.len(), "accumulator and row must match");
+    if p == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_enabled() {
+            // SAFETY: `simd_enabled` implies VNNI was detected at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::scaled_add_i8_avx512(acc, v, p);
+            }
+            return;
+        }
+    }
+    for (a, &x) in acc.iter_mut().zip(v) {
+        *a += i32::from(p) * i32::from(x);
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use crate::gemm::{KQ, MR, NR};
     use crate::Mat;
     use std::arch::x86_64::{
-        __m512i, _mm512_dpbusd_epi32, _mm512_loadu_si512, _mm512_maskz_loadu_epi8,
-        _mm512_reduce_add_epi32, _mm512_set1_epi32, _mm512_set1_epi8, _mm512_setzero_si512,
-        _mm512_shuffle_i32x4, _mm512_slli_epi32, _mm512_storeu_si512, _mm512_sub_epi32,
-        _mm512_unpackhi_epi16, _mm512_unpackhi_epi32, _mm512_unpackhi_epi64, _mm512_unpackhi_epi8,
-        _mm512_unpacklo_epi16, _mm512_unpacklo_epi32, _mm512_unpacklo_epi64, _mm512_unpacklo_epi8,
+        __m512i, _mm256_loadu_si256, _mm512_add_epi32, _mm512_castsi512_si256,
+        _mm512_cvtepi16_epi32, _mm512_cvtepi8_epi16, _mm512_dpbusd_epi32, _mm512_dpwssd_epi32,
+        _mm512_extracti64x4_epi64, _mm512_loadu_si512, _mm512_maskz_loadu_epi8, _mm512_mullo_epi16,
+        _mm512_reduce_add_epi32, _mm512_set1_epi16, _mm512_set1_epi32, _mm512_set1_epi8,
+        _mm512_setzero_si512, _mm512_shuffle_i32x4, _mm512_slli_epi32, _mm512_storeu_si512,
+        _mm512_sub_epi32, _mm512_unpackhi_epi16, _mm512_unpackhi_epi32, _mm512_unpackhi_epi64,
+        _mm512_unpackhi_epi8, _mm512_unpacklo_epi16, _mm512_unpacklo_epi32, _mm512_unpacklo_epi64,
+        _mm512_unpacklo_epi8,
     };
+
+    /// Signed per-head dot products via `vpdpwssd`: both operands are
+    /// sign-extended to `i16` lanes (so no unsigned-offset compensation
+    /// is needed) and pairs of `i16` products accumulate exactly into
+    /// `i32` lanes. Caller guarantees `d_k % 32 == 0`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512 F/BW/VNNI (callers check [`super::simd_enabled`]).
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub(super) unsafe fn head_dots_i8_vnni(q: &[i8], krow: &[i8], d_k: usize, out: &mut [i32]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            let base = i * d_k;
+            let mut acc = _mm512_setzero_si512();
+            let mut j = 0;
+            while j < d_k {
+                let qa = _mm512_cvtepi8_epi16(_mm256_loadu_si256(q.as_ptr().add(base + j).cast()));
+                let kb =
+                    _mm512_cvtepi8_epi16(_mm256_loadu_si256(krow.as_ptr().add(base + j).cast()));
+                acc = _mm512_dpwssd_epi32(acc, qa, kb);
+                j += 32;
+            }
+            *o = _mm512_reduce_add_epi32(acc);
+        }
+    }
+
+    /// Vectorised `acc[j] += p * v[j]`: 32 `i8` values are sign-extended
+    /// to `i16`, multiplied by the broadcast scalar with `vpmullw`
+    /// (exact: `|p * v| <= 127 * 127 < 2^15`), sign-extended to `i32`
+    /// halves, and added into the accumulators. Scalar tail for the
+    /// ragged end.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512 F/BW (callers check [`super::simd_enabled`]).
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub(super) unsafe fn scaled_add_i8_avx512(acc: &mut [i32], v: &[i8], p: i8) {
+        let pv = _mm512_set1_epi16(i16::from(p));
+        let n = acc.len();
+        let mut j = 0;
+        while j + 32 <= n {
+            let x = _mm512_cvtepi8_epi16(_mm256_loadu_si256(v.as_ptr().add(j).cast()));
+            let prod = _mm512_mullo_epi16(x, pv);
+            let lo = _mm512_cvtepi16_epi32(_mm512_castsi512_si256(prod));
+            let hi = _mm512_cvtepi16_epi32(_mm512_extracti64x4_epi64::<1>(prod));
+            let a0 = _mm512_loadu_si512(acc.as_ptr().add(j).cast());
+            _mm512_storeu_si512(acc.as_mut_ptr().add(j).cast(), _mm512_add_epi32(a0, lo));
+            let a1 = _mm512_loadu_si512(acc.as_ptr().add(j + 16).cast());
+            _mm512_storeu_si512(
+                acc.as_mut_ptr().add(j + 16).cast(),
+                _mm512_add_epi32(a1, hi),
+            );
+            j += 32;
+        }
+        for t in j..n {
+            acc[t] += i32::from(p) * i32::from(v[t]);
+        }
+    }
 
     /// Spills one 16-lane `i32` accumulator into `out[..w]`.
     ///
@@ -783,5 +902,66 @@ mod tests {
         assert_eq!(simd_enabled(), vnni_available());
         set_simd_override(None);
         assert_eq!(simd_enabled(), ambient);
+    }
+
+    /// Deterministic pseudo-random i8 stream for the kernel tests.
+    fn i8_stream(seed: u64, len: usize) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 24) as i8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn head_dots_match_scalar_reference() {
+        // d_k = 64 exercises the VNNI path on capable hardware; d_k = 16
+        // always takes the scalar fallback. Either way the entry point
+        // must match the plain nested-loop reference bit for bit.
+        for (heads, d_k, seed) in [(8usize, 64usize, 1u64), (4, 16, 2), (2, 96, 3), (1, 32, 4)] {
+            let q = i8_stream(seed, heads * d_k);
+            let krow = i8_stream(seed + 100, heads * d_k);
+            let mut got = vec![0i32; heads];
+            head_dots_i8(&q, &krow, d_k, &mut got);
+            let want: Vec<i32> = (0..heads)
+                .map(|i| {
+                    (0..d_k)
+                        .map(|j| i32::from(q[i * d_k + j]) * i32::from(krow[i * d_k + j]))
+                        .sum()
+                })
+                .collect();
+            assert_eq!(got, want, "heads={heads} d_k={d_k}");
+        }
+    }
+
+    #[test]
+    fn scaled_add_matches_scalar_reference() {
+        // Lengths straddle the 32-lane vector width to hit the ragged
+        // tail; p covers the skip case (0), the negative extreme, and a
+        // typical positive probability code.
+        for (len, p, seed) in [
+            (64usize, 127i8, 5u64),
+            (33, -128, 6),
+            (31, 0, 7),
+            (100, 3, 8),
+        ] {
+            let v = i8_stream(seed, len);
+            let base: Vec<i32> = i8_stream(seed + 200, len)
+                .iter()
+                .map(|&x| i32::from(x) << 8)
+                .collect();
+            let mut got = base.clone();
+            scaled_add_i8(&mut got, &v, p);
+            let want: Vec<i32> = base
+                .iter()
+                .zip(&v)
+                .map(|(&a, &x)| a + i32::from(p) * i32::from(x))
+                .collect();
+            assert_eq!(got, want, "len={len} p={p}");
+        }
     }
 }

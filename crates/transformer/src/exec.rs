@@ -120,6 +120,8 @@ impl<'a> FloatExec<'a> {
             }
             Op::Relu => ops::relu(input(0)),
             Op::Add => ops::add(input(0), input(1)).expect("residual shape invariant"),
+            Op::LinearRelu(id) => self.weight(id).forward_inference_relu(input(0)),
+            Op::LinearAdd(id) => self.weight(id).forward_inference_add(input(0), input(1)),
             Op::LayerNorm => self
                 .ln
                 .expect("no layernorm bound to this executor")
@@ -144,7 +146,15 @@ impl Executor for FloatExec<'_> {
             env.set(slot, value);
         }
         for step in &plan.steps {
-            let out = self.eval(graph, &graph.nodes[step.node], step, &env, mask);
+            let node = &graph.nodes[step.node];
+            let out = self.eval(graph, node, step, &env, mask);
+            if matches!(node.op, Op::LinearRelu(_) | Op::LinearAdd(_)) {
+                // The elided producer output has the fused node's shape.
+                let bytes = out.rows() * out.cols() * std::mem::size_of::<f32>();
+                self.stats.ops_fused += 1;
+                self.stats.intermediates_elided_bytes += bytes;
+                graph::tally::note_fused(1, bytes);
+            }
             env.set(step.output, out);
             self.stats.nodes += 1;
         }
@@ -268,8 +278,16 @@ impl<'a> Executor for RowExec<'a> {
             tensor::par::par_map(&rows, |&r| attend(r))
         };
         let concat = Mat::vconcat(&att_rows).expect("rows share width");
-        let sub = wo.forward_inference(&concat);
-        let res = ops::add(&x, &sub).expect("residual shape");
+        let res = if tensor::envcfg::fuse_enabled() {
+            let bytes = concat.rows() * wo.d_out() * std::mem::size_of::<f32>();
+            self.stats.ops_fused += 1;
+            self.stats.intermediates_elided_bytes += bytes;
+            graph::tally::note_fused(1, bytes);
+            wo.forward_inference_add(&concat, &x)
+        } else {
+            let sub = wo.forward_inference(&concat);
+            ops::add(&x, &sub).expect("residual shape")
+        };
         let y = self.block.layernorm().forward_inference(&res);
         self.stats.nodes += graph.nodes.len();
         let out_slot = env.slot("y");

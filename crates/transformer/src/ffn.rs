@@ -66,7 +66,10 @@ impl FfnResBlock {
     /// [`graph::ffn_graph`] dataflow through
     /// [`crate::exec::FloatExec`].
     pub fn forward_inference(&self, x: &Mat<f32>) -> Mat<f32> {
-        let g = graph::ffn_graph(&self.graph_config());
+        let g = graph::fuse_if(
+            graph::ffn_graph(&self.graph_config()),
+            tensor::envcfg::fuse_enabled(),
+        );
         let mut exec = crate::exec::FloatExec::ffn_res(self);
         let mut env = exec.run(&g, vec![("x", x.clone())], None);
         env.take("y")

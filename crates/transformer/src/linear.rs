@@ -120,6 +120,51 @@ impl Linear {
         ops::add_row_bias(&xw, &self.b).expect("bias length invariant")
     }
 
+    /// Fused `Linear → ReLU` inference: `max(0, x W + b)` with bias and
+    /// activation applied in the GEMM's drain while each output row is
+    /// cache-hot — no pre-activation tensor, no second pass.
+    /// Bit-identical to `relu(forward_inference(x))` (same accumulators,
+    /// same per-element `+ b` then `max`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.d_in()`.
+    pub fn forward_inference_relu(&self, x: &Mat<f32>) -> Mat<f32> {
+        let packed = self.packed.get_or_init(|| PackedF32::from_f32(&self.w));
+        prepack::matmul_prepacked_fused(x, packed, |_r, row| {
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v = (*v + b).max(0.0);
+            }
+        })
+        .expect("linear: input width mismatch")
+    }
+
+    /// Fused `Linear → residual Add` inference:
+    /// `residual + (x W + b)` with bias and residual applied in the
+    /// GEMM's drain — no sublayer-output tensor, no second pass.
+    /// Bit-identical to `add(residual, forward_inference(x))` (per
+    /// element: `+ b` first, then the residual, matching the unfused op
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.d_in()` or `residual`'s shape differs
+    /// from the output shape.
+    pub fn forward_inference_add(&self, x: &Mat<f32>, residual: &Mat<f32>) -> Mat<f32> {
+        assert_eq!(
+            residual.shape(),
+            (x.rows(), self.d_out()),
+            "residual shape must match the linear output"
+        );
+        let packed = self.packed.get_or_init(|| PackedF32::from_f32(&self.w));
+        prepack::matmul_prepacked_fused(x, packed, |r, row| {
+            for ((v, b), res) in row.iter_mut().zip(&self.b).zip(residual.row(r)) {
+                *v = res + (*v + b);
+            }
+        })
+        .expect("linear: input width mismatch")
+    }
+
     /// Backward pass: accumulates `dW`, `db` and returns `dX`.
     ///
     /// # Panics

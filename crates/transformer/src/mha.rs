@@ -224,7 +224,10 @@ impl MhaResBlock {
         xv: &Mat<f32>,
         mask: Option<&Mat<bool>>,
     ) -> Mat<f32> {
-        let g = graph::mha_graph(&self.mha.graph_config());
+        let g = graph::fuse_if(
+            graph::mha_graph(&self.mha.graph_config()),
+            tensor::envcfg::fuse_enabled(),
+        );
         let mut exec = crate::exec::FloatExec::mha_res(self);
         let mut env = exec.run(
             &g,
