@@ -1,0 +1,729 @@
+//! FTRANS-style block-circulant FFN backend: circulant weight blocks
+//! executed via the FFT trick in a small fixed-point FFT unit.
+//!
+//! FTRANS (arXiv 2007.08563) compresses Transformer weights by
+//! constraining every `b × b` block of a weight matrix to be circulant —
+//! the block is then defined by a single length-`b` kernel, a `b×`
+//! parameter reduction — and computes each block's matvec as a circular
+//! convolution: `y_J = Σ_I IFFT(FFT(x_I) ∘ FFT(c_{I,J}))`. The FFT of
+//! every kernel is precomputed at compile time, so the runtime datapath
+//! is: FFT each input block once, multiply-accumulate in the frequency
+//! domain across input blocks, one IFFT per output block.
+//!
+//! This backend implements that unit for the **FFN ResBlock only**
+//! (`caps().supports_ffn`); attention stays on a systolic backend, which
+//! mirrors FTRANS itself (its block-circulant gains concentrate in the
+//! large FFN/embedding matrices). Lowering consumes the *same*
+//! [`graph::ffn_graph`] the other backends lower — the walk in
+//! [`CirculantBackend::lower_ffn`] mirrors [`crate::exec::lower_ffn`]
+//! node for node, emitting [`CircOp`]s instead of panel commands.
+//!
+//! ## Numerics and accuracy
+//!
+//! The unit runs on Q19.12 fixed point ([`fixedmath::fft`]). Activations
+//! enter by dequantizing the block's INT8 codes, leave by requantizing
+//! with the layer's calibrated output scale, and the residual-add +
+//! LayerNorm tail reuses the reference integer LayerNorm — so outputs
+//! live in exactly the reference code space and plug into the existing
+//! SQNR/BLEU harness.
+//!
+//! On weights that *are* block-circulant (the FTRANS training regime,
+//! reproduced in tests with [`circulantize_ffn`]) the only error sources
+//! are FFT rounding and the ±1-code requantization skew, and end-to-end
+//! SQNR against the bit-exact reference must stay above
+//! [`CIRC_SQNR_FLOOR_DB`] — asserted here and in
+//! `tests/backend_identity.rs`. On unconstrained weights the circulant
+//! *projection* (each block replaced by its nearest circulant, wrapped
+//! diagonal means) dominates the error; the explorer reports that SQNR,
+//! it is not asserted.
+//!
+//! ## Fault checking (ABFT for the FFT path)
+//!
+//! The serving layer's ABFT checksums guard GEMMs; a frequency-domain
+//! datapath needs its own invariants. This backend keeps two per output
+//! block, both byproducts the hardware gets nearly for free:
+//!
+//! 1. **Accumulation checksum.** A separate register accumulates
+//!    `S = Σ_k Y_k` from the *products* as they are written to the
+//!    spectral SRAM (an adder tree beside the MAC lanes; never re-read
+//!    from the store). Since `y₀ = (1/b)·Σ_k Y_k`, the IFFT output must
+//!    satisfy `b·y₀ = S`. Every bin contributes to `y₀`, so a bit flip
+//!    in **any** bin of the stored spectrum — DC included — diverges
+//!    from the independently-kept register.
+//! 2. **IFFT self-consistency.** For an exact IFFT, `Σ_t y_t = Y[0]`:
+//!    the sum of each output block must equal its DC bin (within a
+//!    rounding tolerance). This covers the IFFT datapath itself.
+//!
+//! [`CirculantBackend::run_ffn_checked`] flags violations of either;
+//! injection is exercised in this module's tests and the
+//! fault-injection campaign's circulant smoke test.
+
+use fixedmath::fft::{self, Cpx};
+use fixedmath::fx::{self, FRAC};
+use graph::{Graph, GraphKind, Op, WeightId};
+use hwsim::memory::MemorySpec;
+use hwsim::resources::Resources;
+use quantized::{QLinear, QuantFfnResBlock, QuantMhaResBlock};
+use serde::Serialize;
+use tensor::Mat;
+use transformer::ffn::FfnResBlock;
+use transformer::opt::HasParams;
+
+use crate::area;
+use crate::backend::{Backend, BackendCaps, BackendProgram};
+use crate::config::AccelConfig;
+use crate::layernorm_module;
+
+/// Documented end-to-end SQNR floor (dB) of the circulant path against
+/// the bit-exact reference, on block-circulant weights. See the module
+/// docs for what contributes the noise.
+pub const CIRC_SQNR_FLOOR_DB: f64 = 20.0;
+
+/// Absolute fixed-point tolerance of the ABFT checks per output block:
+/// IFFT rounding contributes ~`(log₂ b + 1)/2` LSB per sample, summed
+/// over `b` samples; 32 LSB per sample is a ×8 guard band. The
+/// accumulation-checksum check (`b·y₀` vs `S`) scales this by another
+/// factor of `b` for the `×b` amplification of `y₀`'s rounding error.
+pub fn dc_check_tolerance(b: usize) -> i64 {
+    32 * b as i64
+}
+
+/// Circulant-backend configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct CirculantConfig {
+    /// Model dimensions, clock and LayerNorm policy (`base.s` is the
+    /// workload row count).
+    pub base: AccelConfig,
+    /// Circulant block size `b` (power of two; must divide `d_model`
+    /// and `d_ff`). FTRANS evaluates 4–16; 8 is its sweet spot.
+    pub block: usize,
+    /// Parallel butterfly/MAC lanes of the FFT unit.
+    pub lanes: usize,
+}
+
+impl CirculantConfig {
+    /// The FTRANS-style default: paper model, `b = 8`, 16 lanes.
+    pub fn ftrans_default() -> Self {
+        Self {
+            base: AccelConfig::paper_default(),
+            block: 8,
+            lanes: 16,
+        }
+    }
+
+    /// Validates geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a power of two ≥ 2, does not divide
+    /// `d_model`/`d_ff`, or `lanes == 0`.
+    pub fn validate(&self) {
+        self.base.validate();
+        assert!(
+            self.block.is_power_of_two() && self.block >= 2,
+            "circulant block size must be a power of two >= 2"
+        );
+        assert_eq!(
+            self.base.model.d_model % self.block,
+            0,
+            "block must divide d_model"
+        );
+        assert_eq!(
+            self.base.model.d_ff % self.block,
+            0,
+            "block must divide d_ff"
+        );
+        assert!(self.lanes > 0, "FFT unit needs at least one lane");
+    }
+}
+
+/// One operation of the FFT unit's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CircOp {
+    /// FFT every length-`b` input block of the layer's activations
+    /// (once per row; spectra are then reused by every `Accumulate`).
+    Transform {
+        /// FFN sublayer (1 or 2).
+        layer: u8,
+    },
+    /// Frequency-domain MAC across all input blocks for one output
+    /// block, followed by its IFFT, bias add (+ ReLU on layer 1) and
+    /// requantization.
+    Accumulate {
+        /// FFN sublayer (1 or 2).
+        layer: u8,
+        /// Output-block index (`0 .. d_out / b`).
+        block: usize,
+    },
+    /// Residual add + integer LayerNorm tail (shared with the other
+    /// backends' reference implementation).
+    LayerNorm,
+}
+
+/// A lowered FFT-unit program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
+pub struct CircProgram {
+    /// Operations in issue order.
+    pub ops: Vec<CircOp>,
+}
+
+/// Outcome of the spectral ABFT checks over one `run_ffn_checked` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct CircCheckReport {
+    /// Output blocks checked (rows × output blocks, both layers).
+    pub blocks_checked: u64,
+    /// Blocks where the accumulation checksum or the IFFT DC identity
+    /// failed.
+    pub violations: u64,
+}
+
+/// A fault to inject into the accumulated spectrum of one output block
+/// (before its IFFT) — models an SEU in the frequency-domain
+/// accumulator SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircFault {
+    /// FFN sublayer (1 or 2).
+    pub layer: u8,
+    /// Activation row.
+    pub row: usize,
+    /// Output-block index.
+    pub out_block: usize,
+    /// Spectrum bin to corrupt.
+    pub bin: usize,
+    /// Bit to flip in the bin's real part.
+    pub bit: u32,
+}
+
+/// Projects one `b × b` block of `w` (top-left corner `(r0, c0)`) onto
+/// its nearest circulant in the Frobenius sense: kernel
+/// `c[d] = mean_t w[r0+t][c0+(t+d) mod b]` (the mean of each wrapped
+/// diagonal), so that `(x · W_block)_j ≈ (x ⊛ c)_j`.
+pub fn project_block(w: &Mat<f32>, r0: usize, c0: usize, b: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; b];
+    for d in 0..b {
+        let mut acc = 0.0f32;
+        for t in 0..b {
+            acc += w[(r0 + t, c0 + (t + d) % b)];
+        }
+        c[d] = acc / b as f32;
+    }
+    c
+}
+
+/// Rebuilds the full block-circulant approximation of `w` (every `b × b`
+/// block replaced by its [`project_block`] circulant).
+///
+/// # Panics
+///
+/// Panics if `b` does not divide both dimensions of `w`.
+pub fn project_circulant(w: &Mat<f32>, b: usize) -> Mat<f32> {
+    assert_eq!(w.rows() % b, 0, "b must divide rows");
+    assert_eq!(w.cols() % b, 0, "b must divide cols");
+    let mut out = Mat::zeros(w.rows(), w.cols());
+    for bi in 0..w.rows() / b {
+        for bj in 0..w.cols() / b {
+            let c = project_block(w, bi * b, bj * b, b);
+            for t in 0..b {
+                for j in 0..b {
+                    out[(bi * b + t, bj * b + j)] = c[(j + b - t % b) % b];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replaces both FFN weight matrices of `block` with their
+/// block-circulant projections in place — the repo's stand-in for
+/// FTRANS's circulant-constrained training. Biases and LayerNorm
+/// parameters are untouched.
+///
+/// # Panics
+///
+/// Panics if `b` does not divide `d_model` and `d_ff`.
+pub fn circulantize_ffn(block: &mut FfnResBlock, b: usize) {
+    let cfg = block.graph_config();
+    let shapes = [
+        (".lin1.w", cfg.d_model, cfg.d_ff),
+        (".lin2.w", cfg.d_ff, cfg.d_model),
+    ];
+    block.visit_params(&mut |name, w, _| {
+        for (suffix, rows, cols) in shapes {
+            if name.ends_with(suffix) {
+                let m = Mat::from_fn(rows, cols, |r, c| w[r * cols + c]);
+                let proj = project_circulant(&m, b);
+                w.copy_from_slice(proj.as_slice());
+            }
+        }
+    });
+}
+
+/// The block-circulant [`Backend`].
+#[derive(Debug, Clone)]
+pub struct CirculantBackend {
+    cfg: CirculantConfig,
+}
+
+impl CirculantBackend {
+    /// Wraps a validated configuration.
+    pub fn new(cfg: CirculantConfig) -> Self {
+        cfg.validate();
+        Self { cfg }
+    }
+
+    /// The FTRANS-style default point.
+    pub fn ftrans_default() -> Self {
+        Self::new(CirculantConfig::ftrans_default())
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &CirculantConfig {
+        &self.cfg
+    }
+
+    fn program<'p>(&self, prog: &'p BackendProgram) -> &'p CircProgram {
+        match prog {
+            BackendProgram::Circulant(p) => p,
+            other => panic!(
+                "circulant backend fed a foreign program ({} ops)",
+                other.len()
+            ),
+        }
+    }
+
+    /// Complex kernel spectra of a quantized sublayer: the compile-time
+    /// weight transform. `spec[i][j]` is the length-`b` spectrum of the
+    /// circulant kernel of input block `i` / output block `j`, built
+    /// from the *dequantized* INT8 weights (the same effective weights
+    /// the reference datapath multiplies by).
+    fn kernel_spectra(&self, lin: &QLinear, tw: &[Cpx]) -> Vec<Vec<Vec<Cpx>>> {
+        let b = self.cfg.block;
+        let wq = lin.weight_q();
+        let w_f = Mat::from_fn(wq.rows(), wq.cols(), |r, c| {
+            wq[(r, c)] as f32 * lin.w_scale_of(c).scale()
+        });
+        (0..wq.rows() / b)
+            .map(|i| {
+                (0..wq.cols() / b)
+                    .map(|j| {
+                        let c = project_block(&w_f, i * b, j * b, b);
+                        let c_fx: Vec<i32> = c.iter().map(|&v| fx::to_fx(v, FRAC)).collect();
+                        fft::fft_real(&c_fx, tw, FRAC)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// One FFN sublayer on the FFT unit: dequantize codes, FFT input
+    /// blocks, frequency-domain MAC, IFFT per output block (DC-bin
+    /// checked), bias (+ optional ReLU), requantize with the layer's
+    /// output scale.
+    #[allow(clippy::too_many_arguments)]
+    fn circ_layer(
+        &self,
+        x_codes: &Mat<i8>,
+        lin: &QLinear,
+        relu: bool,
+        tw: &[Cpx],
+        layer: u8,
+        fault: Option<&CircFault>,
+        report: &mut CircCheckReport,
+    ) -> Mat<i8> {
+        let b = self.cfg.block;
+        let d_in = lin.weight_q().rows();
+        let d_out = lin.weight_q().cols();
+        assert_eq!(x_codes.cols(), d_in, "activation width mismatch");
+        let nb_in = d_in / b;
+        let nb_out = d_out / b;
+        let spec = self.kernel_spectra(lin, tw);
+        let in_scale = lin.in_scale();
+        let out_scale = lin.out_scale();
+        let bias_f: Vec<f32> = (0..d_out)
+            .map(|c| lin.bias_q()[c] as f32 * in_scale.scale() * lin.w_scale_of(c).scale())
+            .collect();
+        let tol = dc_check_tolerance(b);
+
+        let mut out = Mat::<i8>::zeros(x_codes.rows(), d_out);
+        let mut x_spec: Vec<Vec<Cpx>> = Vec::with_capacity(nb_in);
+        for r in 0..x_codes.rows() {
+            // Transform: FFT each input block of this row once.
+            x_spec.clear();
+            for i in 0..nb_in {
+                let blk: Vec<i32> = (0..b)
+                    .map(|t| fx::to_fx(in_scale.dequantize(x_codes[(r, i * b + t)]), FRAC))
+                    .collect();
+                x_spec.push(fft::fft_real(&blk, tw, FRAC));
+            }
+            // Accumulate: per output block, MAC spectra then IFFT.
+            // (`j` selects a column of `spec`'s middle axis, the fault
+            // site, and the output columns — an index loop over the
+            // block count, not an iteration over any one container.)
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..nb_out {
+                let mut acc = vec![Cpx::ZERO; b];
+                // ABFT checksum register: Σ_k Y_k accumulated from the
+                // same products as they are written to the spectral
+                // SRAM — an adder tree beside the MAC lanes, never
+                // re-read from the (corruptible) store.
+                let (mut s_re, mut s_im) = (0i64, 0i64);
+                for (i, xs) in x_spec.iter().enumerate() {
+                    for (k, a) in acc.iter_mut().enumerate() {
+                        let p = xs[k].mul(spec[i][j][k], FRAC);
+                        *a = *a + p;
+                        s_re += p.re as i64;
+                        s_im += p.im as i64;
+                    }
+                }
+                if let Some(f) = fault {
+                    if f.layer == layer && f.row == r && f.out_block == j {
+                        acc[f.bin % b].re ^= 1i32 << (f.bit % 31);
+                    }
+                }
+                let dc = acc[0];
+                fft::ifft_in_place(&mut acc, tw, FRAC);
+                // Two invariants: (1) IFFT self-consistency, Σ_t y_t =
+                // Y[0]; (2) the accumulation checksum, b·y₀ = Σ_k Y_k
+                // (every bin contributes to y₀, so a flip in *any* bin
+                // of the stored spectrum diverges from the register).
+                let time_sum: i64 = acc.iter().map(|v| v.re as i64).sum();
+                let y0 = acc[0];
+                report.blocks_checked += 1;
+                if (time_sum - dc.re as i64).abs() > tol
+                    || (b as i64 * y0.re as i64 - s_re).abs() > tol * b as i64
+                    || (b as i64 * y0.im as i64 - s_im).abs() > tol * b as i64
+                {
+                    report.violations += 1;
+                }
+                for (t, v) in acc.iter().enumerate() {
+                    let col = j * b + t;
+                    let y = fx::to_f32(v.re, FRAC) + bias_f[col];
+                    let y = if relu { y.max(0.0) } else { y };
+                    out[(r, col)] = out_scale.quantize(y);
+                }
+            }
+        }
+        out
+    }
+
+    /// Structure-checks a program against the configured geometry:
+    /// `Transform(1)`, all layer-1 `Accumulate`s in order, same for
+    /// layer 2, then `LayerNorm`.
+    fn validate_program(&self, prog: &CircProgram) {
+        let d_ff = self.cfg.base.model.d_ff;
+        let d_model = self.cfg.base.model.d_model;
+        let b = self.cfg.block;
+        let mut want = Vec::new();
+        want.push(CircOp::Transform { layer: 1 });
+        want.extend((0..d_ff / b).map(|j| CircOp::Accumulate { layer: 1, block: j }));
+        want.push(CircOp::Transform { layer: 2 });
+        want.extend((0..d_model / b).map(|j| CircOp::Accumulate { layer: 2, block: j }));
+        want.push(CircOp::LayerNorm);
+        assert_eq!(prog.ops, want, "malformed circulant program");
+    }
+
+    /// Executes an FFN program with the DC-bin checker active and an
+    /// optional injected fault, returning the output codes and the
+    /// check report. This is the entry point the fault-injection
+    /// campaign drives.
+    pub fn run_ffn_checked(
+        &self,
+        prog: &BackendProgram,
+        block: &QuantFfnResBlock,
+        x: &Mat<i8>,
+        fault: Option<CircFault>,
+    ) -> (Mat<i8>, CircCheckReport) {
+        let prog = self.program(prog);
+        self.validate_program(prog);
+        let (w1, w2) = block.sublayers();
+        let b = self.cfg.block;
+        let tw = fft::twiddles(b, FRAC);
+        let mut report = CircCheckReport::default();
+        let hidden = self.circ_layer(x, w1, true, &tw, 1, fault.as_ref(), &mut report);
+        let y2 = self.circ_layer(&hidden, w2, false, &tw, 2, fault.as_ref(), &mut report);
+        // Residual add in the shared x code domain, then the reference
+        // integer LayerNorm — identical tail to `isa::execute_ffn`.
+        let g = Mat::from_fn(x.rows(), x.cols(), |r, c| {
+            y2[(r, c)] as i32 + x[(r, c)] as i32
+        });
+        (block.layernorm().forward(&g), report)
+    }
+
+    /// INT16-packed spectral words the unit stores for both FFN weight
+    /// matrices: `2 · d_model · d_ff / b` complex words — a `b×`
+    /// parameter compression over the dense `2 · d_model · d_ff`
+    /// scalars.
+    pub fn stored_weight_words(&self) -> usize {
+        let m = &self.cfg.base.model;
+        2 * m.d_model * m.d_ff / self.cfg.block
+    }
+}
+
+impl Backend for CirculantBackend {
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            name: "ftrans-circulant",
+            array: (self.cfg.lanes, 1),
+            supports_mha: false,
+            supports_ffn: true,
+            exact: false,
+            weight_compression: self.cfg.block as f64,
+        }
+    }
+
+    /// Area: `lanes` complex-MAC butterflies (DSP-mapped), ping-pong
+    /// spectra SRAM, the packed kernel-spectra store (the compressed
+    /// weights), and an integer LayerNorm tail sized to `lanes` rows.
+    fn area(&self) -> Resources {
+        let lanes = self.cfg.lanes as f64;
+        let m = &self.cfg.base.model;
+        // 4 real multipliers per complex MAC, one DSP each plus shim.
+        let mac = Resources::new(
+            4.0 * lanes * area::LUT_PER_DSP_PE,
+            4.0 * lanes * area::FF_PER_DSP_PE,
+            0.0,
+            4.0 * lanes,
+        );
+        let widest = m.d_model.max(m.d_ff) as u64;
+        // double-buffered activation spectra (re+im, 32 bit each)
+        let spectra = MemorySpec::new(widest, 64).bram36_blocks() * 2.0;
+        // kernel store: INT16-packed complex spectra for both layers
+        let kernels = MemorySpec::new(self.stored_weight_words() as u64, 32).bram36_blocks();
+        let sram = Resources::new(0.0, 0.0, spectra + kernels, 0.0);
+        let tail = Resources::new(
+            lanes * (area::LUT_PER_LN_LANE + area::MISC_LUT_PER_ROW),
+            lanes * (area::FF_PER_LN_LANE + area::MISC_FF_PER_ROW),
+            lanes * area::MISC_BRAM_PER_ROW,
+            0.0,
+        );
+        mac + sram + tail
+    }
+
+    fn lower_mha(&self, _g: &Graph, _s_kv: usize) -> BackendProgram {
+        panic!("circulant backend is FFN-only (caps().supports_mha == false)");
+    }
+
+    /// Lowers the shared [`graph::ffn_graph`] — the walk mirrors
+    /// [`crate::exec::lower_ffn`] node for node.
+    fn lower_ffn(&self, g: &Graph) -> BackendProgram {
+        assert_eq!(g.kind, GraphKind::Ffn, "lower_ffn lowers the FFN graph");
+        assert_eq!(
+            g.cfg.d_model, self.cfg.base.model.d_model,
+            "d_model mismatch"
+        );
+        assert_eq!(g.cfg.d_ff, self.cfg.base.model.d_ff, "d_ff mismatch");
+        let b = self.cfg.block;
+        let mut ops = Vec::new();
+        for node in &g.nodes {
+            match node.op {
+                Op::Linear(WeightId::W1) | Op::LinearRelu(WeightId::W1) => {
+                    ops.push(CircOp::Transform { layer: 1 });
+                    ops.extend(
+                        (0..g.cfg.d_ff / b).map(|j| CircOp::Accumulate { layer: 1, block: j }),
+                    );
+                }
+                // ReLU/residual ride the requantize pipeline after each
+                // IFFT; no scheduled op (same fusion as the ISA path).
+                Op::Relu | Op::Add => {}
+                Op::Linear(WeightId::W2) | Op::LinearAdd(WeightId::W2) => {
+                    ops.push(CircOp::Transform { layer: 2 });
+                    ops.extend(
+                        (0..g.cfg.d_model / b).map(|j| CircOp::Accumulate { layer: 2, block: j }),
+                    );
+                }
+                Op::LayerNorm => ops.push(CircOp::LayerNorm),
+                ref other => panic!("{other:?} is not part of the FFN dataflow"),
+            }
+        }
+        BackendProgram::Circulant(CircProgram { ops })
+    }
+
+    fn cycles(&self, prog: &BackendProgram, _s_kv: usize) -> u64 {
+        let s = self.cfg.base.s as u64;
+        let b = self.cfg.block as u64;
+        let lanes = self.cfg.lanes as u64;
+        let d_model = self.cfg.base.model.d_model as u64;
+        let d_ff = self.cfg.base.model.d_ff as u64;
+        let log2b = b.trailing_zeros() as u64;
+        let fft_ops = b / 2 * log2b; // butterflies per length-b transform
+        let in_blocks = |layer: u8| match layer {
+            1 => d_model / b,
+            _ => d_ff / b,
+        };
+        self.program(prog)
+            .ops
+            .iter()
+            .map(|op| match *op {
+                CircOp::Transform { layer } => (s * in_blocks(layer) * fft_ops).div_ceil(lanes),
+                CircOp::Accumulate { layer, .. } => {
+                    // spectral MACs + one IFFT + the bias/requant drain
+                    (s * (in_blocks(layer) * b + fft_ops + b)).div_ceil(lanes)
+                }
+                CircOp::LayerNorm => {
+                    let passes = (s).div_ceil(lanes);
+                    passes
+                        * (d_model
+                            + layernorm_module::total_tail(
+                                self.cfg.base.sched.layernorm,
+                                d_model as usize,
+                            )
+                            .get())
+                }
+            })
+            .sum()
+    }
+
+    fn run_mha(
+        &self,
+        _prog: &BackendProgram,
+        _block: &QuantMhaResBlock,
+        _xq: &Mat<i8>,
+        _xkv: &Mat<i8>,
+        _mask: Option<&Mat<bool>>,
+    ) -> Mat<i8> {
+        panic!("circulant backend is FFN-only (caps().supports_mha == false)");
+    }
+
+    fn run_ffn(&self, prog: &BackendProgram, block: &QuantFfnResBlock, x: &Mat<i8>) -> Mat<i8> {
+        let (y, report) = self.run_ffn_checked(prog, block, x, None);
+        assert_eq!(
+            report.violations, 0,
+            "DC-bin check must pass on a fault-free run"
+        );
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::ffn_graph;
+    use quantized::sqnr::sqnr_db;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use transformer::config::ModelConfig;
+
+    fn tiny_backend() -> CirculantBackend {
+        let mut base = AccelConfig::paper_default();
+        base.model = ModelConfig::tiny_for_tests();
+        base.s = 8;
+        CirculantBackend::new(CirculantConfig {
+            base,
+            block: 8,
+            lanes: 4,
+        })
+    }
+
+    /// A quantized FFN whose float weights are exactly block-circulant
+    /// (the FTRANS training regime), plus a quantized test input.
+    fn circulant_fixture() -> (QuantFfnResBlock, Mat<i8>, Mat<f32>) {
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(0xC1);
+        let mut block = FfnResBlock::new(&cfg, &mut rng);
+        circulantize_ffn(&mut block, 8);
+        let calib: Vec<Mat<f32>> = (0..4)
+            .map(|_| tensor::init::normal(&mut rng, 8, cfg.d_model, 1.0))
+            .collect();
+        let q = QuantFfnResBlock::from_f32(&block, &calib);
+        let x = calib[0].clone();
+        let xq = q.quantize_input(&x);
+        (q, xq, x)
+    }
+
+    #[test]
+    fn projection_is_identity_on_circulant_blocks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = tensor::init::normal(&mut rng, 16, 16, 1.0);
+        let proj = project_circulant(&w, 8);
+        let again = project_circulant(&proj, 8);
+        for (a, b) in proj.as_slice().iter().zip(again.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "projection must be idempotent");
+        }
+    }
+
+    #[test]
+    fn lowering_walks_the_shared_ffn_graph() {
+        let be = tiny_backend();
+        let g = ffn_graph(&graph::GraphConfig {
+            d_model: 32,
+            d_ff: 64,
+            h: 1,
+        });
+        let BackendProgram::Circulant(p) = be.lower_ffn(&g) else {
+            panic!("wrong program kind")
+        };
+        // golden structure: T1, 8 accumulates, T2, 4 accumulates, LN
+        assert_eq!(p.ops.len(), 1 + 8 + 1 + 4 + 1);
+        assert_eq!(p.ops[0], CircOp::Transform { layer: 1 });
+        assert_eq!(p.ops[9], CircOp::Transform { layer: 2 });
+        assert_eq!(*p.ops.last().unwrap(), CircOp::LayerNorm);
+        be.validate_program(&p);
+    }
+
+    #[test]
+    fn tracks_reference_within_documented_sqnr_on_circulant_weights() {
+        let be = tiny_backend();
+        let (q, xq, _) = circulant_fixture();
+        let g = ffn_graph(&q.graph_config());
+        let prog = be.lower_ffn(&g);
+        let got = be.run_ffn(&prog, &q, &xq);
+        let (want, _) = q.forward(&xq);
+        let sq = sqnr_db(&q.dequantize_output(&want), &q.dequantize_output(&got));
+        assert!(
+            sq >= CIRC_SQNR_FLOOR_DB,
+            "SQNR {sq:.1} dB below the documented {CIRC_SQNR_FLOOR_DB} dB floor"
+        );
+    }
+
+    #[test]
+    fn dc_checker_is_quiet_on_clean_runs_and_counts_every_block() {
+        let be = tiny_backend();
+        let (q, xq, _) = circulant_fixture();
+        let prog = be.lower_ffn(&ffn_graph(&q.graph_config()));
+        let (_, report) = be.run_ffn_checked(&prog, &q, &xq, None);
+        assert_eq!(report.violations, 0);
+        // rows × (d_ff/b + d_model/b) = 8 × (8 + 4)
+        assert_eq!(report.blocks_checked, 8 * 12);
+    }
+
+    #[test]
+    fn dc_checker_detects_injected_spectral_flips() {
+        let be = tiny_backend();
+        let (q, xq, _) = circulant_fixture();
+        let prog = be.lower_ffn(&ffn_graph(&q.graph_config()));
+        for (layer, bin) in [(1u8, 0usize), (1, 3), (2, 0), (2, 5)] {
+            let fault = CircFault {
+                layer,
+                row: 2,
+                out_block: 1,
+                bin,
+                bit: 17,
+            };
+            let (_, report) = be.run_ffn_checked(&prog, &q, &xq, Some(fault));
+            assert!(
+                report.violations >= 1,
+                "flip in layer {layer} bin {bin} escaped the DC check"
+            );
+        }
+    }
+
+    #[test]
+    fn compression_ratio_matches_block_size() {
+        let be = tiny_backend();
+        assert_eq!(be.caps().weight_compression, 8.0);
+        let dense = 2 * 32 * 64;
+        assert_eq!(be.stored_weight_words() * 8, dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "FFN-only")]
+    fn mha_lowering_rejected() {
+        let be = tiny_backend();
+        let g = graph::mha_graph(&graph::GraphConfig {
+            d_model: 32,
+            d_ff: 0,
+            h: 4,
+        });
+        let _ = be.lower_mha(&g, 8);
+    }
+}

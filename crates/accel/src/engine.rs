@@ -76,6 +76,13 @@ pub struct EngineStats {
     /// the *unpipelined* cost; the scheduler's makespan is lower because
     /// consecutive passes overlap through the wavefront skew.
     pub isolated_cycles: Cycle,
+    /// MAC capacity of the PE grids these passes occupied: Σ over passes
+    /// of `pass_cycles × rows × cols` *of the grid that ran the pass*.
+    /// Recorded by [`ArrayEngine`]; zero for hand-modeled stats. This is
+    /// what makes [`EngineStats::array_utilization`] correct for
+    /// rectangular (non-`64×64`) arrays and for stats merged across
+    /// engines of different geometry, where no single `pe_count` exists.
+    pub pe_cycles: u64,
     /// ABFT tile verifications performed.
     pub abft_checked: usize,
     /// Faults the injector actually landed (in-range plan events).
@@ -96,6 +103,7 @@ impl EngineStats {
         self.gemm_passes += other.gemm_passes;
         self.macs += other.macs;
         self.isolated_cycles += other.isolated_cycles;
+        self.pe_cycles += other.pe_cycles;
         self.abft_checked += other.abft_checked;
         self.faults_injected += other.faults_injected;
         self.faults_detected += other.faults_detected;
@@ -103,9 +111,18 @@ impl EngineStats {
     }
 
     /// Fraction of the array's multiply-accumulate capacity these passes
-    /// actually used: `macs / (isolated_cycles · pe_count)`. Zero when no
-    /// cycles were recorded.
+    /// actually used. When the engine recorded per-pass capacity
+    /// ([`EngineStats::pe_cycles`] > 0) this is `macs / pe_cycles`, which
+    /// is exact for rectangular grids and for stats merged across arrays
+    /// of different geometry; `pe_count` is then ignored. For
+    /// hand-modeled stats with no recorded capacity it falls back to the
+    /// historical `macs / (isolated_cycles · pe_count)`, which is only
+    /// meaningful if every pass ran on the same `pe_count`-PE grid.
+    /// Zero when no cycles were recorded.
     pub fn array_utilization(&self, pe_count: u64) -> f64 {
+        if self.pe_cycles > 0 {
+            return self.macs as f64 / self.pe_cycles as f64;
+        }
         let cycles = self.isolated_cycles.get();
         if cycles == 0 || pe_count == 0 {
             return 0.0;
@@ -223,6 +240,7 @@ impl ArrayEngine {
             self.stats.gemm_passes += 1;
             self.stats.macs += (a.rows() * a.cols() * b.cols()) as u64;
             self.stats.isolated_cycles += sim.total;
+            self.stats.pe_cycles += sim.total.get() * self.sa.pe_count() as u64;
             return sim.out;
         }
         self.checked_pass(a, b)
@@ -276,6 +294,7 @@ impl ArrayEngine {
         self.stats.gemm_passes += 1;
         self.stats.macs += (a.rows() * a.cols() * b.cols()) as u64;
         self.stats.isolated_cycles += sim.total;
+        self.stats.pe_cycles += sim.total.get() * self.sa.pe_count() as u64;
         out
     }
 
@@ -586,6 +605,51 @@ mod tests {
         let util = merged.array_utilization(8 * 64);
         assert!(util > 0.0 && util <= 1.0, "utilization {util}");
         assert_eq!(EngineStats::default().array_utilization(64), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_correct_for_rectangular_and_mixed_geometries() {
+        let (qmha, _, codes) = setup(8);
+        // A non-square 8×64 grid: capacity is tracked per pass, so the
+        // pe_count argument is ignored and the figure is exact.
+        let mut small = ArrayEngine::new(8);
+        let a = small.execute_mha(&qmha, &codes[0], &codes[0], None).stats;
+        assert_eq!(
+            a.pe_cycles,
+            a.isolated_cycles.get() * (8 * 64),
+            "every pass ran on the 8×64 grid"
+        );
+        let exact = a.macs as f64 / a.pe_cycles as f64;
+        assert!((a.array_utilization(8 * 64) - exact).abs() < 1e-12);
+        assert!((a.array_utilization(12_345) - exact).abs() < 1e-12);
+
+        // Stats merged across two different grid heights: the correct
+        // utilization is the capacity-weighted one; dividing by either
+        // single grid's pe_count would over- or under-count.
+        let mut tall = ArrayEngine::new(16);
+        let xs = codes[1].submatrix(0, 0, 8, codes[1].cols()).unwrap();
+        let b = tall.execute_mha(&qmha, &xs, &xs, None).stats;
+        assert_eq!(b.pe_cycles, b.isolated_cycles.get() * (16 * 64));
+        let mut merged = a;
+        merged.merge(&b);
+        let want = (a.macs + b.macs) as f64 / (a.pe_cycles + b.pe_cycles) as f64;
+        let got = merged.array_utilization(0);
+        assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        assert!(got > 0.0 && got <= 1.0);
+        let naive_small = merged.macs as f64 / (merged.isolated_cycles.get() as f64 * (8.0 * 64.0));
+        assert!(
+            (got - naive_small).abs() > 1e-9,
+            "single-geometry formula cannot express the mixed-grid figure"
+        );
+
+        // Hand-modeled stats (no recorded capacity) keep the historical
+        // cycles × pe_count fallback.
+        let hand = EngineStats {
+            macs: 64,
+            isolated_cycles: Cycle(2),
+            ..EngineStats::default()
+        };
+        assert!((hand.array_utilization(64) - 0.5).abs() < 1e-12);
     }
 
     #[test]

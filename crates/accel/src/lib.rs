@@ -42,12 +42,16 @@
 
 pub mod analysis;
 pub mod area;
+pub mod backend;
+pub mod circulant;
 pub mod config;
 pub mod datamem;
 pub mod engine;
 pub mod exec;
+pub mod explorer;
 pub mod isa;
 pub mod layernorm_module;
+pub mod pareto;
 pub mod partition;
 pub mod pipeline;
 pub mod rtl;
@@ -55,12 +59,16 @@ pub mod scheduler;
 pub mod softmax_module;
 pub mod sweep;
 pub mod systolic;
+pub mod tiled;
 pub mod top;
 pub mod weights;
 
+pub use backend::{Backend, BackendCaps, BackendProgram, PaperBackend};
+pub use circulant::CirculantBackend;
 pub use config::{AccelConfig, LayerNormMode, SchedPolicy};
 pub use engine::{ArrayEngine, CheckMode, EngineRun, EngineStats, Fidelity};
 pub use exec::{lower_ffn, lower_mha, AccelBlock, AccelExec};
 pub use isa::{validate_ffn_program, validate_mha_program, ProgramFault};
 pub use scheduler::ScheduleReport;
+pub use tiled::{TiledBackend, TiledConfig};
 pub use top::Accelerator;

@@ -100,25 +100,13 @@ pub fn sweep(models: &[ModelConfig], s_values: &[usize]) -> Vec<DesignPoint> {
 /// *feasible* points (both minimised): a point survives if no other
 /// feasible point is at least as good on both axes and strictly better
 /// on one. Returned sorted by latency.
+///
+/// The dominance machinery lives in [`crate::pareto`], which handles
+/// any number of objectives; this keeps the historical two-axis entry
+/// point (and the `results/pareto.json` layout) stable.
 pub fn pareto_latency_vs_lut(points: &[DesignPoint]) -> Vec<DesignPoint> {
-    let feasible: Vec<&DesignPoint> = points.iter().filter(|p| p.fits).collect();
-    let mut frontier: Vec<DesignPoint> = feasible
-        .iter()
-        .filter(|cand| {
-            !feasible.iter().any(|other| {
-                let no_worse =
-                    other.layer_latency_us <= cand.layer_latency_us && other.lut <= cand.lut;
-                let better = other.layer_latency_us < cand.layer_latency_us || other.lut < cand.lut;
-                no_worse && better
-            })
-        })
-        .map(|p| (*p).clone())
-        .collect();
-    frontier.sort_by(|a, b| {
-        a.layer_latency_us
-            .partial_cmp(&b.layer_latency_us)
-            .expect("finite latency")
-    });
+    let feasible: Vec<DesignPoint> = points.iter().filter(|p| p.fits).cloned().collect();
+    let mut frontier = crate::pareto::front_by(&feasible, |p| vec![p.layer_latency_us, p.lut]);
     frontier.dedup_by(|a, b| a.layer_latency_us == b.layer_latency_us && a.lut == b.lut);
     frontier
 }

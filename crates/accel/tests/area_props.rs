@@ -1,0 +1,74 @@
+//! Property tests of the Table-II area model: the model must be
+//! monotone in the array size and reproduce the paper's published
+//! synthesis point exactly at the reference configuration.
+
+use accel::area::{AreaModel, PeImpl, FF_PER_PE, LUT_PER_PE};
+use accel::config::AccelConfig;
+use proptest::prelude::*;
+
+fn model_at(s: usize) -> AreaModel {
+    let mut cfg = AccelConfig::paper_default();
+    cfg.s = s;
+    AreaModel::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn top_area_is_monotone_in_array_rows(a in 1usize..256, b in 1usize..256) {
+        // A taller array can never need fewer resources: every module
+        // scales with `s` except the weight memory, which is constant.
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assume!(lo < hi);
+        let small = model_at(lo).top();
+        let large = model_at(hi).top();
+        prop_assert!(small.lut <= large.lut, "LUT {} > {}", small.lut, large.lut);
+        prop_assert!(small.ff <= large.ff);
+        prop_assert!(small.bram <= large.bram);
+        prop_assert!(small.dsp <= large.dsp);
+    }
+
+    #[test]
+    fn systolic_array_scales_linearly_with_pe_count(s in 1usize..256) {
+        // The SA is a pure per-PE cost: `s × 64` PEs at the calibrated
+        // LUT/FF rates, no BRAM, no DSP (the paper's LUT mapping).
+        let sa = model_at(s).systolic_array();
+        let pes = (s * 64) as f64;
+        prop_assert!((sa.lut - LUT_PER_PE * pes).abs() < 1e-6);
+        prop_assert!((sa.ff - FF_PER_PE * pes).abs() < 1e-6);
+        prop_assert!(sa.bram == 0.0 && sa.dsp == 0.0);
+    }
+
+    #[test]
+    fn dsp_mapping_trades_luts_for_one_dsp_per_pe(s in 1usize..256) {
+        let m = model_at(s);
+        let lut = m.systolic_array_with(PeImpl::LutFabric);
+        let dsp = m.systolic_array_with(PeImpl::Dsp);
+        prop_assert!(dsp.dsp == (s * 64) as f64);
+        prop_assert!(dsp.lut < lut.lut, "DSP mapping must save LUTs");
+    }
+}
+
+#[test]
+fn reference_config_reproduces_the_published_table2_point() {
+    // Table II, VU13P, Vivado 2018.2 — the single published synthesis
+    // point that calibrates every per-primitive constant.
+    let m = AreaModel::new(AccelConfig::paper_default());
+    let top = m.top();
+    assert_eq!(top.lut.round() as u64, 471_563, "Top LUT");
+    assert_eq!(top.ff.round() as u64, 217_859, "Top FF");
+    assert_eq!(top.bram.round() as u64, 498, "Top BRAM");
+    assert_eq!(top.dsp.round() as u64, 129, "Top DSP");
+
+    let sa = m.systolic_array();
+    assert_eq!(sa.lut.round() as u64, 420_867, "SA LUT");
+    assert_eq!(sa.ff.round() as u64, 173_110, "SA FF");
+
+    let sm = m.softmax();
+    assert_eq!(sm.lut.round() as u64, 21_190, "Softmax LUT");
+    assert_eq!(sm.ff.round() as u64, 32_623, "Softmax FF");
+
+    assert_eq!(m.weight_memory().bram.round() as u64, 456, "weight BRAM");
+    assert!(m.fits_vu13p(), "the paper design must fit its device");
+}

@@ -1,0 +1,52 @@
+//! E19 (extension) — cross-backend design-space exploration: the paper's
+//! full-size systolic array vs a KV260-class tiled array vs an
+//! FTRANS-style block-circulant FFN unit, all lowered from the same
+//! graph IR and placed on a cycles × LUT × accuracy Pareto front.
+
+use accel::explorer::{explore_default, ExplorerReport};
+
+fn print_points(title: &str, pts: &[accel::explorer::BackendPoint]) {
+    println!("{title}");
+    let table = bench_harness::render_table(
+        &[
+            "backend", "wl", "config", "cycles", "us", "LUT", "DSP", "BRAM", "DDR B", "SQNR dB",
+        ],
+        &pts.iter()
+            .map(|p| {
+                vec![
+                    p.backend.clone(),
+                    p.workload.clone(),
+                    p.config.clone(),
+                    p.cycles.to_string(),
+                    format!("{:.1}", p.latency_us),
+                    format!("{:.0}", p.lut),
+                    format!("{:.0}", p.dsp),
+                    format!("{:.0}", p.bram),
+                    p.ddr_bytes.to_string(),
+                    p.sqnr_db.map_or("exact".into(), |db| format!("{db:.1}")),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+}
+
+fn main() {
+    println!("E19 — cross-backend explorer at the paper design point\n");
+    let report = explore_default();
+    print_points("all candidates:", &report.points);
+    print_points(
+        "MHA Pareto front (cycles x LUT x noise):",
+        &report.mha_front,
+    );
+    print_points(
+        "FFN Pareto front (cycles x LUT x noise):",
+        &report.ffn_front,
+    );
+    println!(
+        "front backends — MHA: {:?}, FFN: {:?}",
+        ExplorerReport::front_backends(&report.mha_front),
+        ExplorerReport::front_backends(&report.ffn_front),
+    );
+    bench_harness::write_json("BENCH_backends", &report);
+}

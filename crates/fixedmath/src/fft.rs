@@ -1,0 +1,282 @@
+//! A small fixed-point radix-2 complex FFT — the arithmetic core of the
+//! FTRANS-style block-circulant FFN backend.
+//!
+//! FTRANS (arXiv 2007.08563) compresses Transformer weight matrices
+//! into `b × b` circulant blocks; a circulant matrix–vector product is a
+//! circular convolution, which an FFT unit computes as
+//! `y = IFFT(FFT(x) ∘ FFT(c))` in `O(b log b)` multiplies instead of
+//! `O(b²)`. The hardware unit is tiny: `b` is 8 or 16, so the whole
+//! transform fits a handful of butterfly stages.
+//!
+//! Everything here runs on `i32` fixed-point words with a caller-chosen
+//! fraction width (use [`crate::fx::FRAC`] for the accelerator's Q19.12
+//! convention), with round-to-nearest shifts after every multiply —
+//! matching what a DSP-slice butterfly datapath would do. The
+//! forward/inverse pair is exercised against a naive DFT and the
+//! circular-convolution theorem in this module's tests; end-to-end
+//! accuracy of the circulant FFN lands in `accel`'s SQNR harness.
+
+use crate::sat::rounding_shr;
+
+/// A fixed-point complex number (both parts share the fraction width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cpx {
+    /// Real part.
+    pub re: i32,
+    /// Imaginary part.
+    pub im: i32,
+}
+
+impl Cpx {
+    /// The complex zero.
+    pub const ZERO: Cpx = Cpx { re: 0, im: 0 };
+
+    /// Builds from fixed-point parts.
+    pub fn new(re: i32, im: i32) -> Self {
+        Self { re, im }
+    }
+
+    /// Builds a purely real value.
+    pub fn real(re: i32) -> Self {
+        Self { re, im: 0 }
+    }
+
+    /// Complex multiply with a rounding `frac`-bit normalisation — one
+    /// butterfly's four-multiplier datapath.
+    pub fn mul(self, o: Cpx, frac: u32) -> Cpx {
+        let re = self.re as i64 * o.re as i64 - self.im as i64 * o.im as i64;
+        let im = self.re as i64 * o.im as i64 + self.im as i64 * o.re as i64;
+        Cpx::new(rounding_shr(re, frac) as i32, rounding_shr(im, frac) as i32)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Cpx {
+        Cpx::new(self.re, -self.im)
+    }
+}
+
+/// Complex addition (wrapping is a caller bug; ranges here are far
+/// inside `i32`).
+impl std::ops::Add for Cpx {
+    type Output = Cpx;
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+/// Complex subtraction.
+impl std::ops::Sub for Cpx {
+    type Output = Cpx;
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// Precomputes the forward twiddle factors `e^{-2πik/n}` for
+/// `k = 0..n/2` in fixed point — the unit's ROM contents.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn twiddles(n: usize, frac: u32) -> Vec<Cpx> {
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    (0..n / 2)
+        .map(|k| {
+            let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            Cpx::new(
+                crate::fx::to_fx(theta.cos() as f32, frac),
+                crate::fx::to_fx(theta.sin() as f32, frac),
+            )
+        })
+        .collect()
+}
+
+fn bit_reverse_permute(x: &mut [Cpx]) {
+    let n = x.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT. `tw` must come from
+/// [`twiddles`] at the same `n` and `frac`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or the twiddle table does
+/// not match.
+pub fn fft_in_place(x: &mut [Cpx], tw: &[Cpx], frac: u32) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    assert_eq!(tw.len(), n / 2, "twiddle table size mismatch");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(x);
+    let mut len = 2;
+    while len <= n {
+        let step = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let w = tw[k * step];
+                let a = x[start + k];
+                let b = x[start + k + len / 2].mul(w, frac);
+                x[start + k] = a + b;
+                x[start + k + len / 2] = a - b;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse FFT via the conjugation trick, including the `1/n`
+/// normalisation as a rounding right-shift (exact for power-of-two `n`).
+///
+/// # Panics
+///
+/// Same conditions as [`fft_in_place`].
+pub fn ifft_in_place(x: &mut [Cpx], tw: &[Cpx], frac: u32) {
+    let n = x.len();
+    for v in x.iter_mut() {
+        *v = v.conj();
+    }
+    fft_in_place(x, tw, frac);
+    let shift = n.trailing_zeros();
+    for v in x.iter_mut() {
+        *v = Cpx::new(
+            rounding_shr(v.re as i64, shift) as i32,
+            rounding_shr(-v.im as i64, shift) as i32,
+        );
+    }
+}
+
+/// Forward FFT of a real fixed-point signal — the common entry point
+/// for activations and circulant kernels.
+pub fn fft_real(x: &[i32], tw: &[Cpx], frac: u32) -> Vec<Cpx> {
+    let mut buf: Vec<Cpx> = x.iter().map(|&v| Cpx::real(v)).collect();
+    fft_in_place(&mut buf, tw, frac);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fx::{self, FRAC};
+
+    fn naive_dft(x: &[Cpx]) -> Vec<(f64, f64)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (t, v) in x.iter().enumerate() {
+                    let theta = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    let (vr, vi) = (fx::to_f32(v.re, FRAC) as f64, fx::to_f32(v.im, FRAC) as f64);
+                    re += vr * theta.cos() - vi * theta.sin();
+                    im += vr * theta.sin() + vi * theta.cos();
+                }
+                (re, im)
+            })
+            .collect()
+    }
+
+    fn fixture(n: usize) -> Vec<Cpx> {
+        (0..n)
+            .map(|i| {
+                Cpx::new(
+                    fx::to_fx(((i * 7 + 3) % 11) as f32 / 4.0 - 1.0, FRAC),
+                    fx::to_fx(((i * 5 + 1) % 7) as f32 / 8.0 - 0.4, FRAC),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let tw = twiddles(8, FRAC);
+        let mut x = vec![Cpx::ZERO; 8];
+        x[0] = Cpx::real(fx::ONE);
+        fft_in_place(&mut x, &tw, FRAC);
+        for v in &x {
+            assert_eq!(v.re, fx::ONE);
+            assert!(v.im.abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [4usize, 8, 16] {
+            let tw = twiddles(n, FRAC);
+            let mut x = fixture(n);
+            let want = naive_dft(&x);
+            fft_in_place(&mut x, &tw, FRAC);
+            for (got, (wr, wi)) in x.iter().zip(&want) {
+                let tol = 8.0 / fx::ONE as f64 * n as f64;
+                assert!(
+                    (fx::to_f32(got.re, FRAC) as f64 - wr).abs() < tol,
+                    "n={n} re {got:?} vs {wr}"
+                );
+                assert!((fx::to_f32(got.im, FRAC) as f64 - wi).abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_near_identity() {
+        let n = 16;
+        let tw = twiddles(n, FRAC);
+        let orig = fixture(n);
+        let mut x = orig.clone();
+        fft_in_place(&mut x, &tw, FRAC);
+        ifft_in_place(&mut x, &tw, FRAC);
+        for (got, want) in x.iter().zip(&orig) {
+            assert!((got.re - want.re).abs() <= 16, "{got:?} vs {want:?}");
+            assert!((got.im - want.im).abs() <= 16);
+        }
+    }
+
+    #[test]
+    fn circular_convolution_theorem_holds() {
+        // y = IFFT(FFT(a) ∘ FFT(b)) must equal the direct O(n²)
+        // circular convolution.
+        let n = 8usize;
+        let tw = twiddles(n, FRAC);
+        let a: Vec<i32> = (0..n)
+            .map(|i| fx::to_fx((i as f32 - 3.0) / 4.0, FRAC))
+            .collect();
+        let b: Vec<i32> = (0..n)
+            .map(|i| fx::to_fx(((i * 3) % 5) as f32 / 5.0, FRAC))
+            .collect();
+        let fa = fft_real(&a, &tw, FRAC);
+        let fb = fft_real(&b, &tw, FRAC);
+        let mut prod: Vec<Cpx> = fa.iter().zip(&fb).map(|(x, y)| x.mul(*y, FRAC)).collect();
+        ifft_in_place(&mut prod, &tw, FRAC);
+        for t in 0..n {
+            let mut want = 0.0f64;
+            for d in 0..n {
+                want += fx::to_f32(a[d], FRAC) as f64 * fx::to_f32(b[(t + n - d) % n], FRAC) as f64;
+            }
+            let got = fx::to_f32(prod[t].re, FRAC) as f64;
+            assert!(
+                (got - want).abs() < 64.0 / fx::ONE as f64,
+                "t={t}: {got} vs {want}"
+            );
+            assert!(prod[t].im.abs() <= 64, "real inputs, real output");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = twiddles(6, FRAC);
+    }
+}

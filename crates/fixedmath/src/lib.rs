@@ -9,6 +9,8 @@
 //! * [`quant`] — symmetric INT8 quantization parameters and the
 //!   integer-only requantizer used after every GEMM;
 //! * [`fx`] — plain `Qm.n` fixed-point conversion and multiply helpers;
+//! * [`fft`] — a small fixed-point radix-2 FFT, the arithmetic core of
+//!   the FTRANS-style block-circulant FFN backend;
 //! * [`explog`] — the multiplier-free EXP and LN units of the softmax
 //!   module (Fig. 6 of the paper, architecture from Wang et al.,
 //!   APCCAS 2018);
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod explog;
+pub mod fft;
 pub mod fx;
 pub mod quant;
 pub mod rsqrt;
