@@ -105,6 +105,9 @@ pub struct ExploreConfig {
     pub tiled_grids: Vec<usize>,
     /// DDR bandwidths (bytes/cycle) crossed with the grids.
     pub tiled_bandwidths: Vec<u64>,
+    /// On-chip weight-cache capacities (bytes) crossed with the grids
+    /// and bandwidths (`0` = the pure-streaming design).
+    pub tiled_weight_caches: Vec<u64>,
     /// Circulant block sizes to evaluate.
     pub circ_blocks: Vec<usize>,
     /// Seed for the circulant accuracy measurement's weights/input.
@@ -114,12 +117,14 @@ pub struct ExploreConfig {
 impl ExploreConfig {
     /// The default survey at the paper's design point: the paper
     /// backend, 8/16/32-wide tiled grids at nominal and starved DDR
-    /// bandwidth, and circulant blocks 4/8/16.
+    /// bandwidth with and without a 256 KiB weight cache, and circulant
+    /// blocks 4/8/16.
     pub fn paper_default() -> Self {
         Self {
             base: AccelConfig::paper_default(),
             tiled_grids: vec![8, 16, 32],
             tiled_bandwidths: vec![4, 8],
+            tiled_weight_caches: vec![0, 256 << 10],
             circ_blocks: vec![4, 8, 16],
             seed: 0xF7A25,
         }
@@ -220,37 +225,44 @@ pub fn explore(cfg: &ExploreConfig) -> ExplorerReport {
         None,
     ));
 
-    // tiled-SA: grid × bandwidth cross product
+    // tiled-SA: grid × bandwidth × weight-cache cross product
     for &rc in &cfg.tiled_grids {
         for &bw in &cfg.tiled_bandwidths {
-            let be = TiledBackend::new(TiledConfig {
-                base: base.clone(),
-                rows: rc,
-                cols: rc,
-                tile_k: 512,
-                ddr_bytes_per_cycle: bw,
-            });
-            let desc = format!("{rc}x{rc} grid, {bw} B/cyc DDR");
-            let m = be.lower_mha(&mha_g, s_kv);
-            points.push(point(
-                &be,
-                base,
-                "mha",
-                desc.clone(),
-                be.cycles(&m, s_kv),
-                tiled_ddr_bytes(&m),
-                None,
-            ));
-            let f = be.lower_ffn(&ffn_g);
-            points.push(point(
-                &be,
-                base,
-                "ffn",
-                desc,
-                be.cycles(&f, s_kv),
-                tiled_ddr_bytes(&f),
-                None,
-            ));
+            for &wc in &cfg.tiled_weight_caches {
+                let be = TiledBackend::new(TiledConfig {
+                    base: base.clone(),
+                    rows: rc,
+                    cols: rc,
+                    tile_k: 512,
+                    ddr_bytes_per_cycle: bw,
+                    weight_cache_bytes: wc,
+                });
+                let desc = if wc == 0 {
+                    format!("{rc}x{rc} grid, {bw} B/cyc DDR")
+                } else {
+                    format!("{rc}x{rc} grid, {bw} B/cyc DDR, {} KiB wcache", wc >> 10)
+                };
+                let m = be.lower_mha(&mha_g, s_kv);
+                points.push(point(
+                    &be,
+                    base,
+                    "mha",
+                    desc.clone(),
+                    be.cycles(&m, s_kv),
+                    tiled_ddr_bytes(&m),
+                    None,
+                ));
+                let f = be.lower_ffn(&ffn_g);
+                points.push(point(
+                    &be,
+                    base,
+                    "ffn",
+                    desc,
+                    be.cycles(&f, s_kv),
+                    tiled_ddr_bytes(&f),
+                    None,
+                ));
+            }
         }
     }
 
@@ -310,6 +322,7 @@ mod tests {
             base,
             tiled_grids: vec![4, 8],
             tiled_bandwidths: vec![8],
+            tiled_weight_caches: vec![0, 4 << 10],
             circ_blocks: vec![4, 8],
             seed: 7,
         })
@@ -318,8 +331,9 @@ mod tests {
     #[test]
     fn survey_covers_every_candidate() {
         let r = tiny_survey();
-        // paper 2 + tiled 2 grids × 1 bw × 2 workloads + circulant 2
-        assert_eq!(r.points.len(), 2 + 4 + 2);
+        // paper 2 + tiled 2 grids × 1 bw × 2 caches × 2 workloads
+        // + circulant 2
+        assert_eq!(r.points.len(), 2 + 8 + 2);
         assert!(r.points.iter().all(|p| p.cycles > 0 && p.lut > 0.0));
         // exact backends carry zero noise, circulant a measured SQNR
         for p in &r.points {

@@ -64,6 +64,17 @@ pub struct TiledConfig {
     /// KV260's 64-bit DDR4 at rough parity with a 200 MHz fabric clock
     /// sustains on the order of 8 B/cycle.
     pub ddr_bytes_per_cycle: u64,
+    /// On-chip weight-cache capacity in bytes (`0` = stream everything,
+    /// the original backend). The tile scheduler pins whole **weight**
+    /// operands (`B` of the projection/FFN GEMMs — never the
+    /// activation-derived `K`/`V` panels of `ScoreTile`/`Context`)
+    /// resident in BRAM, first-fit in program order, so a pinned weight
+    /// is fetched from DDR once per program instead of once per
+    /// output-tile row. Residency is benefit-gated: a weight is only
+    /// pinned when the cycle model says it does not lose (it can — a
+    /// single-row-tile GEMM re-reads nothing, so pinning would just
+    /// serialize the fill).
+    pub weight_cache_bytes: u64,
 }
 
 impl TiledConfig {
@@ -76,6 +87,7 @@ impl TiledConfig {
             cols: 16,
             tile_k: 512,
             ddr_bytes_per_cycle: 8,
+            weight_cache_bytes: 0,
         }
     }
 
@@ -113,9 +125,15 @@ pub struct TiledGemm {
     pub col_tiles: usize,
     /// `⌈k / tile_k⌉` reduction chunks per output tile.
     pub k_tiles: usize,
+    /// Whether the scheduler pinned this GEMM's `B` operand (a static
+    /// weight) in the on-chip weight cache. Resident weights are fetched
+    /// from DDR exactly once (`k · n` bytes) instead of once per
+    /// output-tile row.
+    pub weight_resident: bool,
     /// Total DDR read traffic (bytes): `A` re-read once per output-tile
-    /// column (`col_tiles · m · k`) plus `B` re-read once per output-tile
-    /// row (`row_tiles · k · n`), INT8 operands.
+    /// column (`col_tiles · m · k`) plus `B` — re-read once per
+    /// output-tile row (`row_tiles · k · n`) when streamed, or fetched
+    /// once (`k · n`) when [`Self::weight_resident`]. INT8 operands.
     pub ddr_read_bytes: u64,
     /// Total DDR write traffic (bytes): the requantized INT8 output,
     /// `m · n`.
@@ -186,16 +204,40 @@ fn gemm_shape(
         Command::ProjectK { .. } | Command::ProjectV { .. } => (s_kv, d_model, d_k),
         Command::ScoreTile { .. } => (s, d_k, PANEL_COLS),
         Command::Context { .. } => (s, s_kv, d_k),
-        Command::OutputPanel { panel } => (s, d_model, panel_width(d_model, panel)),
+        // One OutputPanel per head: W_O splits into `h` uniform
+        // `d_model × d_k` slices (= 64 columns at the paper point, but
+        // *not* PANEL_COLS-wide for models off the 64h pattern).
+        Command::OutputPanel { .. } => (s, d_model, d_k),
         Command::FfnHidden { panel } => (s, d_model, panel_width(d_ff, panel)),
         Command::FfnOutput { panel } => (s, d_ff, panel_width(d_model, panel)),
         Command::Softmax { .. } | Command::LayerNorm => unreachable!("not a GEMM"),
     }
 }
 
+/// Whether a command's `B` operand is a static model weight (eligible
+/// for the on-chip weight cache). `ScoreTile` and `Context` multiply
+/// against activation-derived `K`/`V` panels, which change every
+/// invocation and are never cached.
+fn is_weight_gemm(cmd: &Command) -> bool {
+    matches!(
+        *cmd,
+        Command::ProjectQ { .. }
+            | Command::ProjectK { .. }
+            | Command::ProjectV { .. }
+            | Command::OutputPanel { .. }
+            | Command::FfnHidden { .. }
+            | Command::FfnOutput { .. }
+    )
+}
+
 /// The tile scheduler: expands an ISA program (from the shared graph
 /// lowering) into a [`TiledProgram`] for a workload of `s` query rows /
 /// `s_kv` key-value rows.
+///
+/// When [`TiledConfig::weight_cache_bytes`] is non-zero, weight operands
+/// are pinned resident first-fit in program order, each only if the
+/// cycle model agrees residency does not lose (see the config field
+/// docs).
 pub fn tile_schedule(
     cfg: &TiledConfig,
     program: &[Command],
@@ -208,6 +250,7 @@ pub fn tile_schedule(
         cfg.base.model.d_ff,
         cfg.base.model.d_k(),
     );
+    let mut cache_left = cfg.weight_cache_bytes;
     let ops = program
         .iter()
         .map(|cmd| match *cmd {
@@ -218,7 +261,7 @@ pub fn tile_schedule(
                 let row_tiles = m.div_ceil(cfg.rows);
                 let col_tiles = n.div_ceil(cfg.cols);
                 let k_tiles = k.div_ceil(cfg.tile_k);
-                TiledOp::Gemm(TiledGemm {
+                let mut g = TiledGemm {
                     src: *cmd,
                     m,
                     k,
@@ -226,13 +269,61 @@ pub fn tile_schedule(
                     row_tiles,
                     col_tiles,
                     k_tiles,
+                    weight_resident: false,
                     ddr_read_bytes: (col_tiles * m * k + row_tiles * k * n) as u64,
                     ddr_write_bytes: (m * n) as u64,
-                })
+                };
+                let weight_bytes = (k * n) as u64;
+                if is_weight_gemm(cmd) && weight_bytes <= cache_left {
+                    let resident = TiledGemm {
+                        weight_resident: true,
+                        ddr_read_bytes: (col_tiles * m * k) as u64 + weight_bytes,
+                        ..g
+                    };
+                    if gemm_cycles_for(cfg, &resident) <= gemm_cycles_for(cfg, &g) {
+                        cache_left -= weight_bytes;
+                        g = resident;
+                    }
+                }
+                TiledOp::Gemm(g)
             }
         })
         .collect();
     TiledProgram { ops }
+}
+
+/// Cycle cost of one tiled GEMM (shared by the scheduler's residency
+/// benefit gate and [`TiledBackend::gemm_cycles`]): per output tile, a
+/// compute pass of `k + k_tiles·(rm + cn − 2) + cn` cycles overlapped
+/// against the tile's DDR traffic; double buffering hides the smaller
+/// of the two, so each tile costs `max(compute, mem)`. The first tile's
+/// fetch cannot be hidden and is charged as a prologue. A resident
+/// weight contributes no per-tile `B` traffic; its one-time DDR fill is
+/// charged as an additional (unhidden) prologue.
+fn gemm_cycles_for(cfg: &TiledConfig, g: &TiledGemm) -> u64 {
+    let bw = cfg.ddr_bytes_per_cycle;
+    let mut total = 0u64;
+    let mut first_mem = None;
+    for i in 0..g.row_tiles {
+        let rm = (g.m - i * cfg.rows).min(cfg.rows);
+        for j in 0..g.col_tiles {
+            let cn = (g.n - j * cfg.cols).min(cfg.cols);
+            let compute = (g.k + g.k_tiles * (rm + cn - 2) + cn) as u64;
+            let b_bytes = if g.weight_resident { 0 } else { g.k * cn };
+            let bytes = (rm * g.k + b_bytes + rm * cn) as u64;
+            let mem = bytes.div_ceil(bw);
+            if first_mem.is_none() {
+                first_mem = Some(mem);
+            }
+            total += compute.max(mem);
+        }
+    }
+    let fill = if g.weight_resident {
+        ((g.k * g.n) as u64).div_ceil(bw)
+    } else {
+        0
+    };
+    total + fill + first_mem.unwrap_or(0)
 }
 
 /// The tiled-SA [`Backend`].
@@ -271,25 +362,10 @@ impl TiledBackend {
     /// chunk, one final accumulator drain) overlapped against the
     /// tile's DDR traffic; double buffering hides the smaller of the
     /// two, so each tile costs `max(compute, mem)`. The first tile's
-    /// fetch cannot be hidden and is charged as a prologue.
+    /// fetch cannot be hidden and is charged as a prologue, and a
+    /// resident weight's one-time DDR fill is charged the same way.
     pub fn gemm_cycles(&self, g: &TiledGemm) -> u64 {
-        let bw = self.cfg.ddr_bytes_per_cycle;
-        let mut total = 0u64;
-        let mut first_mem = None;
-        for i in 0..g.row_tiles {
-            let rm = (g.m - i * self.cfg.rows).min(self.cfg.rows);
-            for j in 0..g.col_tiles {
-                let cn = (g.n - j * self.cfg.cols).min(self.cfg.cols);
-                let compute = (g.k + g.k_tiles * (rm + cn - 2) + cn) as u64;
-                let bytes = (rm * g.k + g.k * cn + rm * cn) as u64;
-                let mem = bytes.div_ceil(bw);
-                if first_mem.is_none() {
-                    first_mem = Some(mem);
-                }
-                total += compute.max(mem);
-            }
-        }
-        total + first_mem.unwrap_or(0)
+        gemm_cycles_for(&self.cfg, g)
     }
 
     fn op_cycles(&self, op: &TiledOp, s: usize, s_kv: usize) -> u64 {
@@ -324,9 +400,12 @@ impl Backend for TiledBackend {
     }
 
     /// Area: `R × C` LUT-fabric PEs, `R` softmax + LayerNorm lanes,
-    /// double-buffered `A`/`B`/`C` tile SRAM, per-row control — and **no
-    /// weight memory** (weights stream from DDR; that is the point of
-    /// the design).
+    /// double-buffered `A`/`B`/`C` tile SRAM, per-row control — and by
+    /// default **no weight memory** (weights stream from DDR; that is
+    /// the point of the design). A non-zero
+    /// [`TiledConfig::weight_cache_bytes`] adds a single-buffered BRAM
+    /// block of that capacity (no double buffering: a resident weight is
+    /// filled once, then only read).
     fn area(&self) -> Resources {
         let pes = (self.cfg.rows * self.cfg.cols) as f64;
         let rows = self.cfg.rows as f64;
@@ -341,7 +420,12 @@ impl Backend for TiledBackend {
         let b_buf = MemorySpec::new((self.cfg.tile_k * self.cfg.cols) as u64, 8).bram36_blocks();
         let c_buf = MemorySpec::new((self.cfg.rows * self.cfg.cols) as u64, 32).bram36_blocks();
         // double-buffered so DDR transfers overlap compute
-        let tile_sram = Resources::new(0.0, 0.0, 2.0 * (a_buf + b_buf + c_buf), 0.0);
+        let wcache = if self.cfg.weight_cache_bytes > 0 {
+            MemorySpec::new(self.cfg.weight_cache_bytes, 8).bram36_blocks()
+        } else {
+            0.0
+        };
+        let tile_sram = Resources::new(0.0, 0.0, 2.0 * (a_buf + b_buf + c_buf) + wcache, 0.0);
         let misc = Resources::new(
             area::MISC_LUT_PER_ROW * rows,
             area::MISC_FF_PER_ROW * rows,
@@ -477,6 +561,84 @@ mod tests {
         let (c32, a32) = mk(32);
         assert!(c8 > c32, "fewer PEs must cost cycles: {c8} vs {c32}");
         assert!(a8 < a32, "fewer PEs must save LUTs");
+    }
+
+    #[test]
+    fn weight_cache_cuts_ddr_rereads_monotonically() {
+        // DDR traffic and cycles must never grow as the cache grows,
+        // and a cache big enough for every weight must strictly beat
+        // the streaming baseline on both.
+        let mk = |wc: u64| {
+            let cfg = TiledConfig {
+                weight_cache_bytes: wc,
+                ..TiledConfig::kv260_default()
+            };
+            let be = TiledBackend::new(cfg);
+            let mha = be.lower_mha(&mha_graph(&paper_graph_cfg()), 64);
+            let ffn = be.lower_ffn(&ffn_graph(&paper_graph_cfg()));
+            let (BackendProgram::Tiled(pm), BackendProgram::Tiled(pf)) = (&mha, &ffn) else {
+                unreachable!()
+            };
+            (
+                pm.ddr_bytes() + pf.ddr_bytes(),
+                be.cycles(&mha, 64) + be.cycles(&ffn, 64),
+            )
+        };
+        let sweep: Vec<(u64, u64)> = [0u64, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
+            .iter()
+            .map(|&w| mk(w))
+            .collect();
+        for w in sweep.windows(2) {
+            assert!(w[1].0 <= w[0].0, "DDR bytes grew with cache: {sweep:?}");
+            assert!(w[1].1 <= w[0].1, "cycles grew with cache: {sweep:?}");
+        }
+        let (cold_ddr, cold_cyc) = sweep[0];
+        let (hot_ddr, hot_cyc) = *sweep.last().unwrap();
+        assert!(hot_ddr < cold_ddr, "{hot_ddr} vs {cold_ddr}");
+        assert!(hot_cyc < cold_cyc, "{hot_cyc} vs {cold_cyc}");
+    }
+
+    #[test]
+    fn weight_cache_pins_weights_but_never_activation_panels() {
+        let cfg = TiledConfig {
+            weight_cache_bytes: u64::MAX,
+            ..TiledConfig::kv260_default()
+        };
+        let be = TiledBackend::new(cfg);
+        let prog = be.lower_mha(&mha_graph(&paper_graph_cfg()), 64);
+        let BackendProgram::Tiled(p) = &prog else {
+            unreachable!()
+        };
+        for op in &p.ops {
+            if let TiledOp::Gemm(g) = op {
+                match g.src {
+                    Command::ScoreTile { .. } | Command::Context { .. } => assert!(
+                        !g.weight_resident,
+                        "K/V panels are activations, never cached: {:?}",
+                        g.src
+                    ),
+                    _ => assert!(g.weight_resident, "weight not pinned: {:?}", g.src),
+                }
+            }
+        }
+        // Resident ProjectQ reads its weight once instead of per
+        // output-tile row (cf. tile_walk_counts_are_exact's 4×).
+        let TiledOp::Gemm(g) = p.ops[0] else {
+            panic!("first op should be ProjectQ's GEMM")
+        };
+        assert_eq!(g.ddr_read_bytes, (4 * 64 * 512 + 512 * 64) as u64);
+    }
+
+    #[test]
+    fn weight_cache_costs_bram() {
+        let base = TiledBackend::kv260_default().area().bram;
+        let cached = TiledBackend::new(TiledConfig {
+            weight_cache_bytes: 256 << 10,
+            ..TiledConfig::kv260_default()
+        })
+        .area()
+        .bram;
+        assert!(cached > base, "{cached} vs {base}");
     }
 
     #[test]

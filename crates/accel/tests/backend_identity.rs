@@ -89,6 +89,7 @@ fn tiled_lowering_preserves_the_golden_command_stream() {
         cols: 16,
         tile_k: 512,
         ddr_bytes_per_cycle: 8,
+        weight_cache_bytes: 0,
     });
     match be.lower_mha(&mha_graph(&gcfg), base.s) {
         BackendProgram::Tiled(p) => {
@@ -120,6 +121,7 @@ fn tiled_backend_is_bit_identical_to_the_quantized_reference() {
         cols: 4,
         tile_k: 16,
         ddr_bytes_per_cycle: 8,
+        weight_cache_bytes: 0,
     });
 
     let prog = be.lower_mha(&mha_graph(&gcfg), base.s);
@@ -163,6 +165,7 @@ fn all_backends_lower_the_same_shared_graphs() {
         cols: 4,
         tile_k: 16,
         ddr_bytes_per_cycle: 8,
+        weight_cache_bytes: 0,
     });
     let circ = CirculantBackend::new(CirculantConfig {
         base: base.clone(),
@@ -189,6 +192,7 @@ fn explorer_fronts_span_multiple_backends() {
         base: tiny_accel(),
         tiled_grids: vec![4, 8],
         tiled_bandwidths: vec![8],
+        tiled_weight_caches: vec![0, 4 << 10],
         circ_blocks: vec![4, 8],
         seed: 0xF00,
     });

@@ -16,10 +16,12 @@ pub struct ExecStats {
     /// detected (always zero for executors without a checker seam).
     pub faults_detected: usize,
     /// Resident KV-cache bytes the most recent run attended over
-    /// (summed across the sessions in the batch; zero for executors
-    /// that do not consume KV caches). With paged caches this counts
-    /// whole resident pages, not just the logical rows, so it is the
-    /// number the serving layer's memory budget actually pays.
+    /// (across the sessions in the batch; zero for executors that do
+    /// not consume KV caches). With paged caches this counts whole
+    /// resident pages — and a page shared between sessions (prefix-
+    /// cache forks) exactly **once** — so it is the number the serving
+    /// layer's memory budget actually pays, not the sum of per-session
+    /// logical bytes.
     pub kv_bytes_in_use: usize,
     /// Fused nodes executed so far ([`crate::Op::LinearRelu`] /
     /// [`crate::Op::LinearAdd`] interpretations, plus the hand-fused

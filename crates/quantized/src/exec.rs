@@ -369,12 +369,40 @@ impl<'a> CacheRef<'a> {
 
     /// Bytes of storage resident for this cache — logical rows for flat
     /// matrices, whole pages for paged sequences (what the memory
-    /// budget actually pays).
+    /// budget actually pays). Per-sequence view: a page shared with a
+    /// forked sibling is charged to **each** holder here; use
+    /// [`CacheRef::distinct_resident_bytes`] for the global number.
     pub fn resident_bytes(&self) -> usize {
         match self {
             CacheRef::Flat(m) => m.rows() * m.cols(),
             CacheRef::Paged { pool, seq } => pool.resident_rows(seq) * pool.cols(),
         }
+    }
+
+    /// Total resident bytes across `caches`, counting every shared page
+    /// **once**: paged caches dedupe on `(pool, page)` identity, so N
+    /// prefix-sharing forks of one sequence cost ~1× its pages, not N×.
+    /// Flat caches (cross-attention K/V, one per session) sum directly.
+    /// This is what a global memory-budget stat must report; summing
+    /// [`CacheRef::resident_bytes`] double-counts shared pages.
+    pub fn distinct_resident_bytes<'b>(caches: impl IntoIterator<Item = CacheRef<'b>>) -> usize {
+        let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        let mut bytes = 0usize;
+        for c in caches {
+            match c {
+                CacheRef::Flat(m) => bytes += m.rows() * m.cols(),
+                CacheRef::Paged { pool, seq } => {
+                    let pid = pool as *const KvPool<i8> as usize;
+                    let page_bytes = pool.page_rows() * pool.cols();
+                    for &p in seq.page_ids() {
+                        if seen.insert((pid, p)) {
+                            bytes += page_bytes;
+                        }
+                    }
+                }
+            }
+        }
+        bytes
     }
 }
 
@@ -659,11 +687,10 @@ impl<'a> Executor for QuantRowExec<'a> {
                 assert_eq!(x.rows(), vals.len(), "one value cache per row");
             }
         }
-        self.stats.kv_bytes_in_use = keys
-            .iter()
-            .chain(vals.iter())
-            .map(|c| c.resident_bytes())
-            .sum();
+        // Shared-once accounting: prefix-cache forks alias pages across
+        // sessions, and a shared page must hit the budget stat once.
+        self.stats.kv_bytes_in_use =
+            CacheRef::distinct_resident_bytes(keys.iter().chain(vals.iter()).copied());
 
         let block = self.block;
         let causal = self.causal;
@@ -1029,5 +1056,84 @@ mod tests {
             true,
         );
         assert_eq!(flat_c, paged_c);
+    }
+
+    #[test]
+    fn shared_pages_are_counted_once_in_kv_stat() {
+        // Two sessions whose caches are prefix-cache forks of the same
+        // pages must not double-charge those pages in the executor's
+        // kv_bytes_in_use stat — while each session's own
+        // resident_bytes view stays per-sequence.
+        let (q, calib, cfg) = setup();
+        let (_, wk, wv, _) = q.projections();
+        let xq = q.quantize_input_q(&calib[0]);
+        let keys = wk.forward(&xq);
+        let vals = wv.forward(&xq);
+        let mut pool_k = KvPool::<i8>::new(2, cfg.d_model);
+        let mut pool_v = KvPool::<i8>::new(2, cfg.d_model);
+        let mut seq_k = KvSeq::new();
+        let mut seq_v = KvSeq::new();
+        for r in 0..4 {
+            // page-aligned: forks share everything
+            pool_k.push_row(&mut seq_k, keys.row(r));
+            pool_v.push_row(&mut seq_v, vals.row(r));
+        }
+        let fork_k = pool_k.fork(&seq_k);
+        let fork_v = pool_v.fork(&seq_v);
+        // Per-sequence view: the fork pays the same logical bytes.
+        assert_eq!(
+            CacheRef::paged(&pool_k, &fork_k).resident_bytes(),
+            CacheRef::paged(&pool_k, &seq_k).resident_bytes()
+        );
+        let solo = CacheRef::distinct_resident_bytes([
+            CacheRef::paged(&pool_k, &seq_k),
+            CacheRef::paged(&pool_v, &seq_v),
+        ]);
+        let naive: usize = [
+            CacheRef::paged(&pool_k, &seq_k),
+            CacheRef::paged(&pool_k, &fork_k),
+            CacheRef::paged(&pool_v, &seq_v),
+            CacheRef::paged(&pool_v, &fork_v),
+        ]
+        .iter()
+        .map(|c| c.resident_bytes())
+        .sum();
+        assert_eq!(naive, 2 * solo, "per-sequence sums double-count");
+        // The executor's stat must report the deduped number.
+        let g = mha_cached_graph(&graph::GraphConfig {
+            d_model: cfg.d_model,
+            d_ff: 0,
+            h: cfg.h,
+        });
+        let mut x = Mat::zeros(2, cfg.d_model);
+        x.row_mut(0).copy_from_slice(xq.row(3));
+        x.row_mut(1).copy_from_slice(xq.row(3));
+        let mut exec = QuantRowExec::new(&q);
+        let _ = exec.run(
+            &g,
+            vec![
+                ("x", QRowVal::Codes(x)),
+                (
+                    "keys",
+                    QRowVal::Caches(vec![
+                        CacheRef::paged(&pool_k, &seq_k),
+                        CacheRef::paged(&pool_k, &fork_k),
+                    ]),
+                ),
+                (
+                    "vals",
+                    QRowVal::Caches(vec![
+                        CacheRef::paged(&pool_v, &seq_v),
+                        CacheRef::paged(&pool_v, &fork_v),
+                    ]),
+                ),
+            ],
+            None,
+        );
+        assert_eq!(
+            exec.stats().kv_bytes_in_use,
+            solo,
+            "shared pages must hit the stat once"
+        );
     }
 }

@@ -541,6 +541,32 @@ impl QuantIncrementalSession {
             arena.v.release(&mut cache.self_v);
         }
     }
+
+    /// Forks this session: the child sees the same consumed prefix at
+    /// the same position, **sharing** every full KV page with the
+    /// parent (refcount bump — near-zero copy; only partially-filled
+    /// tail pages are duplicated) and cloning the per-source cross-
+    /// attention K/V. Parent and child then advance, roll back, and
+    /// release fully independently — divergent pushes copy-on-write, so
+    /// neither can perturb the other's bits. This is the primitive the
+    /// serving layer's shared-prefix cache hits fork on admission.
+    pub fn fork(&self, arena: &mut KvArena) -> QuantIncrementalSession {
+        QuantIncrementalSession {
+            memory_rows: self.memory_rows,
+            layers: self
+                .layers
+                .iter()
+                .map(|c| QLayerCache {
+                    self_k: arena.k.fork(&c.self_k),
+                    self_v: arena.v.fork(&c.self_v),
+                    cross_k: c.cross_k.clone(),
+                    cross_v: c.cross_v.clone(),
+                })
+                .collect(),
+            pos: self.pos,
+            p_buf: Mat::zeros(1, self.p_buf.cols()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -829,6 +855,89 @@ mod tests {
         let replay = q.prefill_sessions(&mut arena, &mut [&mut s], &[&chunk]);
         assert_eq!(first, replay);
         assert_eq!(arena.pages_in_use(), pages_after);
+    }
+
+    #[test]
+    fn forked_session_decodes_bit_identically_and_shares_pages() {
+        // Fork a session at a page-aligned position: zero extra KV
+        // bytes, and the fork's continued decode is bit-identical to an
+        // independent cold session fed the same tokens — while the
+        // parent's own continuation stays undisturbed.
+        let (q, corpus) = setup();
+        let (src, _) = &corpus[0];
+        let d_model = q.tgt_embedding().d_model();
+        let chunk: Vec<usize> = vec![BOS, 3, 4, 5, 6, 7, 3, 4]; // 2 pages of 4
+        let mut arena = KvArena::with_page_rows(d_model, 4);
+        let mut s = q.start_session(&mut arena, src);
+        let _ = q.prefill_sessions(&mut arena, &mut [&mut s], &[&chunk]);
+        let bytes_before = arena.kv_bytes_in_use();
+        let mut f = s.fork(&mut arena);
+        assert_eq!(f.pos(), s.pos());
+        assert_eq!(
+            arena.kv_bytes_in_use(),
+            bytes_before,
+            "page-aligned fork must not copy KV"
+        );
+        // Cold reference for the fork's continuation.
+        let mut arena_ref = KvArena::with_page_rows(d_model, 4);
+        let mut r = q.start_session(&mut arena_ref, src);
+        let _ = q.prefill_sessions(&mut arena_ref, &mut [&mut r], &[&chunk]);
+        // Diverge: fork takes token 5, parent takes token 6.
+        let got_f = q.step_session(&mut arena, &mut f, 5);
+        let want_f = q.step_session(&mut arena_ref, &mut r, 5);
+        assert_eq!(want_f, got_f, "forked decode diverged from cold start");
+        let mut arena_ref2 = KvArena::with_page_rows(d_model, 4);
+        let mut r2 = q.start_session(&mut arena_ref2, src);
+        let _ = q.prefill_sessions(&mut arena_ref2, &mut [&mut r2], &[&chunk]);
+        let got_p = q.step_session(&mut arena, &mut s, 6);
+        let want_p = q.step_session(&mut arena_ref2, &mut r2, 6);
+        assert_eq!(want_p, got_p, "parent decode perturbed by fork");
+        // Independent teardown releases every page.
+        f.release(&mut arena);
+        s.release(&mut arena);
+        assert_eq!(arena.kv_bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn fork_then_truncate_gives_page_aligned_prefix_sharing() {
+        // The prefix-cache insertion path: fork a live session, roll
+        // the fork back to a page boundary, keep it as the cached
+        // snapshot. The snapshot must hold only shared pages (zero
+        // extra bytes) and replaying from it must be bit-identical.
+        let (q, corpus) = setup();
+        let (src, _) = &corpus[0];
+        let d_model = q.tgt_embedding().d_model();
+        let mut arena = KvArena::with_page_rows(d_model, 4);
+        let mut s = q.start_session(&mut arena, src);
+        let chunk: Vec<usize> = vec![BOS, 3, 4, 5, 6, 7]; // 6 rows: page + tail
+        let _ = q.prefill_sessions(&mut arena, &mut [&mut s], &[&chunk]);
+        let bytes_live = arena.kv_bytes_in_use();
+        let mut snap = s.fork(&mut arena);
+        snap.rollback_rows(&mut arena, 2); // back to the page boundary
+        assert_eq!(snap.pos(), 4);
+        assert_eq!(
+            arena.kv_bytes_in_use(),
+            bytes_live,
+            "aligned snapshot must cost zero extra pages"
+        );
+        // A hit: fork the snapshot and replay the suffix on it.
+        let mut hit = snap.fork(&mut arena);
+        let mut logits = Vec::new();
+        for &t in &chunk[4..] {
+            logits = q.step_session(&mut arena, &mut hit, t);
+        }
+        // Cold reference.
+        let mut arena_ref = KvArena::with_page_rows(d_model, 4);
+        let mut r = q.start_session(&mut arena_ref, src);
+        let mut want = Vec::new();
+        for &t in &chunk {
+            want = q.step_session(&mut arena_ref, &mut r, t);
+        }
+        assert_eq!(want, logits, "replay from shared snapshot diverged");
+        hit.release(&mut arena);
+        snap.release(&mut arena);
+        s.release(&mut arena);
+        assert_eq!(arena.kv_bytes_in_use(), 0);
     }
 
     #[test]

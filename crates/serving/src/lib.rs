@@ -73,11 +73,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod prefix;
+
 use std::any::Any;
 use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use quantized::incremental::{KvArena, QuantIncrementalSession};
+
+use crate::prefix::PrefixIndex;
 use quantized::QuantSeq2Seq;
 use transformer::batching::PaddedBatch;
 use transformer::tasks::{BOS, EOS};
@@ -213,6 +217,15 @@ pub struct EngineConfig {
     /// occupant (degraded response, `hit_eos == false`) and never
     /// admits another request.
     pub quarantine_after: usize,
+    /// Byte budget for the shared-prefix KV cache
+    /// ([`prefix::PrefixIndex`]): completed prefills are snapshotted at
+    /// a page boundary and later requests sharing a `(src, prompt)`
+    /// prefix fork the snapshot instead of re-running its prefill. `0`
+    /// disables the cache (the default unless `ACCEL_PREFIX_CACHE` is
+    /// set). The budget counts *logical* entry bytes; physical pages
+    /// are shared copy-on-write, so the true footprint is at most — and
+    /// with overlapping entries less than — this figure.
+    pub prefix_cache_bytes: usize,
 }
 
 impl EngineConfig {
@@ -227,6 +240,7 @@ impl EngineConfig {
             deadline_steps: None,
             max_step_retries: 2,
             quarantine_after: 2,
+            prefix_cache_bytes: tensor::envcfg::prefix_cache_bytes(0),
         }
     }
 }
@@ -280,6 +294,20 @@ pub struct ServingStats {
     /// this engine's steps — the memory traffic the fused drains
     /// removed, the fusion analogue of [`Self::kv_bytes_in_use`].
     pub intermediates_elided_bytes: usize,
+    /// Admissions that attached to a cached prefix (skipping its
+    /// prefill). Zero when the prefix cache is disabled.
+    pub prefix_hits: usize,
+    /// Admissions that searched the prefix cache and found nothing
+    /// reusable. Zero when the prefix cache is disabled.
+    pub prefix_misses: usize,
+    /// Prompt rows (including `BOS`) that prefix hits did **not**
+    /// re-ingest — prefill work the cache saved. `prefill_rows` shrinks
+    /// by exactly this amount relative to a cold engine.
+    pub prefix_rows_reused: usize,
+    /// Logical KV bytes prefix hits attached to instead of
+    /// re-materializing (whole resident pages of the reused rows;
+    /// physically shared copy-on-write, so the arena pays them once).
+    pub prefix_bytes_shared: usize,
 }
 
 impl ServingStats {
@@ -312,6 +340,10 @@ impl ServingStats {
         self.deadline_expired += other.deadline_expired;
         self.ops_fused += other.ops_fused;
         self.intermediates_elided_bytes += other.intermediates_elided_bytes;
+        self.prefix_hits += other.prefix_hits;
+        self.prefix_misses += other.prefix_misses;
+        self.prefix_rows_reused += other.prefix_rows_reused;
+        self.prefix_bytes_shared += other.prefix_bytes_shared;
     }
 }
 
@@ -330,6 +362,10 @@ struct Slot {
     out: Vec<usize>,
     budget: usize,
     first_token_step: Option<usize>,
+    /// Full prefix-cache key (`src ++ SEP ++ [BOS] + prompt`), kept so
+    /// the completed prefill can be snapshotted into the index. Empty
+    /// when the prefix cache is disabled.
+    prefix_key: Vec<usize>,
     /// Engine steps this request has participated in.
     age: usize,
     /// Effective deadline (request override, else config default).
@@ -381,6 +417,9 @@ pub struct ContinuousBatcher<'m> {
     seen_ids: HashSet<u64>,
     finished: Vec<Response>,
     stats: ServingStats,
+    /// Shared-prefix KV cache (disabled at budget 0 — see
+    /// [`EngineConfig::prefix_cache_bytes`]).
+    prefix: PrefixIndex,
 }
 
 impl<'m> ContinuousBatcher<'m> {
@@ -405,6 +444,7 @@ impl<'m> ContinuousBatcher<'m> {
             seen_ids: HashSet::new(),
             finished: Vec::new(),
             stats: ServingStats::default(),
+            prefix: PrefixIndex::new(cfg.prefix_cache_bytes),
         })
     }
 
@@ -456,9 +496,26 @@ impl<'m> ContinuousBatcher<'m> {
     }
 
     /// Resident KV-pool bytes right now (whole pages held by live
-    /// sessions).
+    /// sessions *and* by cached prefix snapshots; shared pages count
+    /// once).
     pub fn kv_bytes_in_use(&self) -> usize {
         self.arena.kv_bytes_in_use()
+    }
+
+    /// Cached prefixes currently held by the prefix index.
+    pub fn prefix_cache_entries(&self) -> usize {
+        self.prefix.entries()
+    }
+
+    /// Logical bytes charged against the prefix-cache budget.
+    pub fn prefix_cache_bytes(&self) -> usize {
+        self.prefix.bytes()
+    }
+
+    /// Drops every cached prefix, returning unshared pages to the
+    /// arena's free lists.
+    pub fn clear_prefix_cache(&mut self) {
+        self.prefix.clear(&mut self.arena);
     }
 
     /// Length-bucketed admission: fills free (non-quarantined) slots
@@ -493,14 +550,54 @@ impl<'m> ContinuousBatcher<'m> {
                     .remove(qpos - removed)
                     .expect("position in range");
                 let model = self.model;
-                let mut pending = VecDeque::with_capacity(1 + req.prompt.len());
-                pending.push_back(BOS);
-                pending.extend(req.prompt.iter().copied());
+                let mut target = Vec::with_capacity(1 + req.prompt.len());
+                target.push(BOS);
+                target.extend(req.prompt.iter().copied());
+                // Shared-prefix fast path: attach to the longest cached
+                // page-aligned prefix of (src, target) and prefill only
+                // the suffix. Capped at `target.len() - 1` rows so the
+                // session always re-ingests the row whose logits seed
+                // generation — decode from a fork is bit-identical to a
+                // cold prefill, so hits change scheduling, never tokens.
+                let (session, reused, prefix_key) = if self.prefix.enabled() {
+                    let key = prefix::prefix_key(&req.src, &target);
+                    match self.prefix.lookup(&key, target.len() - 1) {
+                        Some((snap, rows)) => {
+                            // The snapshot may hold more rows than this
+                            // prompt shares with it (diverged-tail
+                            // reuse): roll the *fork* back to the
+                            // matched depth — copy-on-write keeps the
+                            // cached entry's pages intact.
+                            let mut session = snap.fork(&mut self.arena);
+                            if session.pos() > rows {
+                                let extra = session.pos() - rows;
+                                session.rollback_rows(&mut self.arena, extra);
+                            }
+                            self.stats.prefix_hits += 1;
+                            self.stats.prefix_rows_reused += rows;
+                            self.stats.prefix_bytes_shared +=
+                                session.resident_kv_bytes(&self.arena);
+                            (session, rows, key)
+                        }
+                        None => {
+                            self.stats.prefix_misses += 1;
+                            (model.start_session(&mut self.arena, &req.src), 0, key)
+                        }
+                    }
+                } else {
+                    (
+                        model.start_session(&mut self.arena, &req.src),
+                        0,
+                        Vec::new(),
+                    )
+                };
+                let pending: VecDeque<usize> = target[reused..].iter().copied().collect();
                 self.slots[*slot_i] = Some(Slot {
                     id: req.id,
-                    session: model.start_session(&mut self.arena, &req.src),
+                    session,
                     pending,
                     in_prefill: true,
+                    prefix_key,
                     out: Vec::new(),
                     budget: req.max_new_tokens,
                     first_token_step: None,
@@ -651,6 +748,31 @@ impl<'m> ContinuousBatcher<'m> {
             if slot.in_prefill {
                 slot.in_prefill = false;
                 slot.first_token_step = Some(self.stats.steps);
+                // Prefill just completed: snapshot it for future
+                // requests sharing this (src, prompt) prefix. Rolled
+                // back to a page boundary, the fork shares every page
+                // it keeps with this live session; `insert` LRU-evicts
+                // under the byte budget and drops the fork if the key
+                // is already cached.
+                if self.prefix.enabled() {
+                    let pos = slot.session.pos();
+                    let page = self.arena.page_rows();
+                    // Align over `pos - 1`, not `pos`: an exact-repeat
+                    // request may reuse at most `pos - 1` rows (it must
+                    // re-ingest the row whose logits seed generation),
+                    // so a snapshot at full page-aligned length would
+                    // be unreachable for the very requests it is for.
+                    let aligned = ((pos - 1) / page) * page;
+                    let key_at = slot.prefix_key.len() - (pos - aligned);
+                    if aligned > 0 && !self.prefix.contains(&slot.prefix_key[..key_at]) {
+                        let mut snap = slot.session.fork(&mut self.arena);
+                        if pos > aligned {
+                            snap.rollback_rows(&mut self.arena, pos - aligned);
+                        }
+                        self.prefix
+                            .insert(&slot.prefix_key[..key_at], snap, &mut self.arena);
+                    }
+                }
             }
             slot.out.push(next);
             self.stats.tokens_generated += 1;
@@ -939,6 +1061,103 @@ mod tests {
             let total_prefill: usize = prompts.iter().map(|p| 1 + p.len()).sum();
             assert_eq!(stats.prefill_rows, total_prefill);
         }
+    }
+
+    #[test]
+    fn prefix_hits_skip_prefill_and_decode_bit_identically() {
+        // Two engines over the same request stream — prefix cache off
+        // vs on — must emit identical tokens; the warm engine's saved
+        // prefill rows must be exactly its reported reuse.
+        let (q, srcs) = setup(2);
+        // Long enough that the prefill spans full KV pages under the
+        // default 16-row page (and the CI page-stress 4-row page).
+        let prompt: Vec<usize> = srcs[0].iter().cycle().take(35).copied().collect();
+        let reqs = |n: usize| -> Vec<Request> {
+            (0..n)
+                .map(|i| Request::new(i as u64, srcs[0].clone(), 6).with_prompt(prompt.clone()))
+                .collect()
+        };
+        let run = |prefix_budget: usize| -> (Vec<(u64, Vec<usize>, bool)>, ServingStats) {
+            let mut cfg = EngineConfig::with_max_batch(1);
+            cfg.prefix_cache_bytes = prefix_budget;
+            let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+            // max_batch 1 serializes the requests, so every request
+            // after the first finds the full prefix cached.
+            for r in reqs(3) {
+                engine.submit(r).unwrap();
+            }
+            (decoded(&engine.run_to_completion()), engine.stats())
+        };
+        let (cold_tokens, cold) = run(0);
+        let (warm_tokens, warm) = run(usize::MAX);
+        assert_eq!(warm_tokens, cold_tokens, "hits must not change tokens");
+        assert_eq!(cold.prefix_hits + cold.prefix_misses, 0);
+        assert_eq!(
+            warm.prefix_hits, 2,
+            "requests 2 and 3 attach to request 1's prefill"
+        );
+        assert_eq!(warm.prefix_misses, 1);
+        assert!(warm.prefix_rows_reused > 0);
+        assert!(warm.prefix_bytes_shared > 0);
+        assert_eq!(
+            cold.prefill_rows - warm.prefill_rows,
+            warm.prefix_rows_reused,
+            "saved prefill rows must be exactly the reported reuse"
+        );
+        // The sequential greedy reference pins absolute correctness.
+        let want = q.greedy_decode_with_prompt(&srcs[0], &prompt, 6);
+        for (_, tokens, _) in &warm_tokens {
+            assert_eq!(tokens, &want);
+        }
+    }
+
+    #[test]
+    fn cached_prefixes_share_pages_and_obey_the_budget() {
+        let (q, srcs) = setup(2);
+        let prompt: Vec<usize> = srcs[0].iter().cycle().take(35).copied().collect();
+        let mut cfg = EngineConfig::with_max_batch(1);
+        cfg.prefix_cache_bytes = usize::MAX;
+        let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+        engine
+            .submit(Request::new(0, srcs[0].clone(), 4).with_prompt(prompt.clone()))
+            .unwrap();
+        let _ = engine.run_to_completion();
+        assert!(engine.prefix_cache_entries() >= 1);
+        let resident_one = engine.kv_bytes_in_use();
+        assert!(resident_one > 0, "the cached snapshot holds pages");
+        assert_eq!(resident_one, engine.prefix_cache_bytes());
+
+        // A second identical request forks the snapshot: its prefill
+        // attaches to the cached pages instead of re-materializing
+        // them, so the high-water mark stays far below 2x.
+        let peak_before = engine.stats().kv_bytes_peak;
+        engine
+            .submit(Request::new(1, srcs[0].clone(), 4).with_prompt(prompt.clone()))
+            .unwrap();
+        let _ = engine.run_to_completion();
+        assert_eq!(engine.stats().prefix_hits, 1);
+        let peak_after = engine.stats().kv_bytes_peak;
+        assert!(
+            peak_after < peak_before + resident_one,
+            "shared prefix must not pay its KV bytes twice (peak {peak_before} -> {peak_after}, entry {resident_one})"
+        );
+
+        // Dropping the cache returns every page not held by a live
+        // session.
+        engine.clear_prefix_cache();
+        assert_eq!(engine.prefix_cache_entries(), 0);
+        assert_eq!(engine.kv_bytes_in_use(), 0);
+
+        // A zero budget behaves exactly like the seed engine.
+        let mut cfg = EngineConfig::with_max_batch(1);
+        cfg.prefix_cache_bytes = 0;
+        let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+        engine
+            .submit(Request::new(0, srcs[0].clone(), 4).with_prompt(prompt))
+            .unwrap();
+        let _ = engine.run_to_completion();
+        assert_eq!(engine.prefix_cache_entries(), 0);
+        assert_eq!(engine.kv_bytes_in_use(), 0);
     }
 
     #[test]

@@ -18,9 +18,9 @@
 //!   override setters ([`set_fuse_override`], [`set_pin_override`],
 //!   [`crate::par::set_thread_override`],
 //!   [`crate::simd::set_simd_override`], `faults::set_checker`).
-//! * `ACCEL_KV_PAGE` — parsed on **every** call (once per arena
-//!   construction, cheap), so tests and CI matrices can vary the page
-//!   size without process-global caching.
+//! * `ACCEL_KV_PAGE`, `ACCEL_PREFIX_CACHE` — parsed on **every** call
+//!   (once per arena/engine construction, cheap), so tests and CI
+//!   matrices can vary them without process-global caching.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -54,6 +54,10 @@ pub const ENV_NO_FUSE: &str = "ACCEL_NO_FUSE";
 /// than `0`). Off by default: pinning helps dedicated serving boxes and
 /// hurts oversubscribed CI runners.
 pub const ENV_PIN: &str = "ACCEL_PIN";
+
+/// Byte budget for the serving layer's shared-prefix KV cache (`0` or
+/// unset disables it). See [`prefix_cache_bytes`].
+pub const ENV_PREFIX_CACHE: &str = "ACCEL_PREFIX_CACHE";
 
 /// "Set and truthy" predicate shared by the boolean flags: any
 /// non-empty value other than `0` counts as set.
@@ -96,6 +100,30 @@ pub fn kv_page_rows(default: usize) -> usize {
             Ok(n) if n > 0 => n,
             _ => default,
         },
+        Err(_) => default,
+    }
+}
+
+/// The shared-prefix KV-cache byte budget from `ACCEL_PREFIX_CACHE`,
+/// falling back to `default`; `0` (or an unparsable value) disables the
+/// cache. Accepts a plain byte count or a `k`/`m` suffix
+/// (case-insensitive, powers of 1024). Parsed on **every** call, like
+/// [`kv_page_rows`]: it is read once per engine construction, and CI
+/// matrices / tests vary it without process-global caching.
+pub fn prefix_cache_bytes(default: usize) -> usize {
+    match std::env::var(ENV_PREFIX_CACHE) {
+        Ok(v) => {
+            let v = v.trim();
+            let (digits, mult) = match v.as_bytes().last() {
+                Some(b'k') | Some(b'K') => (&v[..v.len() - 1], 1024),
+                Some(b'm') | Some(b'M') => (&v[..v.len() - 1], 1024 * 1024),
+                _ => (v, 1),
+            };
+            match digits.parse::<usize>() {
+                Ok(n) => n * mult,
+                Err(_) => default,
+            }
+        }
         Err(_) => default,
     }
 }

@@ -18,6 +18,16 @@
 //! executors already copy per-head panels out of flat caches, so the
 //! gather is cost-neutral — one copy either way.)
 //!
+//! **Sharing:** pages are reference-counted, so a sequence can be
+//! [`KvPool::fork`]ed in O(pages) without copying KV bytes: full pages
+//! are shared (refcount bumped), only the partially-filled tail page is
+//! copied. Writes go through [`KvPool::push_row`], which copies a
+//! shared page before mutating it (copy-on-write), so no write is ever
+//! visible through a sibling fork; [`KvPool::truncate`] and
+//! [`KvPool::release`] decrement refcounts and recycle a page only when
+//! the last holder lets go. This is what the serving layer's
+//! shared-prefix cache is built on.
+//!
 //! The page size is tunable via the `ACCEL_KV_PAGE` environment
 //! variable (see [`page_rows_from_env`]); CI runs a tiny-page stress
 //! matrix so page-boundary paths are exercised on every change.
@@ -42,7 +52,11 @@ pub fn page_rows_from_env(default: usize) -> usize {
 ///
 /// A `KvSeq` is only meaningful against the pool that grew it; the
 /// pool's accessors assert index validity in debug builds.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Deliberately **not** `Clone`: duplicating a block table without
+/// touching the pool's refcounts would alias pages invisibly. Use
+/// [`KvPool::fork`] to share a sequence.
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct KvSeq {
     pages: Vec<usize>,
     rows: usize,
@@ -63,6 +77,13 @@ impl KvSeq {
     pub fn pages_held(&self) -> usize {
         self.pages.len()
     }
+
+    /// The pool page indices this sequence holds, in logical order.
+    /// Exposed so byte accounting can count a page shared by several
+    /// sequences exactly once (dedupe on `(pool, page)` identity).
+    pub fn page_ids(&self) -> &[usize] {
+        &self.pages
+    }
 }
 
 /// A shared pool of fixed-size `page_rows × cols` pages with free-list
@@ -73,6 +94,10 @@ pub struct KvPool<T> {
     page_rows: usize,
     cols: usize,
     pages: Vec<Mat<T>>,
+    /// Per-page reference count, parallel to `pages`. `0` means the
+    /// page sits on the free list; forking a sequence bumps the count
+    /// of every shared page.
+    refs: Vec<u32>,
     free: Vec<usize>,
     max_pages: Option<usize>,
 }
@@ -90,6 +115,7 @@ impl<T: Copy + Default> KvPool<T> {
             page_rows,
             cols,
             pages: Vec::new(),
+            refs: Vec::new(),
             free: Vec::new(),
             max_pages: None,
         }
@@ -143,6 +169,8 @@ impl<T: Copy + Default> KvPool<T> {
 
     fn acquire_page(&mut self) -> usize {
         if let Some(i) = self.free.pop() {
+            debug_assert_eq!(self.refs[i], 0, "free page {i} still referenced");
+            self.refs[i] = 1;
             return i;
         }
         if let Some(max) = self.max_pages {
@@ -152,11 +180,37 @@ impl<T: Copy + Default> KvPool<T> {
             );
         }
         self.pages.push(Mat::zeros(self.page_rows, self.cols));
+        self.refs.push(1);
         self.pages.len() - 1
     }
 
+    /// Reference count of pool page `page` (`0` = on the free list).
+    pub fn page_ref(&self, page: usize) -> u32 {
+        self.refs[page]
+    }
+
+    /// Ensures `seq`'s page `p` is exclusively owned, copying the first
+    /// `valid_rows` rows into a fresh page if it is shared — the
+    /// copy-on-write step. Returns the (possibly new) pool page index.
+    fn ensure_exclusive(&mut self, seq: &mut KvSeq, p: usize, valid_rows: usize) -> usize {
+        let old = seq.pages[p];
+        if self.refs[old] <= 1 {
+            return old;
+        }
+        let fresh = self.acquire_page();
+        for r in 0..valid_rows {
+            let row = self.pages[old].row(r).to_vec();
+            self.pages[fresh].row_mut(r).copy_from_slice(&row);
+        }
+        self.refs[old] -= 1;
+        seq.pages[p] = fresh;
+        fresh
+    }
+
     /// Appends one row to `seq`, allocating a page on demand when the
-    /// sequence's last page is full.
+    /// sequence's last page is full. If the target page is shared with
+    /// a fork, it is copied first (copy-on-write) so the write is never
+    /// visible through a sibling sequence.
     ///
     /// # Panics
     ///
@@ -176,8 +230,40 @@ impl<T: Copy + Default> KvPool<T> {
         }
         let p = seq.rows / self.page_rows;
         let r = seq.rows % self.page_rows;
-        self.pages[seq.pages[p]].row_mut(r).copy_from_slice(row);
+        let page = self.ensure_exclusive(seq, p, r);
+        self.pages[page].row_mut(r).copy_from_slice(row);
         seq.rows += 1;
+    }
+
+    /// Forks `seq`: the returned sequence sees exactly the same logical
+    /// rows, sharing every full page with the parent (refcount bump, no
+    /// copy) and copying only the partially-filled tail page. O(pages)
+    /// plus at most one page copy, regardless of sequence length.
+    ///
+    /// Parent and child are symmetric afterwards: either may push,
+    /// truncate, or release independently; writes to shared pages go
+    /// through copy-on-write in [`KvPool::push_row`].
+    pub fn fork(&mut self, seq: &KvSeq) -> KvSeq {
+        let full = seq.rows / self.page_rows;
+        let tail_rows = seq.rows % self.page_rows;
+        let mut pages = Vec::with_capacity(seq.pages.len());
+        for &p in &seq.pages[..full] {
+            self.refs[p] += 1;
+            pages.push(p);
+        }
+        if tail_rows > 0 {
+            let src = seq.pages[full];
+            let fresh = self.acquire_page();
+            for r in 0..tail_rows {
+                let row = self.pages[src].row(r).to_vec();
+                self.pages[fresh].row_mut(r).copy_from_slice(&row);
+            }
+            pages.push(fresh);
+        }
+        KvSeq {
+            pages,
+            rows: seq.rows,
+        }
     }
 
     /// Borrow of `seq`'s logical row `r`.
@@ -217,11 +303,14 @@ impl<T: Copy + Default> KvPool<T> {
         self.gather_panel(seq, 0, self.cols)
     }
 
-    /// Shrinks `seq` to its first `rows` rows, returning now-unused
-    /// trailing pages to the free list. Works across page boundaries —
-    /// truncating from row 17 to row 15 with 16-row pages frees the
-    /// second page — which is what the serving layer's
-    /// rollback-and-recompute relies on.
+    /// Shrinks `seq` to its first `rows` rows, dropping this sequence's
+    /// reference on now-unused trailing pages; a page is recycled to
+    /// the free list only when the last referencing sequence lets go.
+    /// Works across page boundaries — truncating from row 17 to row 15
+    /// with 16-row pages drops the second page — which is what the
+    /// serving layer's rollback-and-recompute relies on. Truncation
+    /// never writes page contents, so rolling back into a shared page
+    /// is safe: the subsequent re-push copies-on-write.
     ///
     /// # Panics
     ///
@@ -236,14 +325,17 @@ impl<T: Copy + Default> KvPool<T> {
         let needed = rows.div_ceil(self.page_rows);
         while seq.pages.len() > needed {
             let page = seq.pages.pop().expect("len checked");
-            debug_assert!(!self.free.contains(&page), "page {page} double-freed");
-            self.free.push(page);
+            debug_assert!(self.refs[page] > 0, "page {page} double-freed");
+            self.refs[page] -= 1;
+            if self.refs[page] == 0 {
+                self.free.push(page);
+            }
         }
     }
 
-    /// Returns every page `seq` holds to the free list (copy-free — the
-    /// page contents are left in place and overwritten by the next
-    /// owner).
+    /// Drops every page reference `seq` holds, recycling pages whose
+    /// last reference this was (copy-free — the page contents are left
+    /// in place and overwritten by the next owner).
     pub fn release(&mut self, seq: &mut KvSeq) {
         self.truncate(seq, 0);
     }
@@ -351,6 +443,90 @@ mod tests {
         let mut pool = KvPool::<i8>::new(2, 3);
         let mut seq = KvSeq::new();
         pool.push_row(&mut seq, &[1, 2]);
+    }
+
+    #[test]
+    fn fork_shares_full_pages_and_copies_tail() {
+        let mut pool = KvPool::<i8>::new(4, 2);
+        let mut a = KvSeq::new();
+        fill(&mut pool, &mut a, 10, 1); // 2 full pages + 2-row tail
+        let used_before = pool.pages_in_use();
+        let b = pool.fork(&a);
+        // Only the tail page is duplicated.
+        assert_eq!(pool.pages_in_use(), used_before + 1);
+        assert_eq!(b.rows(), 10);
+        assert_eq!(a.page_ids()[..2], b.page_ids()[..2]);
+        assert_ne!(a.page_ids()[2], b.page_ids()[2]);
+        assert_eq!(pool.page_ref(a.page_ids()[0]), 2);
+        assert_eq!(pool.to_mat(&a), pool.to_mat(&b));
+    }
+
+    #[test]
+    fn fork_of_page_aligned_seq_copies_nothing() {
+        let mut pool = KvPool::<i8>::new(4, 2);
+        let mut a = KvSeq::new();
+        fill(&mut pool, &mut a, 8, 1);
+        let used = pool.pages_in_use();
+        let b = pool.fork(&a);
+        assert_eq!(pool.pages_in_use(), used);
+        assert_eq!(pool.to_mat(&a), pool.to_mat(&b));
+    }
+
+    #[test]
+    fn writes_after_fork_are_isolated() {
+        let mut pool = KvPool::<i8>::new(4, 2);
+        let mut a = KvSeq::new();
+        fill(&mut pool, &mut a, 10, 1);
+        let mut b = pool.fork(&a);
+        let snap_a = pool.to_mat(&a);
+        fill(&mut pool, &mut b, 3, 100); // grows b's private tail
+        assert_eq!(pool.to_mat(&a), snap_a);
+        assert_eq!(b.rows(), 13);
+        assert_eq!(pool.row(&b, 10), &[100, 100]);
+    }
+
+    #[test]
+    fn rollback_into_shared_page_cows_on_repush() {
+        let mut pool = KvPool::<i8>::new(4, 2);
+        let mut a = KvSeq::new();
+        fill(&mut pool, &mut a, 8, 1); // two full pages
+        let mut b = pool.fork(&a); // both pages shared
+        assert_eq!(pool.page_ref(a.page_ids()[1]), 2);
+        // Roll b back below the page boundary, into the shared page...
+        pool.truncate(&mut b, 6);
+        let snap_a = pool.to_mat(&a);
+        // ...then re-push: the shared page must be copied, not mutated.
+        fill(&mut pool, &mut b, 2, 50);
+        assert_eq!(pool.to_mat(&a), snap_a, "write leaked through fork");
+        assert_eq!(pool.row(&b, 5), &[6, 6]);
+        assert_eq!(pool.row(&b, 6), &[50, 50]);
+        assert_eq!(pool.page_ref(a.page_ids()[1]), 1);
+    }
+
+    #[test]
+    fn release_recycles_only_at_refcount_zero() {
+        let mut pool = KvPool::<i8>::new(4, 2);
+        let mut a = KvSeq::new();
+        fill(&mut pool, &mut a, 8, 1);
+        let mut b = pool.fork(&a);
+        pool.release(&mut a);
+        // b still holds both pages; nothing recycled yet.
+        assert_eq!(pool.pages_free(), 0);
+        assert_eq!(pool.row(&b, 7), &[8, 8]);
+        pool.release(&mut b);
+        assert_eq!(pool.pages_in_use(), 0);
+        assert_eq!(pool.pages_free(), 2);
+    }
+
+    #[test]
+    fn shared_pages_counted_once_in_bytes_in_use() {
+        let mut pool = KvPool::<i8>::new(4, 8);
+        let mut a = KvSeq::new();
+        fill(&mut pool, &mut a, 8, 1); // 2 pages = 64 bytes
+        assert_eq!(pool.bytes_in_use(), 64);
+        let _b = pool.fork(&a);
+        // Fully page-aligned fork: zero extra bytes.
+        assert_eq!(pool.bytes_in_use(), 64);
     }
 
     #[test]

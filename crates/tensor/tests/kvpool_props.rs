@@ -1,17 +1,22 @@
-//! Property tests for the paged KV pool's free-list allocator.
+//! Property tests for the paged KV pool's free-list allocator and
+//! copy-on-write page sharing.
 //!
 //! The invariants under test: across arbitrary interleavings of
 //! per-sequence appends, chunk rollbacks (truncation across page
-//! boundaries), and full releases,
+//! boundaries), full releases, and **forks** (refcounted page sharing),
 //!
-//! * the pool never **leaks** (pages in use always equals the sum of
-//!   pages held by live sequences, and releasing everything returns the
-//!   pool to zero resident bytes),
-//! * the pool never **double-frees** or cross-links (every sequence's
-//!   rows read back bit-identical to a flat shadow copy maintained in
-//!   plain `Vec`s, so a page recycled while still referenced would be
-//!   caught immediately),
+//! * the pool never **leaks** (pages in use always equals the number of
+//!   *distinct* pages reachable from live sequences, every page's
+//!   refcount equals the number of live sequences holding it, and
+//!   releasing everything returns the pool to zero resident bytes),
+//! * the pool never **double-frees**, cross-links, or lets a write leak
+//!   through a fork (every sequence's rows read back bit-identical to a
+//!   flat no-sharing shadow maintained in plain `Vec`s, so a page
+//!   recycled while still referenced — or mutated while shared — would
+//!   be caught immediately),
 //! * `gather_panel` stays bit-identical to slicing the flat shadow.
+
+use std::collections::HashMap;
 
 use proptest::prelude::*;
 use tensor::kvpool::{KvPool, KvSeq};
@@ -23,26 +28,35 @@ enum Op {
     Push { seq: usize, n: usize },
     /// Roll back up to `n` rows (chunk retry / speculative rollback).
     Rollback { seq: usize, n: usize },
-    /// Retire the sequence, returning every page to the free list.
+    /// Retire the sequence, dropping every page reference it holds.
     Release { seq: usize },
+    /// Replace sequence `dst` with a fork of `src` (prefix-cache hit).
+    Fork { src: usize, dst: usize },
 }
 
-/// 4:2:1 weighted Push/Rollback/Release (the vendored proptest has no
-/// `prop_oneof`, so a kind index is mapped by hand).
+/// 4:2:1:2 weighted Push/Rollback/Release/Fork (the vendored proptest
+/// has no `prop_oneof`, so a kind index is mapped by hand). Fork picks
+/// a destination distinct from the source.
 fn op_strategy(n_seqs: usize) -> impl Strategy<Value = Op> {
-    (0usize..7, 0..n_seqs, 1usize..=9).prop_map(|(kind, seq, n)| match kind {
+    (0usize..9, 0..n_seqs, 1usize..=9).prop_map(move |(kind, seq, n)| match kind {
         0..=3 => Op::Push { seq, n },
         4..=5 => Op::Rollback { seq, n },
-        _ => Op::Release { seq },
+        6 => Op::Release { seq },
+        _ => Op::Fork {
+            src: seq,
+            dst: (seq + 1 + (n % (n_seqs - 1))) % n_seqs,
+        },
     })
 }
 
-/// A deterministic, content-unique row: byte `c` of row `r` of
-/// sequence `s` — any page aliasing between sequences shows up as a
-/// byte mismatch against the shadow.
-fn row_bytes(seq: usize, row: usize, cols: usize) -> Vec<i8> {
+/// A deterministic, content-unique row: byte `c` of stamp `stamp` of
+/// sequence `s` — any page aliasing between sequences (or a write
+/// leaking through a shared page) shows up as a byte mismatch against
+/// the shadow. The stamp is globally monotone so rows re-pushed after a
+/// rollback, and rows pushed onto a fork, always carry fresh content.
+fn row_bytes(seq: usize, stamp: usize, cols: usize) -> Vec<i8> {
     (0..cols)
-        .map(|c| ((seq * 131 + row * 17 + c * 3) % 251) as u8 as i8)
+        .map(|c| ((seq * 131 + stamp * 17 + c * 3) % 251) as u8 as i8)
         .collect()
 }
 
@@ -58,21 +72,20 @@ proptest! {
         let n_seqs = 4;
         let mut pool: KvPool<i8> = KvPool::new(page_rows, cols);
         let mut seqs: Vec<KvSeq> = (0..n_seqs).map(|_| KvSeq::new()).collect();
-        // Flat shadow: the rows each sequence logically holds, plus a
-        // monotonically growing per-sequence row counter so re-pushed
-        // rows after a rollback get fresh content (stresses recycled
-        // pages with new bytes).
+        // Flat no-sharing shadow: the rows each sequence logically
+        // holds. Forks deep-copy the shadow, so any write that leaks
+        // through a shared page diverges from it instantly.
         let mut shadow: Vec<Vec<Vec<i8>>> = vec![Vec::new(); n_seqs];
-        let mut next_row: Vec<usize> = vec![0; n_seqs];
+        let mut stamp = 0usize;
 
         for op in &ops {
             match *op {
                 Op::Push { seq, n } => {
                     for _ in 0..n {
-                        let row = row_bytes(seq, next_row[seq], cols);
+                        let row = row_bytes(seq, stamp, cols);
+                        stamp += 1;
                         pool.push_row(&mut seqs[seq], &row);
                         shadow[seq].push(row);
-                        next_row[seq] += 1;
                     }
                 }
                 Op::Rollback { seq, n } => {
@@ -84,22 +97,38 @@ proptest! {
                     pool.release(&mut seqs[seq]);
                     shadow[seq].clear();
                 }
+                Op::Fork { src, dst } => {
+                    let mut old = std::mem::take(&mut seqs[dst]);
+                    pool.release(&mut old);
+                    seqs[dst] = pool.fork(&seqs[src]);
+                    shadow[dst] = shadow[src].clone();
+                }
             }
 
             // No leak / no double-free: the pool's notion of "in use"
-            // must equal the pages reachable from live sequences, and
-            // every sequence holds exactly the pages its row count
-            // needs.
-            let held: usize = seqs.iter().map(|s| s.pages_held()).sum();
-            prop_assert_eq!(pool.pages_in_use(), held);
+            // must equal the *distinct* pages reachable from live
+            // sequences, every page's refcount must equal the number of
+            // live sequences holding it, and every sequence holds
+            // exactly the pages its row count needs.
+            let mut holders: HashMap<usize, u32> = HashMap::new();
+            for s in &seqs {
+                for &p in s.page_ids() {
+                    *holders.entry(p).or_insert(0) += 1;
+                }
+            }
+            prop_assert_eq!(pool.pages_in_use(), holders.len());
+            for (&p, &n_holders) in &holders {
+                prop_assert_eq!(pool.page_ref(p), n_holders, "page {} refcount", p);
+            }
             for (s, sh) in seqs.iter().zip(&shadow) {
                 prop_assert_eq!(s.rows(), sh.len());
                 prop_assert_eq!(s.pages_held(), sh.len().div_ceil(page_rows));
             }
 
-            // No aliasing: every live row reads back bit-identical to
-            // the shadow (a recycled-but-still-referenced page would
-            // hold another sequence's bytes).
+            // No aliasing, no COW leak: every live row reads back
+            // bit-identical to the flat shadow (a recycled-but-still-
+            // referenced page, or a sibling's write landing in a shared
+            // page, would hold foreign bytes).
             for (si, (s, sh)) in seqs.iter().zip(&shadow).enumerate() {
                 for (r, want) in sh.iter().enumerate() {
                     prop_assert_eq!(pool.row(s, r), &want[..], "seq {} row {}", si, r);
@@ -107,21 +136,19 @@ proptest! {
             }
         }
 
-        // gather_panel over a random-ish window matches flat slicing.
+        // gather_panel over the full width matches flat slicing.
         for (s, sh) in seqs.iter().zip(&shadow) {
             if sh.is_empty() {
                 continue;
             }
-            let c0 = 0;
-            let width = cols;
-            let panel = pool.gather_panel(s, c0, width);
+            let panel = pool.gather_panel(s, 0, cols);
             for (r, want) in sh.iter().enumerate() {
-                prop_assert_eq!(panel.row(r), &want[c0..c0 + width]);
+                prop_assert_eq!(panel.row(r), &want[..]);
             }
         }
 
         // Releasing everything returns the pool to zero resident bytes
-        // — the free list got every page back.
+        // — the free list got every page back, shared or not.
         for s in &mut seqs {
             pool.release(s);
         }
@@ -151,5 +178,39 @@ proptest! {
         for r in 0..rows {
             prop_assert_eq!(pool.row(&b, r), &row_bytes(1, r, 3)[..]);
         }
+    }
+
+    #[test]
+    fn fork_chain_shares_all_full_pages(
+        page_rows in 1usize..=6,
+        rows in 1usize..=48,
+        forks in 1usize..=6,
+    ) {
+        // N forks of one page-aligned-truncated sequence must cost zero
+        // extra full pages: bytes_in_use counts each shared page once.
+        let mut pool: KvPool<i8> = KvPool::new(page_rows, 3);
+        let mut base = KvSeq::new();
+        for r in 0..rows {
+            pool.push_row(&mut base, &row_bytes(0, r, 3));
+        }
+        let aligned = (rows / page_rows) * page_rows;
+        pool.truncate(&mut base, aligned);
+        let before = pool.bytes_in_use();
+        let mut kids = Vec::new();
+        for _ in 0..forks {
+            kids.push(pool.fork(&base));
+        }
+        prop_assert_eq!(pool.bytes_in_use(), before, "fork copied a full page");
+        for k in &kids {
+            for r in 0..aligned {
+                prop_assert_eq!(pool.row(k, r), &row_bytes(0, r, 3)[..]);
+            }
+        }
+        // Tear down in mixed order; no page may leak.
+        pool.release(&mut base);
+        for k in &mut kids {
+            pool.release(k);
+        }
+        prop_assert_eq!(pool.pages_in_use(), 0);
     }
 }

@@ -116,6 +116,21 @@ impl PagedStore {
         }
     }
 
+    /// Forks a handle: full pages are shared (refcount bump), the
+    /// partial tail page is copied; divergent pushes copy-on-write.
+    fn fork(&mut self, kv: &PagedKv) -> PagedKv {
+        match self.mode {
+            PagedKvMode::Fp32 => PagedKv {
+                data: self.f.fork(&kv.data),
+                scale: KvSeq::new(),
+            },
+            PagedKvMode::Int8 => PagedKv {
+                data: self.q.fork(&kv.data),
+                scale: self.s.fork(&kv.scale),
+            },
+        }
+    }
+
     fn release(&mut self, kv: &mut PagedKv) {
         self.truncate(kv, 0);
     }
@@ -282,6 +297,48 @@ impl IncrementalSession {
         for cache in &mut self.layers {
             arena.k.release(&mut cache.self_k);
             arena.v.release(&mut cache.self_v);
+        }
+    }
+
+    /// Rewinds the session by `rows` steps, dropping the newest cached
+    /// K/V rows from every layer (pages recycle only when their last
+    /// reference is dropped — rolling back into a page shared with a
+    /// fork never mutates it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has consumed fewer than `rows` tokens.
+    pub fn rollback_rows(&mut self, arena: &mut FpKvArena, rows: usize) {
+        assert!(
+            self.pos >= rows,
+            "rollback of {rows} rows on a session at pos {}",
+            self.pos
+        );
+        self.pos -= rows;
+        for cache in &mut self.layers {
+            arena.k.truncate(&mut cache.self_k, self.pos);
+            arena.v.truncate(&mut cache.self_v, self.pos);
+        }
+    }
+
+    /// Forks this session: the child sees the same consumed prefix at
+    /// the same position, sharing every full KV page with the parent
+    /// (only partial tail pages are copied) and cloning the fixed
+    /// cross-attention K/V. Parent and child advance independently;
+    /// divergent pushes copy-on-write.
+    pub fn fork(&self, arena: &mut FpKvArena) -> IncrementalSession {
+        IncrementalSession {
+            layers: self
+                .layers
+                .iter()
+                .map(|c| LayerCache {
+                    self_k: arena.k.fork(&c.self_k),
+                    self_v: arena.v.fork(&c.self_v),
+                    cross_k: c.cross_k.clone(),
+                    cross_v: c.cross_v.clone(),
+                })
+                .collect(),
+            pos: self.pos,
         }
     }
 
@@ -633,6 +690,60 @@ mod tests {
         assert_eq!(arena.kv_bytes_in_use(), 2 * 2 * one_page); // layers × {K,V}
         s.release(&mut arena);
         assert_eq!(arena.kv_bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn forked_session_steps_bit_identically_in_both_modes() {
+        // Fork after a prefix that leaves a partial tail page, then
+        // diverge parent and child: each continuation must be
+        // bit-identical to an independent cold session fed the same
+        // tokens (Fp32), or byte-identical on the stored codes (Int8 —
+        // the pages are forked, so the codes are literally the same).
+        for mode in [PagedKvMode::Fp32, PagedKvMode::Int8] {
+            let m = model(13);
+            let src = [3usize, 7, 4];
+            let prefix = [1usize, 5, 8, 6, 2]; // 5 rows on 4-row pages
+            let d_model = m.config().d_model;
+            let mut arena = FpKvArena::with_page_rows(d_model, mode, 4);
+            let mut s = IncrementalSession::new(&m, &mut arena, &src);
+            for &t in &prefix {
+                let _ = s.step(&m, &mut arena, t);
+            }
+            let mut f = s.fork(&mut arena);
+            assert_eq!(f.pos(), s.pos());
+            let mut arena_ref = FpKvArena::with_page_rows(d_model, mode, 4);
+            let mut r = IncrementalSession::new(&m, &mut arena_ref, &src);
+            for &t in &prefix {
+                let _ = r.step(&m, &mut arena_ref, t);
+            }
+            let got = f.step(&m, &mut arena, 9);
+            let want = r.step(&m, &mut arena_ref, 9);
+            let same = got
+                .iter()
+                .zip(&want)
+                .all(|(g, w)| g.to_bits() == w.to_bits());
+            assert!(same, "forked continuation diverged ({mode:?})");
+            // The parent takes a different token; the fork's write must
+            // not have leaked into its shared prefix pages.
+            let mut arena_ref2 = FpKvArena::with_page_rows(d_model, mode, 4);
+            let mut r2 = IncrementalSession::new(&m, &mut arena_ref2, &src);
+            for &t in &prefix {
+                let _ = r2.step(&m, &mut arena_ref2, t);
+            }
+            let got_p = s.step(&m, &mut arena, 2);
+            let want_p = r2.step(&m, &mut arena_ref2, 2);
+            let same_p = got_p
+                .iter()
+                .zip(&want_p)
+                .all(|(g, w)| g.to_bits() == w.to_bits());
+            assert!(same_p, "parent perturbed by fork ({mode:?})");
+            // Roll the fork back across the shared boundary and replay.
+            f.rollback_rows(&mut arena, 2);
+            let _ = f.step(&m, &mut arena, 9);
+            f.release(&mut arena);
+            s.release(&mut arena);
+            assert_eq!(arena.kv_bytes_in_use(), 0);
+        }
     }
 
     #[test]
