@@ -1,0 +1,347 @@
+//! Deterministic open-loop workload generation for the serving bench
+//! and the chaos harness.
+//!
+//! A [`Workload`] turns a seed plus a [`WorkloadConfig`] into a
+//! timestamped request trace: arrival offsets follow a Poisson process
+//! (or a bursty variant that clumps the same average rate into
+//! back-to-back trains), request lengths follow a Zipf-like rank
+//! distribution (most requests short, a heavy tail of long ones), and
+//! each request is assigned a tenant and priority class from weighted
+//! mixes. Everything is derived from the seed, so a trace replays
+//! bit-identically.
+
+use crate::frame::Submit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transformer::tasks::FIRST_CONTENT;
+
+/// Arrival process shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Independent exponential inter-arrival gaps at `rate_per_sec`.
+    Poisson {
+        /// Mean offered load, requests per second.
+        rate_per_sec: f64,
+    },
+    /// The same mean rate, delivered as trains of `burst` back-to-back
+    /// requests separated by correspondingly longer gaps — the
+    /// overload-storm shape that exercises shedding.
+    Bursty {
+        /// Mean offered load, requests per second.
+        rate_per_sec: f64,
+        /// Requests per train.
+        burst: usize,
+    },
+}
+
+/// Knobs for one generated trace.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Zipf skew for length ranks (`0.0` = uniform; `~1.0` = classic
+    /// heavy tail).
+    pub zipf_s: f64,
+    /// Source-length range (inclusive).
+    pub src_len: (usize, usize),
+    /// Prompt-length range (inclusive; `(0, 0)` disables prompts).
+    pub prompt_len: (usize, usize),
+    /// Generation-budget range (inclusive).
+    pub max_new: (u32, u32),
+    /// Tenant mix: `(tenant id, weight)`.
+    pub tenants: Vec<(u16, f64)>,
+    /// Priority-class mix (class 0, 1, 2 weights).
+    pub priorities: [f64; 3],
+    /// Fraction of requests carrying a wall deadline, and the deadline
+    /// range in milliseconds for those that do.
+    pub deadline_frac: f64,
+    /// Deadline range (ms, inclusive) for deadline-carrying requests.
+    pub deadline_ms: (u32, u32),
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            arrival: Arrival::Poisson { rate_per_sec: 50.0 },
+            zipf_s: 1.0,
+            src_len: (3, 8),
+            prompt_len: (0, 0),
+            max_new: (4, 16),
+            tenants: vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+            priorities: [0.2, 0.5, 0.3],
+            deadline_frac: 0.0,
+            deadline_ms: (50, 500),
+        }
+    }
+}
+
+/// One generated request: fire `at_ms` after trace start.
+#[derive(Debug, Clone)]
+pub struct Timed {
+    /// Offset from trace start, milliseconds.
+    pub at_ms: u64,
+    /// The request (its `id` is the trace index).
+    pub submit: Submit,
+}
+
+/// Zipf-ish sampler over `0..n`: `P(k) ∝ 1/(k+1)^s`, via an explicit
+/// CDF (the ranges here are tiny — request lengths, not vocabularies).
+#[derive(Debug, Clone)]
+struct ZipfRanks {
+    cdf: Vec<f64>,
+}
+
+impl ZipfRanks {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n.max(1));
+        let mut acc = 0.0;
+        for k in 0..n.max(1) {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("non-empty");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// The generator.
+pub struct Workload {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    src_ranks: ZipfRanks,
+    prompt_ranks: ZipfRanks,
+    new_ranks: ZipfRanks,
+    src_vocab: usize,
+    tgt_vocab: usize,
+    clock_ms: f64,
+    burst_left: usize,
+    next_id: u64,
+}
+
+impl Workload {
+    /// A generator emitting tokens valid for the given vocabularies
+    /// (content tokens only — specials are never sampled).
+    pub fn new(cfg: WorkloadConfig, src_vocab: usize, tgt_vocab: usize, seed: u64) -> Self {
+        assert!(src_vocab > FIRST_CONTENT && tgt_vocab > FIRST_CONTENT);
+        let src_ranks = ZipfRanks::new(cfg.src_len.1 - cfg.src_len.0 + 1, cfg.zipf_s);
+        let prompt_ranks = ZipfRanks::new(cfg.prompt_len.1 - cfg.prompt_len.0 + 1, cfg.zipf_s);
+        let new_ranks = ZipfRanks::new((cfg.max_new.1 - cfg.max_new.0 + 1) as usize, cfg.zipf_s);
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            src_ranks,
+            prompt_ranks,
+            new_ranks,
+            src_vocab,
+            tgt_vocab,
+            clock_ms: 0.0,
+            burst_left: 0,
+            next_id: 0,
+        }
+    }
+
+    fn tokens(&mut self, n: usize, vocab: usize) -> Vec<u32> {
+        (0..n)
+            .map(|_| self.rng.random_range(FIRST_CONTENT as u32..vocab as u32))
+            .collect()
+    }
+
+    fn advance_clock(&mut self) {
+        let (rate, burst) = match self.cfg.arrival {
+            Arrival::Poisson { rate_per_sec } => (rate_per_sec, 1),
+            Arrival::Bursty {
+                rate_per_sec,
+                burst,
+            } => (rate_per_sec, burst.max(1)),
+        };
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            return; // same instant as the train head
+        }
+        self.burst_left = burst - 1;
+        // Exponential gap between train heads; the mean request rate
+        // stays `rate` because each head carries `burst` requests.
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let gap_s = -u.ln() / (rate / burst as f64).max(1e-9);
+        self.clock_ms += gap_s * 1000.0;
+    }
+
+    /// Generates the next request in the trace.
+    pub fn next_request(&mut self) -> Timed {
+        self.advance_clock();
+        let src_n = self.cfg.src_len.0 + self.src_ranks.sample(&mut self.rng);
+        let prompt_n = self.cfg.prompt_len.0 + self.prompt_ranks.sample(&mut self.rng);
+        let max_new = self.cfg.max_new.0 + self.new_ranks.sample(&mut self.rng) as u32;
+        let tenant_weights: Vec<f64> = self.cfg.tenants.iter().map(|&(_, w)| w).collect();
+        let tenant = self.cfg.tenants[weighted(&mut self.rng, &tenant_weights)].0;
+        let priority = weighted(&mut self.rng, &self.cfg.priorities) as u8;
+        let deadline_ms = if self.cfg.deadline_frac > 0.0
+            && self.rng.random_range(0.0..1.0) < self.cfg.deadline_frac
+        {
+            self.rng
+                .random_range(self.cfg.deadline_ms.0..=self.cfg.deadline_ms.1)
+        } else {
+            0
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let src_vocab = self.src_vocab;
+        let tgt_vocab = self.tgt_vocab;
+        Timed {
+            at_ms: self.clock_ms as u64,
+            submit: Submit {
+                id,
+                tenant,
+                priority,
+                deadline_ms,
+                max_new,
+                src: self.tokens(src_n, src_vocab),
+                prompt: self.tokens(prompt_n, tgt_vocab),
+            },
+        }
+    }
+
+    /// Generates a whole trace of `n` requests.
+    pub fn trace(&mut self, n: usize) -> Vec<Timed> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            deadline_frac: 0.5,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn traces_replay_bit_identically() {
+        let a = Workload::new(cfg(), 64, 64, 7).trace(200);
+        let b = Workload::new(cfg(), 64, 64, 7).trace(200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_ms, y.at_ms);
+            assert_eq!(x.submit, y.submit);
+        }
+        let c = Workload::new(cfg(), 64, 64, 8).trace(200);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.submit != y.submit),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn requests_respect_bounds_and_vocab() {
+        let trace = Workload::new(cfg(), 64, 32, 3).trace(500);
+        for t in &trace {
+            let s = &t.submit;
+            assert!((3..=8).contains(&s.src.len()));
+            assert!((4..=16).contains(&s.max_new));
+            assert!(s.priority < 3);
+            assert!(s.src.iter().all(|&tok| (3..64).contains(&(tok as usize))));
+            assert!(s
+                .prompt
+                .iter()
+                .all(|&tok| (3..32).contains(&(tok as usize))));
+            if s.deadline_ms != 0 {
+                assert!((50..=500).contains(&s.deadline_ms));
+            }
+        }
+        // Ids are the trace order.
+        assert!(trace
+            .iter()
+            .enumerate()
+            .all(|(i, t)| t.submit.id == i as u64));
+        // Zipf skew: the shortest source length is the mode (expected
+        // share at s=1 over 6 ranks is ~0.41).
+        let count_len = |n| trace.iter().filter(|t| t.submit.src.len() == n).count();
+        let shortest = count_len(3);
+        assert!(shortest * 3 > trace.len(), "rank-0 share too small");
+        assert!(
+            (4..=8).all(|n| count_len(n) < shortest),
+            "rank-0 should be the mode"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_roughly_honoured() {
+        let mut w = Workload::new(
+            WorkloadConfig {
+                arrival: Arrival::Poisson {
+                    rate_per_sec: 100.0,
+                },
+                ..cfg()
+            },
+            64,
+            64,
+            11,
+        );
+        let trace = w.trace(2000);
+        let span_s = trace.last().unwrap().at_ms as f64 / 1000.0;
+        let rate = trace.len() as f64 / span_s;
+        assert!((60.0..160.0).contains(&rate), "empirical rate {rate:.1}/s");
+    }
+
+    #[test]
+    fn bursty_clumps_arrivals_at_the_same_rate() {
+        let mk = |burst| {
+            Workload::new(
+                WorkloadConfig {
+                    arrival: if burst > 1 {
+                        Arrival::Bursty {
+                            rate_per_sec: 100.0,
+                            burst,
+                        }
+                    } else {
+                        Arrival::Poisson {
+                            rate_per_sec: 100.0,
+                        }
+                    },
+                    ..cfg()
+                },
+                64,
+                64,
+                5,
+            )
+            .trace(1000)
+        };
+        let bursty = mk(8);
+        let zero_gaps = bursty
+            .windows(2)
+            .filter(|w| w[1].at_ms == w[0].at_ms)
+            .count();
+        assert!(
+            zero_gaps >= bursty.len() / 2,
+            "trains mean most gaps are zero (got {zero_gaps})"
+        );
+        let span = |t: &[Timed]| t.last().unwrap().at_ms as f64 / 1000.0;
+        let r_bursty = bursty.len() as f64 / span(&bursty);
+        assert!(
+            (50.0..200.0).contains(&r_bursty),
+            "mean rate preserved ({r_bursty:.1}/s)"
+        );
+    }
+}

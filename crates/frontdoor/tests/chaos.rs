@@ -1,0 +1,181 @@
+//! The chaos gauntlet: hostile clients hammer a live door from
+//! several threads at once — mid-decode disconnects, slowloris
+//! dribbles, random garbage, queue-full storms, quota burners — while
+//! an honest canary keeps decoding. Pass criteria:
+//!
+//! * the engine thread never panics (a panic fails the join),
+//! * the canary's streams stay bit-identical to offline decoding,
+//! * every well-formed request settles as `Done` or a typed `Reject`,
+//! * afterwards the door is idle and holds zero KV bytes.
+
+use frontdoor::chaos::{self, Outcome};
+use frontdoor::{AdmissionConfig, Completion, DoorConfig, FrontDoor};
+use quantized::QuantSeq2Seq;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serving::EngineConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use transformer::config::ModelConfig;
+use transformer::model::Seq2SeqTransformer;
+use transformer::tasks::{Task, TaskGen};
+
+fn setup(n: usize) -> (QuantSeq2Seq, Vec<Vec<usize>>, u32) {
+    let mut cfg = ModelConfig::tiny_for_tests();
+    cfg.n_layers = 2;
+    cfg.max_len = 96;
+    let mut rng = StdRng::seed_from_u64(0xC4A0);
+    let model = Seq2SeqTransformer::new(&cfg, &mut rng);
+    let gen = TaskGen::new(Task::Reverse, cfg.vocab, 3, 7);
+    let corpus = gen.corpus(n, &mut StdRng::seed_from_u64(0xC4A1));
+    let srcs = corpus.iter().map(|(s, _)| s.clone()).collect();
+    (
+        QuantSeq2Seq::from_trained(&model, &corpus, quantized::SoftmaxMode::Hardware),
+        srcs,
+        cfg.vocab as u32,
+    )
+}
+
+#[test]
+fn chaos_gauntlet_no_panics_no_leaks_canary_bit_identical() {
+    let (q, srcs, vocab) = setup(4);
+    let seed: u64 = std::env::var("ACCEL_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD1CE);
+
+    let cfg = DoorConfig {
+        engine: EngineConfig::with_max_batch(4),
+        admission: AdmissionConfig {
+            max_buffered: 8,
+            // Tenant 5 is the quota burner: a tight contract the
+            // exhaustion scenario can hit without throttling others.
+            tenant_buckets: vec![(5, 60.0, 10.0)],
+            ..AdmissionConfig::default()
+        },
+        idle_timeout: Duration::from_millis(250),
+        write_budget: 1 << 16,
+        ..DoorConfig::default()
+    };
+
+    let mut door = FrontDoor::new(&q, cfg).expect("bind");
+    let addr = door.local_addr().expect("addr");
+    let stop = AtomicBool::new(false);
+
+    let max_new = 8usize;
+    let expected: Vec<Vec<u32>> = srcs
+        .iter()
+        .map(|s| {
+            q.greedy_decode_incremental(s, max_new)
+                .iter()
+                .map(|&t| t as u32)
+                .collect()
+        })
+        .collect();
+
+    let (door, canary_checked, outcome) = std::thread::scope(|s| {
+        let door_handle = s.spawn(|| {
+            door.run(&stop).expect("event loop");
+            door
+        });
+
+        // The hostile crowd, all at once.
+        let disconnects =
+            s.spawn(move || chaos::disconnect_mid_decode(addr, 8, vocab, seed ^ 1).expect("io"));
+        let loris = s.spawn(move || chaos::slowloris(addr, 6, vocab, seed ^ 2).expect("io"));
+        let garbage = s.spawn(move || chaos::malformed_storm(addr, 12, seed ^ 3).expect("io"));
+        let storm = s.spawn(move || chaos::queue_storm(addr, 48, 1, vocab, seed ^ 4).expect("io"));
+        let quota =
+            s.spawn(move || chaos::quota_exhaustion(addr, 12, 5, vocab, seed ^ 5).expect("io"));
+
+        // Meanwhile the canary decodes honestly, over and over.
+        let srcs_ref = &srcs;
+        let expected_ref = &expected;
+        let canary = s.spawn(move || {
+            let mut checked = 0u64;
+            let until = Instant::now() + Duration::from_secs(3);
+            let mut i = 0usize;
+            while Instant::now() < until {
+                let src: Vec<u32> = srcs_ref[i % srcs_ref.len()]
+                    .iter()
+                    .map(|&t| t as u32)
+                    .collect();
+                match chaos::canary_request(
+                    addr,
+                    i as u64,
+                    &src,
+                    max_new as u32,
+                    Duration::from_secs(20),
+                )
+                .expect("canary io")
+                {
+                    Completion::Done { tokens, .. } => {
+                        assert_eq!(
+                            tokens,
+                            expected_ref[i % srcs_ref.len()],
+                            "canary {i} perturbed by chaos"
+                        );
+                        checked += 1;
+                    }
+                    // The canary may legitimately be shed during the
+                    // storm; identity only applies to admitted work.
+                    Completion::Rejected(code) => {
+                        assert_eq!(code, frontdoor::RejectCode::QueueFull, "canary {i}");
+                    }
+                }
+                i += 1;
+            }
+            checked
+        });
+
+        let mut outcome = Outcome::default();
+        outcome.merge(&disconnects.join().expect("disconnect thread"));
+        outcome.merge(&loris.join().expect("slowloris thread"));
+        outcome.merge(&garbage.join().expect("garbage thread"));
+        let storm_out = storm.join().expect("storm thread");
+        assert_eq!(
+            storm_out.done + storm_out.shed,
+            48,
+            "storm: every request settles exactly once ({storm_out:?})"
+        );
+        assert!(storm_out.shed > 0, "48 into an 8-deep buffer must shed");
+        outcome.merge(&storm_out);
+        let quota_out = quota.join().expect("quota thread");
+        assert!(
+            quota_out.quota > 0,
+            "burner must hit its bucket ({quota_out:?})"
+        );
+        assert!(
+            quota_out.done > 0,
+            "in-budget requests still complete ({quota_out:?})"
+        );
+        outcome.merge(&quota_out);
+        let canary_checked = canary.join().expect("canary thread");
+
+        // Let the door retire whatever the disconnects left behind,
+        // then stop it.
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+        (
+            door_handle.join().expect("door panicked"),
+            canary_checked,
+            outcome,
+        )
+    });
+
+    assert!(canary_checked > 0, "canary must complete during chaos");
+    assert!(
+        outcome.malformed + outcome.closed > 0,
+        "garbage must be rejected or disconnected ({outcome:?})"
+    );
+    assert!(door.idle(), "door drains to idle after the gauntlet");
+    assert_eq!(door.kv_bytes_in_use(), 0, "zero leaked KV pages");
+    let stats = door.stats;
+    assert!(stats.malformed_closes > 0, "{stats:?}");
+    assert!(
+        stats.cancels > 0,
+        "mid-decode disconnects must cancel in-flight work ({stats:?})"
+    );
+    let engine = door.engine_stats();
+    assert!(engine.shed == 0 || stats.admission.shed > 0, "{engine:?}");
+}

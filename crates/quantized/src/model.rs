@@ -162,6 +162,17 @@ impl QuantSeq2Seq {
         self.max_len
     }
 
+    /// Source-side vocabulary size — tokens `>= src_vocab()` panic in
+    /// the embedding lookup, so network admission validates against it.
+    pub fn src_vocab(&self) -> usize {
+        self.src_emb.vocab()
+    }
+
+    /// Target-side vocabulary size (prompt tokens must stay below it).
+    pub fn tgt_vocab(&self) -> usize {
+        self.tgt_emb.vocab()
+    }
+
     /// The (FP32) target embedding — incremental decoding embeds single
     /// tokens at absolute positions through it.
     pub fn tgt_embedding(&self) -> &transformer::embedding::Embedding {

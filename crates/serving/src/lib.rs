@@ -78,6 +78,7 @@ pub mod prefix;
 use std::any::Any;
 use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use quantized::incremental::{KvArena, QuantIncrementalSession};
 
@@ -103,6 +104,14 @@ pub enum ServingError {
         /// The reused id.
         id: u64,
     },
+    /// The bounded waiting queue ([`EngineConfig::max_queue`]) is full;
+    /// the request was **shed** at admission instead of growing the
+    /// queue without limit. The id is *not* recorded, so the caller may
+    /// retry the same id after backoff.
+    QueueFull {
+        /// The shed request's id.
+        id: u64,
+    },
 }
 
 impl std::fmt::Display for ServingError {
@@ -115,6 +124,9 @@ impl std::fmt::Display for ServingError {
             }
             ServingError::DuplicateId { id } => {
                 write!(f, "request id {id} already submitted")
+            }
+            ServingError::QueueFull { id } => {
+                write!(f, "request {id}: waiting queue full, shed at admission")
             }
         }
     }
@@ -140,8 +152,16 @@ pub struct Request {
     /// this request may hold a slot (overrides
     /// [`EngineConfig::deadline_steps`]). A request cut off by its
     /// deadline retires with the tokens generated so far and
-    /// `hit_eos == false`.
+    /// [`FinishReason::Deadline`].
     pub deadline_steps: Option<usize>,
+    /// Optional **wall-clock** deadline in milliseconds, measured from
+    /// [`ContinuousBatcher::submit`]. A request still waiting in the
+    /// queue when its deadline passes retires immediately with
+    /// [`FinishReason::Deadline`] and zero tokens — it never consumes a
+    /// slot or a KV page. A request already in a slot is preempted at
+    /// the first step past the deadline, keeping the tokens generated
+    /// so far (the wall-clock analogue of `deadline_steps`).
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -153,6 +173,7 @@ impl Request {
             prompt: Vec::new(),
             max_new_tokens,
             deadline_steps: None,
+            deadline_ms: None,
         }
     }
 
@@ -161,6 +182,30 @@ impl Request {
         self.prompt = prompt;
         self
     }
+
+    /// Attaches a wall-clock deadline (milliseconds from submission).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+}
+
+/// Why a request's lifetime ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// Decoding produced `EOS` (normal completion).
+    Eos,
+    /// The `max_new_tokens` budget was spent (also the reason reported
+    /// for zero-budget requests, which finish at submission).
+    Budget,
+    /// A step-count or wall-clock deadline preempted the request; the
+    /// tokens generated before the cutoff are kept. A request whose
+    /// wall-clock deadline passed while it was still queued retires
+    /// this way with zero tokens, without ever touching a slot.
+    Deadline,
+    /// The request's slot was quarantined after repeated persistent
+    /// faults; the tokens generated so far are returned degraded.
+    Quarantine,
 }
 
 /// A finished request.
@@ -171,14 +216,21 @@ pub struct Response {
     /// Generated tokens (no BOS, no prompt; no EOS unless EOS is being
     /// ignored).
     pub tokens: Vec<usize>,
-    /// Whether decoding stopped on `EOS` (as opposed to the budget, a
-    /// deadline, or slot quarantine).
-    pub hit_eos: bool,
+    /// Why the request finished (EOS, budget, deadline, quarantine).
+    pub finish: FinishReason,
     /// Engine step index (0-based) at which this request's first token
     /// was generated — the time-to-first-token in steps. `None` if the
     /// request produced no tokens. Scheduling metadata: it depends on
     /// queueing and chunk policy, not on the decoded content.
     pub first_token_step: Option<usize>,
+}
+
+impl Response {
+    /// Whether decoding stopped on `EOS` (as opposed to the budget, a
+    /// deadline, or slot quarantine).
+    pub fn hit_eos(&self) -> bool {
+        self.finish == FinishReason::Eos
+    }
 }
 
 /// Engine knobs.
@@ -226,6 +278,13 @@ pub struct EngineConfig {
     /// are shared copy-on-write, so the true footprint is at most — and
     /// with overlapping entries less than — this figure.
     pub prefix_cache_bytes: usize,
+    /// Bound on the waiting queue: [`ContinuousBatcher::submit`] returns
+    /// [`ServingError::QueueFull`] (a typed **shed**, counted in
+    /// [`ServingStats::shed`]) once this many requests are queued,
+    /// instead of growing the queue without limit. `0` means unbounded
+    /// (the pre-front-door behaviour; default unless `ACCEL_MAX_QUEUE`
+    /// is set).
+    pub max_queue: usize,
 }
 
 impl EngineConfig {
@@ -241,6 +300,7 @@ impl EngineConfig {
             max_step_retries: 2,
             quarantine_after: 2,
             prefix_cache_bytes: tensor::envcfg::prefix_cache_bytes(0),
+            max_queue: tensor::envcfg::max_queue(0),
         }
     }
 }
@@ -286,6 +346,18 @@ pub struct ServingStats {
     pub quarantined: usize,
     /// Requests cut off by a deadline.
     pub deadline_expired: usize,
+    /// Requests shed at submission because the bounded waiting queue
+    /// ([`EngineConfig::max_queue`]) was full.
+    pub shed: usize,
+    /// Requests whose wall-clock deadline expired while they were still
+    /// queued — retired with [`FinishReason::Deadline`] and zero tokens
+    /// without ever consuming a slot or a KV page (a subset of
+    /// [`Self::deadline_expired`]).
+    pub expired_in_queue: usize,
+    /// Requests cancelled via [`ContinuousBatcher::cancel`] (client
+    /// disconnect, caller abort); a cancelled request produces no
+    /// [`Response`] and its KV pages return to the free list at once.
+    pub cancelled: usize,
     /// Fused graph nodes executed by this engine's steps (`LinearRelu`,
     /// `LinearAdd`, and the row executors' hand-fused drains). Zero when
     /// `ACCEL_NO_FUSE=1`.
@@ -338,6 +410,9 @@ impl ServingStats {
         self.retries += other.retries;
         self.quarantined += other.quarantined;
         self.deadline_expired += other.deadline_expired;
+        self.shed += other.shed;
+        self.expired_in_queue += other.expired_in_queue;
+        self.cancelled += other.cancelled;
         self.ops_fused += other.ops_fused;
         self.intermediates_elided_bytes += other.intermediates_elided_bytes;
         self.prefix_hits += other.prefix_hits;
@@ -370,6 +445,8 @@ struct Slot {
     age: usize,
     /// Effective deadline (request override, else config default).
     deadline: Option<usize>,
+    /// Absolute wall-clock deadline (from [`Request::deadline_ms`]).
+    wall_deadline: Option<Instant>,
 }
 
 /// Why a slot retired this step.
@@ -377,6 +454,14 @@ enum Retire {
     Eos,
     Budget,
     Deadline,
+}
+
+/// A request waiting for a slot, with its wall-clock deadline resolved
+/// to an absolute instant at submission.
+#[derive(Debug)]
+struct Queued {
+    req: Request,
+    wall_deadline: Option<Instant>,
 }
 
 /// Borrows the planned slots' sessions in slot order. `plan` holds
@@ -407,7 +492,7 @@ pub struct ContinuousBatcher<'m> {
     model: &'m QuantSeq2Seq,
     cfg: EngineConfig,
     arena: KvArena,
-    pending: VecDeque<Request>,
+    pending: VecDeque<Queued>,
     slots: Vec<Option<Slot>>,
     /// Slots withdrawn from service after repeated persistent faults.
     quarantined: Vec<bool>,
@@ -416,6 +501,10 @@ pub struct ContinuousBatcher<'m> {
     /// Every id this engine has ever accepted (duplicate rejection).
     seen_ids: HashSet<u64>,
     finished: Vec<Response>,
+    /// `(id, token)` pairs in generation order since the last
+    /// [`ContinuousBatcher::drain_emitted`] — the streaming feed the
+    /// network front door forwards token-by-token.
+    emitted: Vec<(u64, usize)>,
     stats: ServingStats,
     /// Shared-prefix KV cache (disabled at budget 0 — see
     /// [`EngineConfig::prefix_cache_bytes`]).
@@ -443,6 +532,7 @@ impl<'m> ContinuousBatcher<'m> {
             slot_faults: vec![0; cfg.max_batch],
             seen_ids: HashSet::new(),
             finished: Vec::new(),
+            emitted: Vec::new(),
             stats: ServingStats::default(),
             prefix: PrefixIndex::new(cfg.prefix_cache_bytes),
         })
@@ -453,26 +543,76 @@ impl<'m> ContinuousBatcher<'m> {
     /// # Errors
     ///
     /// [`ServingError::EmptySource`] if the source sentence is empty,
-    /// [`ServingError::DuplicateId`] if the id was already accepted.
+    /// [`ServingError::DuplicateId`] if the id was already accepted,
+    /// [`ServingError::QueueFull`] if the bounded queue is full — the
+    /// request is **shed** (counted in [`ServingStats::shed`]) and its
+    /// id stays unrecorded so the caller may retry it after backoff.
     pub fn submit(&mut self, req: Request) -> Result<(), ServingError> {
         if req.src.is_empty() {
             return Err(ServingError::EmptySource { id: req.id });
         }
-        if !self.seen_ids.insert(req.id) {
+        if self.seen_ids.contains(&req.id) {
             return Err(ServingError::DuplicateId { id: req.id });
         }
+        if self.cfg.max_queue > 0 && self.pending.len() >= self.cfg.max_queue {
+            self.stats.shed += 1;
+            return Err(ServingError::QueueFull { id: req.id });
+        }
+        self.seen_ids.insert(req.id);
         if req.max_new_tokens == 0 {
             // Nothing to generate; finish without occupying a slot.
             self.finished.push(Response {
                 id: req.id,
                 tokens: Vec::new(),
-                hit_eos: false,
+                finish: FinishReason::Budget,
                 first_token_step: None,
             });
             return Ok(());
         }
-        self.pending.push_back(req);
+        let wall_deadline = req
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        self.pending.push_back(Queued { req, wall_deadline });
         Ok(())
+    }
+
+    /// Cancels a request by id — a queued request is dropped before it
+    /// ever touches a slot; an in-flight request is evicted and its KV
+    /// pages go straight back to the arena's free list. No [`Response`]
+    /// is produced (the canonical caller is a client that disconnected
+    /// mid-stream, so there is nobody to answer). Returns `false` when
+    /// the id is unknown or already finished.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        if let Some(qpos) = self.pending.iter().position(|q| q.req.id == id) {
+            self.pending.remove(qpos);
+            self.stats.cancelled += 1;
+            return true;
+        }
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|s| s.id == id) {
+                let mut s = slot.take().expect("checked occupied");
+                s.session.release(&mut self.arena);
+                self.stats.cancelled += 1;
+                self.stats.kv_bytes_in_use = self.arena.kv_bytes_in_use();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Takes the `(id, token)` pairs generated since the last call, in
+    /// generation order — the per-step streaming feed (a front door
+    /// forwards these as they appear; batch callers may ignore them and
+    /// read whole [`Response`]s instead).
+    pub fn drain_emitted(&mut self) -> Vec<(u64, usize)> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    /// Takes the responses finished since the last call (arrival order,
+    /// not id order). [`ContinuousBatcher::run_to_completion`] is the
+    /// batch alternative that sorts by id.
+    pub fn drain_finished(&mut self) -> Vec<Response> {
+        std::mem::take(&mut self.finished)
     }
 
     /// Requests waiting for a slot.
@@ -524,6 +664,28 @@ impl<'m> ContinuousBatcher<'m> {
     /// and no request starves). Buckets are formed on source length;
     /// prompts only shape the prefill schedule, not admission.
     fn refill(&mut self) {
+        // Retire queued requests whose wall-clock deadline has already
+        // passed — they finish with zero tokens and never consume a
+        // slot or a KV page (the answer would be dead on arrival).
+        if self.pending.iter().any(|q| q.wall_deadline.is_some()) {
+            let now = Instant::now();
+            let mut keep = VecDeque::with_capacity(self.pending.len());
+            for q in self.pending.drain(..) {
+                if q.wall_deadline.is_some_and(|d| now >= d) {
+                    self.stats.deadline_expired += 1;
+                    self.stats.expired_in_queue += 1;
+                    self.finished.push(Response {
+                        id: q.req.id,
+                        tokens: Vec::new(),
+                        finish: FinishReason::Deadline,
+                        first_token_step: None,
+                    });
+                } else {
+                    keep.push_back(q);
+                }
+            }
+            self.pending = keep;
+        }
         while self.pending.front().is_some() {
             let free: Vec<usize> = (0..self.slots.len())
                 .filter(|&i| self.slots[i].is_none() && !self.quarantined[i])
@@ -531,7 +693,7 @@ impl<'m> ContinuousBatcher<'m> {
             if free.is_empty() {
                 return;
             }
-            let seqs: Vec<Vec<usize>> = self.pending.iter().map(|r| r.src.clone()).collect();
+            let seqs: Vec<Vec<usize>> = self.pending.iter().map(|q| q.req.src.clone()).collect();
             let buckets = PaddedBatch::buckets(&seqs, self.cfg.bucket_max_waste);
             let oldest_bucket = buckets
                 .iter()
@@ -545,7 +707,7 @@ impl<'m> ContinuousBatcher<'m> {
             queue_positions.sort_unstable();
             queue_positions.truncate(free.len());
             for (removed, (slot_i, qpos)) in free.iter().zip(queue_positions).enumerate() {
-                let req = self
+                let Queued { req, wall_deadline } = self
                     .pending
                     .remove(qpos - removed)
                     .expect("position in range");
@@ -603,6 +765,7 @@ impl<'m> ContinuousBatcher<'m> {
                     first_token_step: None,
                     age: 0,
                     deadline: req.deadline_steps.or(self.cfg.deadline_steps),
+                    wall_deadline,
                 });
                 self.stats.admitted += 1;
             }
@@ -722,6 +885,10 @@ impl<'m> ContinuousBatcher<'m> {
             }
         }
         let b = plan.len();
+        // One clock read per step covers every wall-clock deadline
+        // check; a deadline-free workload never branches on it.
+        let wall_now = Instant::now();
+        let past_wall = |slot: &Slot| slot.wall_deadline.is_some_and(|d| wall_now >= d);
         let mut retire: Vec<(usize, Retire)> = Vec::new();
         for ((i, chunk), row) in plan.iter().zip(&logits) {
             let slot = self.slots[*i].as_mut().expect("planned slot is occupied");
@@ -735,7 +902,7 @@ impl<'m> ContinuousBatcher<'m> {
             if !slot.pending.is_empty() {
                 // Mid-prefill: the chunk's last-row logits are an
                 // intermediate position, not the generation frontier.
-                if slot.deadline.is_some_and(|d| slot.age >= d) {
+                if slot.deadline.is_some_and(|d| slot.age >= d) || past_wall(slot) {
                     retire.push((*i, Retire::Deadline));
                 }
                 continue;
@@ -775,10 +942,11 @@ impl<'m> ContinuousBatcher<'m> {
                 }
             }
             slot.out.push(next);
+            self.emitted.push((slot.id, next));
             self.stats.tokens_generated += 1;
             if slot.out.len() >= slot.budget {
                 retire.push((*i, Retire::Budget));
-            } else if slot.deadline.is_some_and(|d| slot.age >= d) {
+            } else if slot.deadline.is_some_and(|d| slot.age >= d) || past_wall(slot) {
                 retire.push((*i, Retire::Deadline));
             } else {
                 slot.pending.push_back(next);
@@ -793,7 +961,11 @@ impl<'m> ContinuousBatcher<'m> {
             self.finished.push(Response {
                 id: slot.id,
                 tokens: slot.out,
-                hit_eos: matches!(why, Retire::Eos),
+                finish: match why {
+                    Retire::Eos => FinishReason::Eos,
+                    Retire::Budget => FinishReason::Budget,
+                    Retire::Deadline => FinishReason::Deadline,
+                },
                 first_token_step: slot.first_token_step,
             });
             self.stats.retired += 1;
@@ -807,7 +979,7 @@ impl<'m> ContinuousBatcher<'m> {
                     self.finished.push(Response {
                         id: slot.id,
                         tokens: slot.out,
-                        hit_eos: false,
+                        finish: FinishReason::Quarantine,
                         first_token_step: slot.first_token_step,
                     });
                     self.stats.retired += 1;
@@ -833,6 +1005,7 @@ impl<'m> ContinuousBatcher<'m> {
     /// started, so nothing of theirs is lost).
     pub fn run_to_completion(&mut self) -> Vec<Response> {
         while self.step() {}
+        self.emitted.clear(); // batch callers read Responses, not the stream
         let mut out = std::mem::take(&mut self.finished);
         out.sort_by_key(|r| r.id);
         out
@@ -1000,7 +1173,7 @@ mod tests {
     fn decoded(responses: &[Response]) -> Vec<(u64, Vec<usize>, bool)> {
         responses
             .iter()
-            .map(|r| (r.id, r.tokens.clone(), r.hit_eos))
+            .map(|r| (r.id, r.tokens.clone(), r.hit_eos()))
             .collect()
     }
 
@@ -1266,7 +1439,7 @@ mod tests {
         }
         for resp in engine.run_to_completion() {
             assert_eq!(resp.tokens.len(), 5);
-            assert!(!resp.hit_eos);
+            assert!(!resp.hit_eos());
             assert_eq!(resp.first_token_step, Some(0));
         }
     }
@@ -1377,7 +1550,7 @@ mod tests {
         assert_eq!(responses.len(), srcs.len());
         for resp in &responses {
             assert_eq!(resp.tokens.len(), 2, "id {}", resp.id);
-            assert!(!resp.hit_eos);
+            assert!(!resp.hit_eos());
         }
         assert_eq!(engine.stats().deadline_expired, srcs.len());
         // The generated prefix is still bit-identical to an undeadlined
@@ -1432,5 +1605,189 @@ mod tests {
             assert_eq!(resp.tokens, q.greedy_decode_incremental(src, 6));
         }
         assert_eq!(run.responses.len() + lost.len(), srcs.len() + 1);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_instead_of_growing() {
+        let (q, srcs) = setup(4);
+        let mut cfg = EngineConfig::with_max_batch(1);
+        cfg.max_queue = 2;
+        let mut engine = ContinuousBatcher::new(&q, cfg).unwrap();
+        engine.submit(Request::new(0, srcs[0].clone(), 4)).unwrap();
+        engine.submit(Request::new(1, srcs[1].clone(), 4)).unwrap();
+        assert_eq!(
+            engine.submit(Request::new(2, srcs[2].clone(), 4)).err(),
+            Some(ServingError::QueueFull { id: 2 }),
+            "third request must be shed, not queued"
+        );
+        assert_eq!(engine.stats().shed, 1);
+        assert_eq!(engine.pending_len(), 2);
+        // A shed id is not burned: once the queue drains, the same id
+        // resubmits cleanly (retry-after-backoff).
+        let _ = engine.run_to_completion();
+        engine.submit(Request::new(2, srcs[2].clone(), 4)).unwrap();
+        let responses = engine.run_to_completion();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].id, 2);
+        assert_eq!(
+            responses[0].tokens,
+            q.greedy_decode_incremental(&srcs[2], 4)
+        );
+        assert_eq!(engine.kv_bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn expired_in_queue_retires_without_touching_a_slot() {
+        let (q, srcs) = setup(2);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(2)).unwrap();
+        engine
+            .submit(Request::new(0, srcs[0].clone(), 4).with_deadline_ms(0))
+            .unwrap();
+        engine.submit(Request::new(1, srcs[1].clone(), 4)).unwrap();
+        let responses = engine.run_to_completion();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].finish, FinishReason::Deadline);
+        assert!(responses[0].tokens.is_empty());
+        assert_eq!(responses[0].first_token_step, None);
+        assert_ne!(responses[1].finish, FinishReason::Deadline);
+        let stats = engine.stats();
+        assert_eq!(stats.expired_in_queue, 1);
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.admitted, 1, "the expired request never held a slot");
+        assert_eq!(engine.kv_bytes_in_use(), 0, "no KV page was ever charged");
+        // The survivor decodes bit-identically to running alone.
+        assert_eq!(
+            responses[1].tokens,
+            q.greedy_decode_incremental(&srcs[1], 4)
+        );
+    }
+
+    #[test]
+    fn generous_wall_deadline_never_preempts() {
+        let (q, srcs) = setup(2);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(2)).unwrap();
+        for (i, s) in srcs.iter().enumerate() {
+            engine
+                .submit(Request::new(i as u64, s.clone(), 6).with_deadline_ms(3_600_000))
+                .unwrap();
+        }
+        let responses = engine.run_to_completion();
+        for (resp, src) in responses.iter().zip(&srcs) {
+            assert_eq!(resp.tokens, q.greedy_decode_incremental(src, 6));
+        }
+        assert_eq!(engine.stats().deadline_expired, 0);
+    }
+
+    #[test]
+    fn cancel_drops_queued_and_inflight_without_responses() {
+        let (q, srcs) = setup(3);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(1)).unwrap();
+        for (i, s) in srcs.iter().enumerate() {
+            engine.submit(Request::new(i as u64, s.clone(), 8)).unwrap();
+        }
+        // One step admits request 0 into the single slot; 1 and 2 wait.
+        assert!(engine.step());
+        assert!(engine.kv_bytes_in_use() > 0);
+        assert!(engine.cancel(0), "in-flight request cancels");
+        assert_eq!(
+            engine.kv_bytes_in_use(),
+            0,
+            "cancelling the only in-flight request frees its KV pages"
+        );
+        assert!(engine.cancel(1), "queued request cancels");
+        assert!(!engine.cancel(99), "unknown id is a no-op");
+        let responses = engine.run_to_completion();
+        assert_eq!(responses.len(), 1, "cancelled requests answer nobody");
+        assert_eq!(responses[0].id, 2);
+        assert_eq!(
+            responses[0].tokens,
+            q.greedy_decode_incremental(&srcs[2], 8)
+        );
+        assert_eq!(engine.stats().cancelled, 2);
+        assert_eq!(engine.kv_bytes_in_use(), 0);
+        assert!(!engine.cancel(2), "finished id is a no-op");
+    }
+
+    #[test]
+    fn emitted_stream_matches_responses() {
+        let (q, srcs) = setup(3);
+        let mut engine = ContinuousBatcher::new(&q, EngineConfig::with_max_batch(2)).unwrap();
+        for (i, s) in srcs.iter().enumerate() {
+            engine.submit(Request::new(i as u64, s.clone(), 5)).unwrap();
+        }
+        let mut streamed: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+        let mut finished = Vec::new();
+        while engine.step() {
+            for (id, tok) in engine.drain_emitted() {
+                streamed.entry(id).or_default().push(tok);
+            }
+            finished.extend(engine.drain_finished());
+        }
+        finished.extend(engine.drain_finished());
+        assert_eq!(finished.len(), srcs.len());
+        for resp in &finished {
+            let got = streamed.remove(&resp.id).unwrap_or_default();
+            assert_eq!(got, resp.tokens, "id {}", resp.id);
+        }
+        assert!(streamed.is_empty(), "no tokens for unknown ids");
+    }
+
+    #[test]
+    fn merge_round_trips_every_counter() {
+        // Each field gets a distinct value so a merge that drops or
+        // cross-wires any counter — including the front-door additions
+        // (shed / expired_in_queue / cancelled) — fails loudly.
+        let a = ServingStats {
+            steps: 1,
+            rows: 2,
+            prefill_rows: 3,
+            tokens_generated: 4,
+            peak_batch: 5,
+            admitted: 6,
+            retired: 7,
+            kv_bytes_in_use: 8,
+            kv_bytes_peak: 9,
+            faulty_steps: 10,
+            retries: 11,
+            quarantined: 12,
+            deadline_expired: 13,
+            shed: 14,
+            expired_in_queue: 15,
+            cancelled: 16,
+            ops_fused: 17,
+            intermediates_elided_bytes: 18,
+            prefix_hits: 19,
+            prefix_misses: 20,
+            prefix_rows_reused: 21,
+            prefix_bytes_shared: 22,
+        };
+        let mut m = ServingStats::default();
+        m.merge(&a);
+        assert_eq!(m, a, "merging into zero must reproduce the source");
+        m.merge(&a);
+        let mut want = a;
+        // Everything is additive except the high-water mark.
+        want.steps *= 2;
+        want.rows *= 2;
+        want.prefill_rows *= 2;
+        want.tokens_generated *= 2;
+        want.admitted *= 2;
+        want.retired *= 2;
+        want.kv_bytes_in_use *= 2;
+        want.kv_bytes_peak *= 2;
+        want.faulty_steps *= 2;
+        want.retries *= 2;
+        want.quarantined *= 2;
+        want.deadline_expired *= 2;
+        want.shed *= 2;
+        want.expired_in_queue *= 2;
+        want.cancelled *= 2;
+        want.ops_fused *= 2;
+        want.intermediates_elided_bytes *= 2;
+        want.prefix_hits *= 2;
+        want.prefix_misses *= 2;
+        want.prefix_rows_reused *= 2;
+        want.prefix_bytes_shared *= 2;
+        assert_eq!(m, want);
     }
 }

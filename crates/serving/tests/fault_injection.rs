@@ -157,7 +157,7 @@ proptest! {
         // Compare the decoded content; `first_token_step` is queueing
         // metadata and legitimately shifts with `max_batch`.
         let strip = |rs: &[Response]| -> Vec<(u64, Vec<usize>, bool)> {
-            rs.iter().map(|r| (r.id, r.tokens.clone(), r.hit_eos)).collect()
+            rs.iter().map(|r| (r.id, r.tokens.clone(), r.hit_eos())).collect()
         };
         prop_assert_eq!(strip(&got), strip(&want));
         prop_assert_eq!(stats.faulty_steps, 0);
@@ -294,7 +294,7 @@ fn persistent_faults_quarantine_the_slot() {
     // started — stranded in the queue, not silently lost.
     assert_eq!(responses.len(), 1);
     assert_eq!(responses[0].id, 0);
-    assert!(!responses[0].hit_eos);
+    assert!(!responses[0].hit_eos());
     assert_eq!(engine.pending_len(), 1);
     assert!(stats.faulty_steps >= 2, "every attempt stays flagged");
 }

@@ -59,6 +59,10 @@ pub const ENV_PIN: &str = "ACCEL_PIN";
 /// unset disables it). See [`prefix_cache_bytes`].
 pub const ENV_PREFIX_CACHE: &str = "ACCEL_PREFIX_CACHE";
 
+/// Bound on the serving engine's waiting queue (`0` or unset =
+/// unbounded). See [`max_queue`].
+pub const ENV_MAX_QUEUE: &str = "ACCEL_MAX_QUEUE";
+
 /// "Set and truthy" predicate shared by the boolean flags: any
 /// non-empty value other than `0` counts as set.
 fn flag(var: &str) -> bool {
@@ -124,6 +128,21 @@ pub fn prefix_cache_bytes(default: usize) -> usize {
                 Err(_) => default,
             }
         }
+        Err(_) => default,
+    }
+}
+
+/// The serving engine's waiting-queue bound from `ACCEL_MAX_QUEUE`,
+/// falling back to `default`; `0` (or an unparsable value) leaves the
+/// queue unbounded. Parsed on **every** call, like [`kv_page_rows`]:
+/// it is read once per engine construction, and tests / CI matrices
+/// vary it without process-global caching.
+pub fn max_queue(default: usize) -> usize {
+    match std::env::var(ENV_MAX_QUEUE) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => default,
+        },
         Err(_) => default,
     }
 }

@@ -147,7 +147,7 @@ fn fp32_decode_from_forked_prefix_is_byte_identical_to_cold_start() {
 fn decoded(responses: &[Response]) -> Vec<(u64, Vec<usize>, bool)> {
     responses
         .iter()
-        .map(|r| (r.id, r.tokens.clone(), r.hit_eos))
+        .map(|r| (r.id, r.tokens.clone(), r.hit_eos()))
         .collect()
 }
 
